@@ -1,0 +1,78 @@
+// Command meshgen generates the unstructured meshes the experiments
+// run on, reports their statistics, and compares the quality of the
+// locality orderings on them (paper Section 3.1).
+//
+// Examples:
+//
+//	meshgen -mesh paper -stats
+//	meshgen -mesh grid:50x50 -o mesh.txt
+//	meshgen -mesh honeycomb:80x100 -orderings -parts 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"stance/internal/mesh"
+	"stance/internal/meshspec"
+	"stance/internal/order"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meshgen: ")
+	spec := flag.String("mesh", "paper", "mesh: "+meshspec.Names())
+	out := flag.String("o", "", "write the mesh to this file (stance-mesh text format)")
+	stats := flag.Bool("stats", true, "print mesh statistics")
+	orderings := flag.Bool("orderings", false, "compare locality orderings on this mesh")
+	parts := flag.Int("parts", 8, "number of equal blocks for the ordering-quality report")
+	flag.Parse()
+
+	g, err := meshspec.Build(*spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		s := mesh.Describe(g)
+		fmt.Printf("mesh %s: %d vertices, %d edges, degree %d..%d (avg %.2f), connected=%v\n",
+			*spec, s.Vertices, s.Edges, s.MinDegree, s.MaxDegree, s.AvgDegree, s.Connected)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mesh.Write(f, g); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *orderings {
+		fmt.Printf("\nordering quality for %d equal blocks (lower is better):\n", *parts)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ordering\tedge cut\tbandwidth\tmean edge span")
+		for _, name := range order.Names() {
+			f, err := order.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perm, err := f(g)
+			if err != nil {
+				fmt.Fprintf(w, "%s\t(%v)\t\t\n", name, err)
+				continue
+			}
+			q, err := order.Evaluate(g, perm, *parts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\n", name, q.EdgeCut, q.Bandwidth, q.MeanEdgeSpan)
+		}
+		w.Flush()
+	}
+}

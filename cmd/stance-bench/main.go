@@ -1,0 +1,54 @@
+// Command stance-bench regenerates the paper's evaluation tables
+// (Section 5, Tables 1-5) on the simulated cluster. Each table prints
+// the paper's published numbers next to the measured ones; see
+// EXPERIMENTS.md for the recorded comparison.
+//
+// Usage:
+//
+//	stance-bench [-table all|1|2|3|4|5] [-quick] [-netscale F] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"stance/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stance-bench: ")
+	table := flag.String("table", "all", "which table to regenerate (all, 1, 2, 3, 4, 5)")
+	quick := flag.Bool("quick", false, "reduced sizes and sample counts")
+	netScale := flag.Float64("netscale", 1, "Ethernet model scale (1 = the paper's 10 Mbit shared Ethernet)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	opts := bench.Options{Quick: *quick, NetScale: *netScale, Seed: *seed}
+	gens := map[string]func(bench.Options) (*bench.Table, error){
+		"1": bench.Table1, "2": bench.Table2, "3": bench.Table3,
+		"4": bench.Table4, "5": bench.Table5,
+	}
+	var order []string
+	switch *table {
+	case "all":
+		order = []string{"1", "2", "3", "4", "5"}
+	default:
+		if _, ok := gens[*table]; !ok {
+			log.Fatalf("unknown table %q (want all, 1..5)", *table)
+		}
+		order = []string{*table}
+	}
+	for _, id := range order {
+		start := time.Now()
+		t, err := gens[id](opts)
+		if err != nil {
+			log.Fatalf("table %s: %v", id, err)
+		}
+		fmt.Println(t.String())
+		fmt.Fprintf(os.Stderr, "  (table %s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

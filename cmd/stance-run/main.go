@@ -1,0 +1,251 @@
+// Command stance-run executes the paper's iterative irregular loop on
+// a simulated (or TCP-connected) cluster with arbitrary mesh, ordering,
+// heterogeneity and load-balancing settings — the workbench the
+// examples and tables are special cases of.
+//
+// Examples:
+//
+//	stance-run -p 4 -iters 50 -mesh honeycomb:60x80 -order rcb
+//	stance-run -p 3 -load 0:3 -lb -check-every 10
+//	stance-run -p 2 -tcp -mesh grid:40x40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/metrics"
+	"stance/internal/redist"
+	"stance/internal/solver"
+
+	"stance/internal/mesh"
+	"stance/internal/meshspec"
+	"stance/internal/order"
+)
+
+type loadFlags []hetero.Load
+
+func (l *loadFlags) String() string { return fmt.Sprint(*l) }
+
+// Set parses "rank:factor[:fromIter[:untilIter]]".
+func (l *loadFlags) Set(s string) error {
+	var ld hetero.Load
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return fmt.Errorf("load %q: want rank:factor[:from[:until]]", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &ld.Rank); err != nil {
+		return fmt.Errorf("load rank %q: %v", parts[0], err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%g", &ld.Factor); err != nil {
+		return fmt.Errorf("load factor %q: %v", parts[1], err)
+	}
+	if len(parts) > 2 {
+		if _, err := fmt.Sscanf(parts[2], "%d", &ld.FromIter); err != nil {
+			return fmt.Errorf("load from %q: %v", parts[2], err)
+		}
+	}
+	if len(parts) > 3 {
+		if _, err := fmt.Sscanf(parts[3], "%d", &ld.UntilIter); err != nil {
+			return fmt.Errorf("load until %q: %v", parts[3], err)
+		}
+	}
+	*l = append(*l, ld)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stance-run: ")
+	p := flag.Int("p", 4, "number of workstations")
+	iters := flag.Int("iters", 50, "iterations of the parallel loop")
+	workRep := flag.Int("work", 200, "kernel work amplification per element")
+	meshSpec := flag.String("mesh", "honeycomb:60x80", "mesh: "+meshspec.Names())
+	ordName := flag.String("order", "rcb", "locality ordering: "+strings.Join(order.Names(), ", "))
+	strategy := flag.String("strategy", "sort2", "inspector strategy: sort1, sort2, simple")
+	lb := flag.Bool("lb", false, "enable adaptive load balancing")
+	checkEvery := flag.Int("check-every", 10, "iterations between load-balance checks")
+	netScale := flag.Float64("netscale", 0.1, "Ethernet model scale (in-process transport only)")
+	tcp := flag.Bool("tcp", false, "connect ranks over loopback TCP instead of in-process channels")
+	weighted := flag.Bool("weighted", false, "balance vertex weight (degree) instead of vertex counts")
+	decentralized := flag.Bool("decentralized", false, "decide load balancing on every rank (no controller)")
+	ewma := flag.Float64("ewma", 0, "EWMA smoothing for rate estimates (0 = paper's last-window)")
+	var loads loadFlags
+	flag.Var(&loads, "load", "competing load rank:factor[:from[:until]] (repeatable)")
+	flag.Parse()
+
+	g, err := meshspec.Build(*meshSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ord, err := order.ByName(*ordName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var strat core.Strategy
+	switch *strategy {
+	case "sort1":
+		strat = core.StrategySort1
+	case "sort2":
+		strat = core.StrategySort2
+	case "simple":
+		strat = core.StrategySimple
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	env := hetero.Uniform(*p)
+	env.Loads = append(env.Loads, loads...)
+	if err := env.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	var ws []*comm.Comm
+	if *tcp {
+		var closer func() error
+		ws, closer, err = comm.NewTCPWorld(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closer()
+	} else {
+		ws, err = comm.NewWorld(*p, comm.Ethernet(*netScale))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer comm.CloseWorld(ws)
+	}
+
+	st := mesh.Describe(g)
+	fmt.Printf("mesh: %d vertices, %d edges (degree %d..%d), order %s, %d workstations, transport %s\n",
+		st.Vertices, st.Edges, st.MinDegree, st.MaxDegree, *ordName, *p, transportName(*tcp))
+	if len(loads) > 0 {
+		fmt.Printf("competing loads: %v\n", []hetero.Load(loads))
+	}
+
+	var wall time.Duration
+	totals := make([]solver.Timings, *p)
+	accumulate := func(rank int, tm solver.Timings) {
+		totals[rank].Compute += tm.Compute
+		totals[rank].Comm += tm.Comm
+		totals[rank].Items += tm.Items
+	}
+	checks, remaps := 0, 0
+	var vertexWeights []float64
+	if *weighted {
+		vertexWeights = make([]float64, g.N)
+		for v := 0; v < g.N; v++ {
+			vertexWeights[v] = float64(g.Degree(v)) + 1
+		}
+	}
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := core.New(c, g, core.Config{Order: ord, Strategy: strat, VertexWeights: vertexWeights})
+		if err != nil {
+			return err
+		}
+		s, err := solver.New(rt, env, *workRep)
+		if err != nil {
+			return err
+		}
+		var bal *loadbal.Balancer
+		if *lb {
+			var est *loadbal.Estimator
+			if *ewma > 0 {
+				est, err = loadbal.NewEstimator(loadbal.EstimateEWMA, *ewma)
+				if err != nil {
+					return err
+				}
+			}
+			bal, err = loadbal.New(rt, loadbal.Config{
+				Horizon:       *checkEvery,
+				CostModel:     redist.CostModel{PerMessage: 1e-3 * *netScale, PerByte: *netScale / 1.25e6},
+				Estimator:     est,
+				Decentralized: *decentralized,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(1); err != nil {
+			return err
+		}
+		start := time.Now()
+		err = s.Run(*iters, func(iter int) error {
+			if bal == nil || iter%*checkEvery != 0 || iter == *iters {
+				return nil
+			}
+			tm := s.TakeTimings()
+			accumulate(c.Rank(), tm)
+			d, err := bal.Check(loadbal.Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				checks++
+				if d.Remapped {
+					remaps++
+					fmt.Printf("  iter %d: remapped (predicted %.4fs -> %.4fs per phase, cost %.4fs)\n",
+						iter, d.PredictedCurrent, d.PredictedNew, d.EstimatedRemapCost)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(2); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			wall = time.Since(start)
+		}
+		accumulate(c.Rank(), s.TakeTimings())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d iterations in %v (%.2f ms/iter)\n", *iters, wall.Round(time.Millisecond),
+		wall.Seconds()*1e3/float64(*iters))
+	fmt.Println("rank  compute     comm        items")
+	for r, tm := range totals {
+		fmt.Printf("%4d  %-10v  %-10v  %d\n", r, tm.Compute.Round(time.Microsecond),
+			tm.Comm.Round(time.Microsecond), tm.Items)
+	}
+	if *p > 1 {
+		// Section 4 efficiency from measured rates: a rank computing
+		// rate seconds/item alone would need rate * meshSize * iters
+		// for the whole run.
+		seq := make([]float64, 0, *p)
+		usable := true
+		for _, tm := range totals {
+			if tm.Items == 0 {
+				usable = false
+				break
+			}
+			seq = append(seq, tm.RatePerItem()*float64(st.Vertices)*float64(*iters))
+		}
+		if usable {
+			if e, err := metrics.EfficiencyStatic(wall.Seconds(), seq); err == nil {
+				fmt.Printf("efficiency (Section 4 definition, measured rates): %.2f\n", e)
+			}
+		}
+	}
+	if *lb {
+		fmt.Printf("load-balance checks: %d, remaps: %d\n", checks, remaps)
+	}
+}
+
+func transportName(tcp bool) string {
+	if tcp {
+		return "tcp"
+	}
+	return "in-process"
+}

@@ -1,0 +1,92 @@
+// Meshsolver reproduces the paper's static-environment experiment
+// (Table 4): the 500-iteration irregular loop over the paper-scale
+// unstructured mesh on clusters of one to five workstations, with
+// efficiency computed by the Section 4 definition. Scaled-down
+// defaults keep the demo under a minute; flags restore paper scale.
+//
+//	go run ./examples/meshsolver
+//	go run ./examples/meshsolver -iters 500 -work 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"stance"
+	"stance/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	iters := flag.Int("iters", 20, "iterations of the parallel loop (paper: 500)")
+	workRep := flag.Int("work", 150, "work amplification per element")
+	netScale := flag.Float64("netscale", 1, "Ethernet model scale")
+	small := flag.Bool("small", false, "use a small mesh instead of the paper-scale one")
+	flag.Parse()
+
+	var g *stance.Graph
+	var err error
+	if *small {
+		g, err = stance.Honeycomb(40, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		g = stance.PaperMesh()
+	}
+	fmt.Printf("mesh: %d vertices, %d edges (paper: 30269/44929)\n", g.N, g.NumEdges())
+	fmt.Printf("%d iterations, work %d, Ethernet x%g\n\n", *iters, *workRep, *netScale)
+	fmt.Println("Workstations  Time       Efficiency   (paper: 97.61s..31.50s, eff 1.00..0.62 at 500 iters)")
+
+	var t1 float64
+	for p := 1; p <= 5; p++ {
+		world, err := stance.NewWorld(p, stance.Ethernet(*netScale))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var wall time.Duration
+		err = stance.SPMD(world, func(c *stance.Comm) error {
+			rt, err := stance.New(c, g, stance.Config{Order: stance.RCB})
+			if err != nil {
+				return err
+			}
+			s, err := stance.NewSolver(rt, stance.UniformEnv(p), *workRep)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(1); err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := s.Run(*iters, nil); err != nil {
+				return err
+			}
+			if err := c.Barrier(2); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				wall = time.Since(start)
+			}
+			return nil
+		})
+		stance.CloseWorld(world)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp := wall.Seconds()
+		if p == 1 {
+			t1 = tp
+		}
+		seq := make([]float64, p)
+		for i := range seq {
+			seq[i] = t1
+		}
+		eff, err := metrics.EfficiencyStatic(tp, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("1..%d          %-9.3fs  %.2f\n", p, tp, eff)
+	}
+}

@@ -1,0 +1,109 @@
+// Package bench is the experiment harness: one generator per table in
+// the paper's evaluation (Section 5), shared by the stance-bench
+// command and the repository's testing.B benchmarks. Each generator
+// returns a Table carrying the measured rows next to the paper's
+// published numbers, so EXPERIMENTS.md can record paper-vs-measured
+// directly from this output.
+//
+// Absolute numbers differ from the paper's 1995 SUN4/Ethernet cluster;
+// the network cost model (comm.Ethernet) reproduces the latency and
+// bandwidth regime so the qualitative shape — who wins, by what
+// factor, where trends reverse — carries over. Options.NetScale
+// uniformly scales the modeled network to keep full runs fast; ratios
+// between strategies are unaffected.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick shrinks sizes, samples and iteration counts to smoke-test
+	// levels (used by tests and -quick runs).
+	Quick bool
+	// NetScale multiplies the modeled Ethernet's latency and transfer
+	// times (1 = the paper's 10 Mbit shared Ethernet; 0.05 = a network
+	// 20x faster, keeping full benchmark runs short).
+	NetScale float64
+	// Seed makes randomized workloads reproducible.
+	Seed int64
+}
+
+// DefaultOptions returns the settings used for EXPERIMENTS.md: the
+// paper's full-speed Ethernet model. Table 2 moves megabytes per
+// sample and caps its sample counts to keep the full run around a
+// minute.
+func DefaultOptions() Options {
+	return Options{NetScale: 1, Seed: 1}
+}
+
+func (o Options) netScale() float64 {
+	if o.NetScale <= 0 {
+		return 1
+	}
+	return o.NetScale
+}
+
+// Table is one reproduced experiment.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table for terminals and EXPERIMENTS.md.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Cell looks a value up by row index and column name (tests use it to
+// assert on shapes).
+func (t *Table) Cell(row int, col string) (string, error) {
+	ci := -1
+	for i, h := range t.Header {
+		if h == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return "", fmt.Errorf("bench: no column %q", col)
+	}
+	if row < 0 || row >= len(t.Rows) {
+		return "", fmt.Errorf("bench: row %d of %d", row, len(t.Rows))
+	}
+	if ci >= len(t.Rows[row]) {
+		return "", fmt.Errorf("bench: row %d has no column %d", row, ci)
+	}
+	return t.Rows[row][ci], nil
+}
+
+// seconds formats a duration in seconds with sensible precision.
+func seconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-4:
+		return fmt.Sprintf("%.2e", s)
+	case s < 0.1:
+		return fmt.Sprintf("%.5f", s)
+	default:
+		return fmt.Sprintf("%.3f", s)
+	}
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stance/internal/partition"
+	"stance/internal/redist"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, NetScale: 0.2, Seed: 7}
+}
+
+func cellSeconds(t *testing.T, tab *Table, row int, col string) float64 {
+	t.Helper()
+	s, err := tab.Cell(row, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a number: %v", s, err)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// MCR time must grow with p (the O(p^3) scaling) and stay small
+	// even at 20 workstations, the paper's headline observation.
+	t3 := cellSeconds(t, tab, 0, "Measured")
+	t20 := cellSeconds(t, tab, 4, "Measured")
+	if t20 <= t3 {
+		t.Errorf("MCR at p=20 (%g) not slower than p=3 (%g)", t20, t3)
+	}
+	if t20 > 0.1 {
+		t.Errorf("MCR at p=20 took %gs, want well under 0.1s", t20)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Workstations") {
+		t.Errorf("rendering missing pieces:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 { // 3 sizes x 3 worker sets in quick mode
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Wall-clock cells at quick sizes sit inside scheduler and
+	// sleep-granularity noise — especially when the whole test suite
+	// runs in parallel — so the timings are only checked for
+	// plausibility; the paper's claim (MCR reduces remap cost) is
+	// asserted on the deterministic ground truth below, and the real
+	// timing comparison lives in the full stance-bench run.
+	for row := range tab.Rows {
+		for _, col := range []string{"Measured MCR", "Measured no-MCR"} {
+			if v := cellSeconds(t, tab, row, col); v <= 0 || v > 5 {
+				t.Errorf("row %d: %s = %g, want a plausible duration", row, col, v)
+			}
+		}
+	}
+	// Deterministic shape check: on the exact instances the harness
+	// measured (same seed, same draw), MCR must move strictly less
+	// data in aggregate.
+	opts := quickOpts()
+	var movedMCR, movedNone int64
+	for _, size := range []int64{512, 2048, 16384} {
+		for _, p := range []int{3, 4, 5} {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			for s := 0; s < 5; s++ {
+				old, err := partition.NewBlock(size, randWeights(rng, p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				newW := randWeights(rng, p)
+				mcr, err := redist.Iterated(old, newW, redist.OverlapCost, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keep, err := partition.New(size, newW, old.Arrangement())
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := partition.Moved(old, mcr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := partition.Moved(old, keep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a > b {
+					t.Fatalf("size %d p %d sample %d: MCR moved %d > keep %d", size, p, s, a, b)
+				}
+				movedMCR += a
+				movedNone += b
+			}
+		}
+	}
+	if movedMCR >= movedNone {
+		t.Errorf("aggregate moved: MCR %d not less than keep-arrangement %d", movedMCR, movedNone)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab, err := Table3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The robust shapes: the simple strategy gets more expensive as
+	// workstations are added (message setups over the modeled network
+	// dominate), and the sorting strategies beat it decisively at 5
+	// workstations. The paper's downward sortN trend is sub-millisecond
+	// on modern hardware and drowns in timer noise, so it is not
+	// asserted (see EXPERIMENTS.md, Table 3).
+	simpleAt2 := cellSeconds(t, tab, 0, "Simple")
+	simpleAt5 := cellSeconds(t, tab, 3, "Simple")
+	if simpleAt5 <= simpleAt2 {
+		t.Errorf("Simple did not get dearer with more workstations: %g -> %g", simpleAt2, simpleAt5)
+	}
+	for _, col := range []string{"Sort1", "Sort2"} {
+		at5 := cellSeconds(t, tab, 3, col)
+		if at5 >= simpleAt5/2 {
+			t.Errorf("%s (%g) not well under Simple (%g) at 5 workstations", col, at5, simpleAt5)
+		}
+		if at5 > 0.05 {
+			t.Errorf("%s build took %gs on the quick mesh, want well under 50ms", col, at5)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab, err := Table4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Time decreases with processors; efficiency decreases but stays
+	// reasonable.
+	t1 := cellSeconds(t, tab, 0, "Measured Time")
+	t5 := cellSeconds(t, tab, 4, "Measured Time")
+	if t5 >= t1 {
+		t.Errorf("5 workstations (%g) not faster than 1 (%g)", t5, t1)
+	}
+	e1 := cellSeconds(t, tab, 0, "Measured Eff")
+	e5 := cellSeconds(t, tab, 4, "Measured Eff")
+	if e1 < 0.99 {
+		t.Errorf("single-workstation efficiency %g, want 1", e1)
+	}
+	if e5 >= e1 || e5 < 0.2 {
+		t.Errorf("efficiency at 5 = %g, want in [0.2, %g)", e5, e1)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab, err := Table5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // seq row + 2 worker sets in quick mode
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for row := 1; row < len(tab.Rows); row++ {
+		withLB := cellSeconds(t, tab, row, "LB")
+		withoutLB := cellSeconds(t, tab, row, "no-LB")
+		if withLB >= withoutLB {
+			t.Errorf("row %d: load balancing did not help (%g vs %g)", row, withLB, withoutLB)
+		}
+		check := cellSeconds(t, tab, row, "check")
+		lbCost := cellSeconds(t, tab, row, "LB cost")
+		if check <= 0 || lbCost <= 0 {
+			t.Errorf("row %d: costs not measured (check %g, LB %g)", row, check, lbCost)
+		}
+		// The check is much cheaper than the remap (paper: an order of
+		// magnitude).
+		if check >= lbCost {
+			t.Errorf("row %d: check (%g) not cheaper than remap (%g)", row, check, lbCost)
+		}
+	}
+}
+
+func TestCellErrors(t *testing.T) {
+	tab := &Table{Header: []string{"A"}, Rows: [][]string{{"1"}}}
+	if _, err := tab.Cell(0, "B"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := tab.Cell(5, "A"); err == nil {
+		t.Error("bad row accepted")
+	}
+	if v, err := tab.Cell(0, "A"); err != nil || v != "1" {
+		t.Errorf("Cell = %q, %v", v, err)
+	}
+}
+
+func TestMeasureAdaptiveReportsRemap(t *testing.T) {
+	res, err := MeasureAdaptiveRun(quickOpts(), 3, 25, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Remapped {
+		t.Error("3x imbalance did not trigger a remap")
+	}
+	if res.WithLB >= res.WithoutLB {
+		t.Errorf("LB run (%v) not faster than static run (%v)", res.WithLB, res.WithoutLB)
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"stance/internal/partition"
+	"stance/internal/redist"
+)
+
+// table1Paper holds the paper's published MCR execution times (SUN4).
+var table1Paper = map[int]float64{3: 0.00033, 5: 0.00049, 10: 0.0025, 15: 0.0074, 20: 0.017}
+
+// MeasureMCR times one MinimizeCostRedistribution call averaged over
+// samples random capability adaptations of p workstations.
+func MeasureMCR(p, samples int, seed int64) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const n = 100000
+	var total time.Duration
+	for s := 0; s < samples; s++ {
+		old, err := partition.NewBlock(n, randWeights(rng, p))
+		if err != nil {
+			return 0, err
+		}
+		newW := randWeights(rng, p)
+		start := time.Now()
+		if _, err := redist.MinimizeCostRedistribution(old, newW, redist.OverlapCost); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(samples), nil
+}
+
+// Table1 reproduces "Execution time of MinimizeCostRedistribution":
+// the O(p^3) greedy arrangement search timed for growing processor
+// counts.
+func Table1(opts Options) (*Table, error) {
+	samples := 100
+	if opts.Quick {
+		samples = 5
+	}
+	t := &Table{
+		ID:     "Table 1",
+		Title:  "Execution time of MinimizeCostRedistribution (seconds)",
+		Header: []string{"Workstations", "Paper (SUN4)", "Measured"},
+		Notes: []string{
+			"mean over random capability adaptations; paper: 100 samples on SUN4/P4",
+		},
+	}
+	for _, p := range []int{3, 5, 10, 15, 20} {
+		d, err := MeasureMCR(p, samples, opts.Seed+int64(p))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(p), seconds(table1Paper[p]), seconds(d.Seconds()),
+		})
+	}
+	return t, nil
+}
+
+func itoa(v int) string {
+	return strconv.Itoa(v)
+}
+
+func randWeights(rng *rand.Rand, p int) []float64 {
+	w := make([]float64, p)
+	for i := range w {
+		w[i] = rng.Float64() + 0.05
+	}
+	return w
+}

@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire encoding helpers. Numeric slices travel as little-endian
+// fixed-width values; multi-part payloads (gathers, broadcasts of
+// variable-size sections) use a simple length-prefixed section format.
+
+// F64sToBytes encodes a float64 slice.
+func F64sToBytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BytesToF64s decodes a float64 slice.
+func BytesToF64s(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("comm: float64 payload length %d not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// I64sToBytes encodes an int64 slice.
+func I64sToBytes(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// BytesToI64s decodes an int64 slice.
+func BytesToI64s(data []byte) ([]int64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("comm: int64 payload length %d not a multiple of 8", len(data))
+	}
+	out := make([]int64, len(data)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// I32sToBytes encodes an int32 slice.
+func I32sToBytes(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// BytesToI32s decodes an int32 slice.
+func BytesToI32s(data []byte) ([]int32, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("comm: int32 payload length %d not a multiple of 4", len(data))
+	}
+	out := make([]int32, len(data)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return out, nil
+}
+
+// EncodeSections concatenates variable-length byte sections with
+// length prefixes, so a gather result can travel as one message.
+func EncodeSections(sections [][]byte) []byte {
+	total := 4
+	for _, s := range sections {
+		total += 4 + len(s)
+	}
+	out := make([]byte, 0, total)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(sections)))
+	for _, s := range sections {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}
+
+// DecodeSections reverses EncodeSections.
+func DecodeSections(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("comm: sections payload too short (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("comm: truncated section header at %d", i)
+		}
+		l := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, fmt.Errorf("comm: truncated section %d: have %d bytes, want %d", i, len(data), l)
+		}
+		out = append(out, data[:l:l])
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("comm: %d trailing bytes after sections", len(data))
+	}
+	return out, nil
+}

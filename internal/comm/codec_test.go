@@ -1,0 +1,162 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestF64RoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, math.Pi, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64}
+	got, err := BytesToF64s(F64sToBytes(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("f64[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+	nan, err := BytesToF64s(F64sToBytes([]float64{math.NaN()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(nan[0]) {
+		t.Error("NaN did not round-trip")
+	}
+}
+
+func TestF64RoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		got, err := BytesToF64s(F64sToBytes(vals))
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestI64RoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		got, err := BytesToI64s(I64sToBytes(vals))
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestI32RoundTripProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		got, err := BytesToI32s(I32sToBytes(vals))
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeBadLengths(t *testing.T) {
+	if _, err := BytesToF64s(make([]byte, 7)); err == nil {
+		t.Error("7 bytes accepted as float64s")
+	}
+	if _, err := BytesToI64s(make([]byte, 9)); err == nil {
+		t.Error("9 bytes accepted as int64s")
+	}
+	if _, err := BytesToI32s(make([]byte, 3)); err == nil {
+		t.Error("3 bytes accepted as int32s")
+	}
+}
+
+func TestSectionsRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{},
+		{[]byte("a")},
+		{[]byte(""), []byte("bc"), nil, []byte("defg")},
+	}
+	for _, sections := range cases {
+		got, err := DecodeSections(EncodeSections(sections))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(sections) {
+			t.Fatalf("section count %d, want %d", len(got), len(sections))
+		}
+		for i := range sections {
+			if string(got[i]) != string(sections[i]) {
+				t.Errorf("section %d = %q, want %q", i, got[i], sections[i])
+			}
+		}
+	}
+}
+
+func TestSectionsRoundTripProperty(t *testing.T) {
+	f := func(sections [][]byte) bool {
+		got, err := DecodeSections(EncodeSections(sections))
+		if err != nil || len(got) != len(sections) {
+			return false
+		}
+		for i := range sections {
+			if string(got[i]) != string(sections[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeSectionsErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{1, 0, 0, 0},             // one section promised, no header
+		{1, 0, 0, 0, 5, 0, 0, 0}, // 5 bytes promised, none present
+		append(EncodeSections([][]byte{{1}}), 0xFF), // trailing garbage
+	}
+	for i, c := range cases {
+		if _, err := DecodeSections(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSectionsDoNotAlias(t *testing.T) {
+	// Decoded sections must not allow appends to clobber siblings.
+	enc := EncodeSections([][]byte{[]byte("ab"), []byte("cd")})
+	got, err := DecodeSections(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = append(got[0], 'X')
+	if string(got[1]) != "cd" {
+		t.Error("append to one section clobbered the next")
+	}
+}

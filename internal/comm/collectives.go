@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"fmt"
+)
+
+// Collectives are built from tagged point-to-point messages, as the
+// paper's library builds them on P4. Every rank in the world must call
+// the same collective with the same tag; per-(src, tag) FIFO ordering
+// keeps back-to-back collectives with the same tag from interfering.
+
+// Barrier blocks until every rank has entered it: ranks report to rank
+// 0, which releases them (the paper's centralized controller pattern).
+func (c *Comm) Barrier(tag int) error {
+	if c.size == 1 {
+		return nil
+	}
+	if c.rank == 0 {
+		for i := 1; i < c.size; i++ {
+			if _, _, err := c.RecvAny(tag); err != nil {
+				return err
+			}
+		}
+		dsts := make([]int, 0, c.size-1)
+		for i := 1; i < c.size; i++ {
+			dsts = append(dsts, i)
+		}
+		return c.Multicast(dsts, tag, nil)
+	}
+	if err := c.Send(0, tag, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tag)
+	return err
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// callers pass nil.
+func (c *Comm) Bcast(root, tag int, data []byte) ([]byte, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("comm: bcast root %d of %d", root, c.size)
+	}
+	if c.size == 1 {
+		return data, nil
+	}
+	if c.rank == root {
+		dsts := make([]int, 0, c.size-1)
+		for i := 0; i < c.size; i++ {
+			if i != root {
+				dsts = append(dsts, i)
+			}
+		}
+		if err := c.Multicast(dsts, tag, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	return c.Recv(root, tag)
+}
+
+// Gather collects each rank's data at root, indexed by rank. Non-root
+// callers receive nil.
+func (c *Comm) Gather(root, tag int, data []byte) ([][]byte, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("comm: gather root %d of %d", root, c.size)
+	}
+	if c.rank != root {
+		return nil, c.Send(root, tag, data)
+	}
+	out := make([][]byte, c.size)
+	out[root] = append([]byte(nil), data...)
+	for i := 0; i < c.size; i++ {
+		if i == root {
+			continue
+		}
+		d, err := c.Recv(i, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// AllGather collects each rank's data on every rank, indexed by rank:
+// a gather at rank 0 followed by a broadcast of the sections.
+func (c *Comm) AllGather(tag int, data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, tag, data)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.rank == 0 {
+		packed = EncodeSections(parts)
+	}
+	packed, err = c.Bcast(0, tag, packed)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSections(packed)
+}
+
+// AllReduceF64 element-wise reduces each rank's vals with op on rank 0
+// and broadcasts the result. All ranks must pass equal-length slices;
+// a mismatch is detected at the root and reported on every rank (the
+// broadcast carries a status byte so peers are not left blocking on a
+// collective the root abandoned).
+func (c *Comm) AllReduceF64(tag int, vals []float64, op func(a, b float64) float64) ([]float64, error) {
+	parts, err := c.Gather(0, tag, F64sToBytes(vals))
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	var rootErr error
+	if c.rank == 0 {
+		acc := append([]float64(nil), vals...)
+		for i, part := range parts {
+			if i == 0 {
+				continue
+			}
+			vs, err := BytesToF64s(part)
+			if err == nil && len(vs) != len(acc) {
+				err = fmt.Errorf("comm: allreduce length mismatch: rank %d sent %d values, want %d",
+					i, len(vs), len(acc))
+			}
+			if err != nil {
+				rootErr = err
+				break
+			}
+			for k := range acc {
+				acc[k] = op(acc[k], vs[k])
+			}
+		}
+		if rootErr != nil {
+			packed = []byte{1}
+		} else {
+			packed = append([]byte{0}, F64sToBytes(acc)...)
+		}
+	}
+	packed, err = c.Bcast(0, tag, packed)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank == 0 && rootErr != nil {
+		return nil, rootErr
+	}
+	if len(packed) < 1 {
+		return nil, fmt.Errorf("comm: malformed allreduce reply")
+	}
+	if packed[0] != 0 {
+		return nil, fmt.Errorf("comm: allreduce failed at root")
+	}
+	return BytesToF64s(packed[1:])
+}

@@ -1,0 +1,158 @@
+// Package comm is the message-passing substrate of the STANCE
+// reproduction, standing in for the P4 environment the paper ran on
+// (Section 5). It provides tagged point-to-point send/receive with
+// per-(source, tag) FIFO ordering, emulated multicast (Section 3.6),
+// and the collectives the runtime needs, over two interchangeable
+// transports: an in-process transport whose configurable cost model
+// reproduces shared-Ethernet behaviour, and a TCP transport that runs
+// the same runtime over real sockets.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by operations on a closed communicator.
+var ErrClosed = errors.New("comm: communicator closed")
+
+// Transport moves raw tagged messages between ranks.
+type Transport interface {
+	// Send delivers data to dst with the given tag. Data is copied
+	// before Send returns; the caller may reuse the buffer.
+	Send(dst, tag int, data []byte) error
+	// Recv blocks until a message with the given source and tag
+	// arrives, and returns its payload. Messages from the same source
+	// with the same tag arrive in send order.
+	Recv(src, tag int) ([]byte, error)
+	// RecvAny blocks until a message with the given tag arrives from
+	// any source.
+	RecvAny(tag int) (src int, data []byte, err error)
+	// Close shuts the transport down; blocked receives fail.
+	Close() error
+}
+
+// Multicaster is implemented by transports that can deliver one
+// message to many destinations for (approximately) the cost of one
+// send — the Ethernet/ATM multicast capability of paper Section 3.6.
+type Multicaster interface {
+	Multicast(dsts []int, tag int, data []byte) error
+}
+
+// Comm is one rank's endpoint in a world of size ranks.
+type Comm struct {
+	rank, size int
+	tr         Transport
+
+	sentMsgs  atomic.Int64
+	sentBytes atomic.Int64
+}
+
+// NewComm wraps a transport endpoint. Most users obtain Comms from
+// NewWorld (in-process) or NewTCPWorld instead.
+func NewComm(rank, size int, tr Transport) (*Comm, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: invalid rank %d of %d", rank, size)
+	}
+	return &Comm{rank: rank, size: size, tr: tr}, nil
+}
+
+// Rank returns this endpoint's rank in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.size }
+
+// Send delivers data to dst with the given tag.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.size {
+		return fmt.Errorf("comm: send to rank %d of %d", dst, c.size)
+	}
+	if err := c.tr.Send(dst, tag, data); err != nil {
+		return err
+	}
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(len(data)))
+	return nil
+}
+
+// Recv blocks until a message from src with the given tag arrives.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if src < 0 || src >= c.size {
+		return nil, fmt.Errorf("comm: recv from rank %d of %d", src, c.size)
+	}
+	return c.tr.Recv(src, tag)
+}
+
+// RecvAny blocks until a message with the given tag arrives from any
+// source.
+func (c *Comm) RecvAny(tag int) (int, []byte, error) {
+	return c.tr.RecvAny(tag)
+}
+
+// Multicast sends data to every rank in dsts. If the transport
+// supports hardware-style multicast the message is charged once;
+// otherwise it falls back to point-to-point sends.
+func (c *Comm) Multicast(dsts []int, tag int, data []byte) error {
+	for _, d := range dsts {
+		if d < 0 || d >= c.size {
+			return fmt.Errorf("comm: multicast to rank %d of %d", d, c.size)
+		}
+	}
+	if m, ok := c.tr.(Multicaster); ok {
+		if err := m.Multicast(dsts, tag, data); err != nil {
+			return err
+		}
+		c.sentMsgs.Add(1)
+		c.sentBytes.Add(int64(len(data)))
+		return nil
+	}
+	for _, d := range dsts {
+		if err := c.Send(d, tag, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the number of messages and payload bytes this rank
+// has sent.
+func (c *Comm) Stats() (msgs, bytes int64) {
+	return c.sentMsgs.Load(), c.sentBytes.Load()
+}
+
+// Close shuts down the endpoint's transport.
+func (c *Comm) Close() error { return c.tr.Close() }
+
+// SPMD runs f once per communicator, each in its own goroutine — the
+// Single Program Multiple Data execution model of paper Section 2 —
+// and waits for all of them. The returned error joins every rank's
+// error.
+func SPMD(comms []*Comm, f func(c *Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(comms))
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c *Comm) {
+			defer wg.Done()
+			if err := f(c); err != nil {
+				errs[i] = fmt.Errorf("rank %d: %w", c.Rank(), err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// CloseWorld closes every communicator, returning the first error.
+func CloseWorld(comms []*Comm) error {
+	var first error
+	for _, c := range comms {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,99 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// inprocTransport connects goroutine "workstations" through shared
+// mailboxes, applying the network cost model on the sending side. The
+// model emulates a shared medium: one wire for the whole world, so
+// concurrent transmissions serialize exactly as on the paper's shared
+// Ethernet — total bytes on the network, not per-sender bytes,
+// determine transfer time.
+type inprocTransport struct {
+	rank  int
+	boxes []*mailbox // shared across the world
+	model *Model
+	wire  *sync.Mutex // shared medium; nil when model is nil
+}
+
+// NewWorld creates an in-process world of p ranks whose messages cost
+// according to model (nil for a free network). Each returned Comm is
+// one SPMD "workstation"; run them with SPMD.
+func NewWorld(p int, model *Model) ([]*Comm, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("comm: world size must be positive, got %d", p)
+	}
+	boxes := make([]*mailbox, p)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	var wire *sync.Mutex
+	if model != nil {
+		wire = new(sync.Mutex)
+	}
+	comms := make([]*Comm, p)
+	for i := range comms {
+		c, err := NewComm(i, p, &inprocTransport{rank: i, boxes: boxes, model: model, wire: wire})
+		if err != nil {
+			return nil, err
+		}
+		comms[i] = c
+	}
+	return comms, nil
+}
+
+// transmit occupies the shared medium for the message's modeled cost.
+func (t *inprocTransport) transmit(n int) {
+	if t.model == nil {
+		return
+	}
+	t.wire.Lock()
+	t.model.charge(n)
+	t.wire.Unlock()
+}
+
+func (t *inprocTransport) Send(dst, tag int, data []byte) error {
+	t.transmit(len(data))
+	buf := append([]byte(nil), data...)
+	return t.boxes[dst].deliver(t.rank, tag, buf)
+}
+
+// Multicast delivers to all destinations for a single network charge
+// when the modeled medium supports it; otherwise it charges per
+// destination like repeated sends.
+func (t *inprocTransport) Multicast(dsts []int, tag int, data []byte) error {
+	if t.model == nil || t.model.Multicast {
+		t.transmit(len(data))
+	} else {
+		for range dsts {
+			t.transmit(len(data))
+		}
+	}
+	for _, d := range dsts {
+		buf := append([]byte(nil), data...)
+		if err := t.boxes[d].deliver(t.rank, tag, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *inprocTransport) Recv(src, tag int) ([]byte, error) {
+	return t.boxes[t.rank].recv(src, tag)
+}
+
+func (t *inprocTransport) RecvAny(tag int) (int, []byte, error) {
+	return t.boxes[t.rank].recvAny(tag)
+}
+
+func (t *inprocTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
+	return t.boxes[t.rank].recvTimeout(src, tag, d)
+}
+
+func (t *inprocTransport) Close() error {
+	t.boxes[t.rank].close()
+	return nil
+}

@@ -1,0 +1,133 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// msgKey matches messages by (source, tag), the P4-style matching rule.
+type msgKey struct {
+	src, tag int
+}
+
+// mailbox is a rank's incoming-message store: per-(src, tag) FIFO
+// queues with blocking receive. Both transports deliver into it.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[msgKey][][]byte)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// deliver appends a message; the payload must already be owned by the
+// mailbox (callers copy user buffers).
+func (m *mailbox) deliver(src, tag int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	k := msgKey{src, tag}
+	m.queues[k] = append(m.queues[k], data)
+	m.cond.Broadcast()
+	return nil
+}
+
+// recv blocks until a (src, tag) message is available.
+func (m *mailbox) recv(src, tag int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := msgKey{src, tag}
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return data, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// recvTimeout is recv with a deadline; it returns ErrTimeout when the
+// deadline passes without a matching message.
+func (m *mailbox) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := msgKey{src, tag}
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return data, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		if !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
+		m.cond.Wait()
+	}
+}
+
+// recvAny blocks until any message with the tag is available,
+// preferring the lowest source rank for determinism.
+func (m *mailbox) recvAny(tag int) (int, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		bestSrc := -1
+		for k, q := range m.queues {
+			if k.tag == tag && len(q) > 0 && (bestSrc < 0 || k.src < bestSrc) {
+				bestSrc = k.src
+			}
+		}
+		if bestSrc >= 0 {
+			k := msgKey{bestSrc, tag}
+			q := m.queues[k]
+			data := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return bestSrc, data, nil
+		}
+		if m.closed {
+			return 0, nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// close fails all pending and future receives.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

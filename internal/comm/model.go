@@ -1,0 +1,76 @@
+package comm
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTimeout is returned by RecvTimeout when no message arrives in
+// time.
+var ErrTimeout = errors.New("comm: receive timed out")
+
+// Model emulates the cost of a shared-medium network for the
+// in-process transport: each message pays a fixed latency plus its
+// size over the bandwidth, and the whole world shares one wire, so
+// concurrent transmissions from different workstations serialize —
+// the defining behaviour of the paper's shared Ethernet. A nil *Model
+// means a free (infinitely fast) network.
+type Model struct {
+	// Latency is the fixed per-message cost (setup + wire latency).
+	Latency time.Duration
+	// Bandwidth is the transfer rate in bytes per second; zero means
+	// infinite.
+	Bandwidth float64
+	// Multicast reports whether the medium delivers one message to
+	// many receivers for a single charge (Ethernet/ATM multicast,
+	// paper Section 3.6).
+	Multicast bool
+}
+
+// cost returns the time one message of n payload bytes occupies the
+// sender.
+func (m *Model) cost(n int) time.Duration {
+	if m == nil {
+		return 0
+	}
+	d := m.Latency
+	if m.Bandwidth > 0 {
+		d += time.Duration(float64(n) / m.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// charge blocks the sender for the message's cost.
+func (m *Model) charge(n int) {
+	if d := m.cost(n); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Ethernet returns a model of the paper's interconnect: 10 Mbit/s
+// shared Ethernet with ~1 ms message setup and hardware multicast.
+// Scale multiplies both latency and transfer time (scale < 1 speeds
+// the network up, handy for quick benchmark runs).
+func Ethernet(scale float64) *Model {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Model{
+		Latency:   time.Duration(float64(time.Millisecond) * scale),
+		Bandwidth: 1.25e6 / scale,
+		Multicast: true,
+	}
+}
+
+// RecvTimeout is Comm.Recv with a deadline, for failure detection and
+// tests. It is only supported on transports backed by a mailbox (both
+// built-in transports are).
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) ([]byte, error) {
+	type timeoutRecver interface {
+		recvTimeout(src, tag int, d time.Duration) ([]byte, error)
+	}
+	if tr, ok := c.tr.(timeoutRecver); ok {
+		return tr.recvTimeout(src, tag, d)
+	}
+	return nil, errors.New("comm: transport does not support timed receive")
+}

@@ -1,0 +1,292 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a single message payload on the TCP transport.
+const maxFrame = 1 << 30
+
+// tcpTransport runs the same tagged-message protocol over loopback TCP
+// sockets: a full mesh of connections, one writer goroutine per peer
+// (so sends never block the application), and reader goroutines
+// feeding the shared mailbox implementation.
+type tcpTransport struct {
+	rank int
+	size int
+	box  *mailbox
+
+	mu     sync.Mutex
+	outs   []*outbox // per-peer outgoing queues (nil for self)
+	conns  []net.Conn
+	closed bool
+}
+
+// outbox is an unbounded FIFO drained by one writer goroutine, so a
+// slow receiver cannot deadlock a sender (the executor sends to all
+// peers before receiving).
+type outbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+func newOutbox() *outbox {
+	o := &outbox{}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+func (o *outbox) push(frame []byte) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	o.queue = append(o.queue, frame)
+	o.cond.Signal()
+	return nil
+}
+
+func (o *outbox) pop() ([]byte, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.queue) == 0 && !o.closed {
+		o.cond.Wait()
+	}
+	if len(o.queue) == 0 {
+		return nil, false
+	}
+	frame := o.queue[0]
+	o.queue = o.queue[1:]
+	return frame, true
+}
+
+func (o *outbox) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// NewTCPWorld creates a world of p ranks connected by a full mesh of
+// loopback TCP connections, demonstrating the runtime over real
+// sockets. The returned closer shuts down all connections.
+func NewTCPWorld(p int) ([]*Comm, func() error, error) {
+	if p <= 0 {
+		return nil, nil, fmt.Errorf("comm: world size must be positive, got %d", p)
+	}
+	transports := make([]*tcpTransport, p)
+	for i := range transports {
+		transports[i] = &tcpTransport{
+			rank:  i,
+			size:  p,
+			box:   newMailbox(),
+			outs:  make([]*outbox, p),
+			conns: make([]net.Conn, p),
+		}
+	}
+	// Rank i listens; ranks j > i dial i. The dialer announces its
+	// rank in the first 4 bytes.
+	listeners := make([]net.Listener, p)
+	for i := 0; i < p; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeListeners(listeners)
+			return nil, nil, fmt.Errorf("comm: listen: %w", err)
+		}
+		listeners[i] = l
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < p-1-i; n++ { // one connection from each higher-ranked dialer
+				conn, err := listeners[i].Accept()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					errCh <- err
+					return
+				}
+				peer := int(binary.LittleEndian.Uint32(hdr[:]))
+				if peer < 0 || peer >= p {
+					errCh <- fmt.Errorf("comm: bad peer rank %d", peer)
+					return
+				}
+				transports[i].attach(peer, conn)
+			}
+		}(i)
+	}
+	for j := 0; j < p; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for i := 0; i < j; i++ { // rank j dials every lower rank
+				conn, err := net.Dial("tcp", listeners[i].Addr().String())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var hdr [4]byte
+				binary.LittleEndian.PutUint32(hdr[:], uint32(j))
+				if _, err := conn.Write(hdr[:]); err != nil {
+					errCh <- err
+					return
+				}
+				transports[j].attach(i, conn)
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errCh)
+	closeListeners(listeners)
+	if err := <-errCh; err != nil {
+		for _, t := range transports {
+			t.Close()
+		}
+		return nil, nil, fmt.Errorf("comm: tcp mesh setup: %w", err)
+	}
+	comms := make([]*Comm, p)
+	for i := range comms {
+		c, err := NewComm(i, p, transports[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		comms[i] = c
+	}
+	closer := func() error {
+		var first error
+		for _, t := range transports {
+			if err := t.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return comms, closer, nil
+}
+
+func closeListeners(ls []net.Listener) {
+	for _, l := range ls {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// attach wires a peer connection: an outbox+writer for sends and a
+// reader pumping frames into the mailbox.
+func (t *tcpTransport) attach(peer int, conn net.Conn) {
+	out := newOutbox()
+	t.mu.Lock()
+	t.outs[peer] = out
+	t.conns[peer] = conn
+	t.mu.Unlock()
+	go func() { // writer
+		for {
+			frame, ok := out.pop()
+			if !ok {
+				return
+			}
+			if _, err := conn.Write(frame); err != nil {
+				return
+			}
+		}
+	}()
+	go func() { // reader
+		for {
+			var hdr [8]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				return
+			}
+			tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
+			n := binary.LittleEndian.Uint32(hdr[4:])
+			if n > maxFrame {
+				return
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				return
+			}
+			if err := t.box.deliver(peer, tag, payload); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func (t *tcpTransport) Send(dst, tag int, data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("comm: message of %d bytes exceeds frame limit", len(data))
+	}
+	if dst == t.rank {
+		return t.box.deliver(t.rank, tag, append([]byte(nil), data...))
+	}
+	t.mu.Lock()
+	out := t.outs[dst]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed || out == nil {
+		return ErrClosed
+	}
+	frame := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
+	copy(frame[8:], data)
+	return out.push(frame)
+}
+
+func (t *tcpTransport) Recv(src, tag int) ([]byte, error) {
+	return t.box.recv(src, tag)
+}
+
+func (t *tcpTransport) RecvAny(tag int) (int, []byte, error) {
+	return t.box.recvAny(tag)
+}
+
+func (t *tcpTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
+	return t.box.recvTimeout(src, tag, d)
+}
+
+func (t *tcpTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	outs := append([]*outbox(nil), t.outs...)
+	conns := append([]net.Conn(nil), t.conns...)
+	t.mu.Unlock()
+	var errs []error
+	for _, o := range outs {
+		if o != nil {
+			o.close()
+		}
+	}
+	// Give writers a moment to flush queued frames before tearing the
+	// connections down; readers end when peers close.
+	time.Sleep(10 * time.Millisecond)
+	for _, c := range conns {
+		if c != nil {
+			if err := c.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+				errs = append(errs, err)
+			}
+		}
+	}
+	t.box.close()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stance/internal/comm"
+	"stance/internal/graph"
+	"stance/internal/mesh"
+	"stance/internal/order"
+)
+
+// seqKernel runs the paper's Figure 8 loop sequentially on the
+// transformed graph: t[i] = sum of neighbors' y, then y[i] = t[i]/deg.
+func seqKernel(g *graph.Graph, y []float64, iters int) {
+	t := make([]float64, g.N)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < g.N; i++ {
+			sum := 0.0
+			for _, w := range g.Neighbors(i) {
+				sum += y[w]
+			}
+			t[i] = sum
+		}
+		for i := 0; i < g.N; i++ {
+			if d := g.Degree(i); d > 0 {
+				y[i] = t[i] / float64(d)
+			}
+		}
+	}
+}
+
+// parKernel runs the same loop on a runtime vector.
+func parKernel(rt *Runtime, v *Vector, iters int) error {
+	xadj, adj := rt.LocalAdj()
+	nLocal := rt.LocalN()
+	t := make([]float64, nLocal)
+	for it := 0; it < iters; it++ {
+		if err := rt.Exchange(v); err != nil {
+			return err
+		}
+		for u := 0; u < nLocal; u++ {
+			sum := 0.0
+			for k := xadj[u]; k < xadj[u+1]; k++ {
+				sum += v.Data[adj[k]]
+			}
+			t[u] = sum
+		}
+		for u := 0; u < nLocal; u++ {
+			if d := xadj[u+1] - xadj[u]; d > 0 {
+				v.Data[u] = t[u] / float64(d)
+			}
+		}
+	}
+	return nil
+}
+
+func initValue(g int64) float64 { return math.Sin(float64(g)*0.7) + 2 }
+
+// runParallel executes the kernel on p ranks and returns the gathered
+// global vector (transformed order).
+func runParallel(t *testing.T, g *graph.Graph, p, iters int, cfg Config) []float64 {
+	t.Helper()
+	ws, err := comm.NewWorld(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	var result []float64
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := New(c, g, cfg)
+		if err != nil {
+			return err
+		}
+		v := rt.NewVector()
+		v.SetByGlobal(initValue)
+		if err := parKernel(rt, v, iters); err != nil {
+			return err
+		}
+		full, err := rt.GatherGlobal(0, v)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			result = full
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+// seqReference computes the expected result for a configuration's
+// transformed graph.
+func seqReference(t *testing.T, g *graph.Graph, ord order.Func, iters int) []float64 {
+	t.Helper()
+	if ord == nil {
+		ord = order.Identity
+	}
+	perm, err := ord(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := g.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, tg.N)
+	for i := range y {
+		y[i] = initValue(int64(i))
+	}
+	seqKernel(tg, y, iters)
+	return y
+}
+
+func testMesh(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := mesh.GridTriangulated(11, 13, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	g := testMesh(t)
+	const iters = 7
+	for _, p := range []int{1, 2, 3, 5} {
+		for _, ord := range []struct {
+			name string
+			f    order.Func
+		}{{"identity", nil}, {"rcb", order.RCB}} {
+			cfg := Config{Order: ord.f}
+			got := runParallel(t, g, p, iters, cfg)
+			want := seqReference(t, g, ord.f, iters)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("p=%d order=%s: element %d = %v, want %v (must be bit-exact)",
+						p, ord.name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllStrategiesComputeTheSame(t *testing.T) {
+	g := testMesh(t)
+	const iters = 4
+	want := seqReference(t, g, order.RCB, iters)
+	for _, s := range []Strategy{StrategySort1, StrategySort2, StrategySimple} {
+		got := runParallel(t, g, 3, iters, Config{Order: order.RCB, Strategy: s})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("strategy %d: element %d = %v, want %v", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRootComputesOrder(t *testing.T) {
+	g := testMesh(t)
+	const iters = 3
+	want := seqReference(t, g, order.RCB, iters)
+	got := runParallel(t, g, 4, iters, Config{Order: order.RCB, RootComputesOrder: true})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRemapPreservesComputation(t *testing.T) {
+	g := testMesh(t)
+	const itersBefore, itersAfter = 3, 4
+	want := seqReference(t, g, order.RCB, itersBefore+itersAfter)
+
+	for _, policy := range []RemapPolicy{RemapMCRIterated, RemapMCR, RemapKeepArrangement} {
+		p := 4
+		ws, err := comm.NewWorld(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		err = comm.SPMD(ws, func(c *comm.Comm) error {
+			rt, err := New(c, g, Config{
+				Order:       order.RCB,
+				Weights:     []float64{1, 1, 1, 1},
+				RemapPolicy: policy,
+			})
+			if err != nil {
+				return err
+			}
+			v := rt.NewVector()
+			v.SetByGlobal(initValue)
+			if err := parKernel(rt, v, itersBefore); err != nil {
+				return err
+			}
+			// The environment "adapts": rank 0 slows to a third.
+			stats, err := rt.Remap([]float64{0.33, 1, 1, 1})
+			if err != nil {
+				return err
+			}
+			if !stats.Changed {
+				return fmt.Errorf("remap with changed weights reported no change")
+			}
+			if stats.Moved <= 0 {
+				return fmt.Errorf("remap moved %d elements", stats.Moved)
+			}
+			if err := parKernel(rt, v, itersAfter); err != nil {
+				return err
+			}
+			full, err := rt.GatherGlobal(0, v)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = full
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("policy %d: %v", policy, err)
+		}
+		comm.CloseWorld(ws)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("policy %d: element %d = %v, want %v after remap", policy, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRemapMovesLessWithMCR(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldW := []float64{0.27, 0.18, 0.34, 0.07, 0.14}
+	newW := []float64{0.10, 0.13, 0.29, 0.24, 0.24}
+	moved := map[RemapPolicy]int64{}
+	for _, policy := range []RemapPolicy{RemapMCRIterated, RemapKeepArrangement} {
+		ws, err := comm.NewWorld(5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = comm.SPMD(ws, func(c *comm.Comm) error {
+			rt, err := New(c, g, Config{Weights: oldW, RemapPolicy: policy})
+			if err != nil {
+				return err
+			}
+			rt.NewVector()
+			stats, err := rt.Remap(newW)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				moved[policy] = stats.Moved
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comm.CloseWorld(ws)
+	}
+	if moved[RemapMCRIterated] >= moved[RemapKeepArrangement] {
+		t.Errorf("MCR moved %d elements, keep-arrangement moved %d; MCR should move less",
+			moved[RemapMCRIterated], moved[RemapKeepArrangement])
+	}
+}
+
+func TestRemapNoChange(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := New(c, g, Config{})
+		if err != nil {
+			return err
+		}
+		stats, err := rt.Remap([]float64{1, 1})
+		if err != nil {
+			return err
+		}
+		if stats.Changed || stats.Moved != 0 {
+			return fmt.Errorf("no-op remap reported %+v", stats)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterAdd(t *testing.T) {
+	g := testMesh(t)
+	// Each element pushes 1 to every neighbor: the result must be the
+	// vertex degree.
+	for _, p := range []int{1, 3} {
+		ws, err := comm.NewWorld(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = comm.SPMD(ws, func(c *comm.Comm) error {
+			rt, err := New(c, g, Config{Order: order.RCB})
+			if err != nil {
+				return err
+			}
+			v := rt.NewVector()
+			xadj, adj := rt.LocalAdj()
+			nLocal := rt.LocalN()
+			// Accumulate contributions: local targets immediately,
+			// ghost targets into the ghost section.
+			for u := 0; u < nLocal; u++ {
+				for k := xadj[u]; k < xadj[u+1]; k++ {
+					v.Data[adj[k]]++
+				}
+			}
+			if err := rt.ScatterAdd(v); err != nil {
+				return err
+			}
+			iv := rt.GlobalInterval()
+			for u := 0; u < nLocal; u++ {
+				wantDeg := 0
+				// Degree in the transformed graph equals degree of the
+				// global vertex.
+				wantDeg = int(xadj[u+1] - xadj[u])
+				if v.Data[u] != float64(wantDeg) {
+					return fmt.Errorf("rank %d: element %d (global %d) = %v, want degree %d",
+						c.Rank(), u, iv.Lo+int64(u), v.Data[u], wantDeg)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comm.CloseWorld(ws)
+	}
+}
+
+func TestUnpermuteRoundTrip(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := New(c, g, Config{Order: order.RCB})
+		if err != nil {
+			return err
+		}
+		v := rt.NewVector()
+		v.SetByGlobal(func(gid int64) float64 { return float64(gid) })
+		full, err := rt.GatherGlobal(0, v)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		orig, err := rt.Unpermute(full)
+		if err != nil {
+			return err
+		}
+		perm := rt.Perm()
+		for o := 0; o < g.N; o++ {
+			if orig[o] != float64(perm[o]) {
+				return fmt.Errorf("Unpermute[%d] = %v, want %v", o, orig[o], float64(perm[o]))
+			}
+		}
+		if _, err := rt.Unpermute(full[:3]); err == nil {
+			return fmt.Errorf("short vector accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	if _, err := New(nil, g, Config{}); err == nil {
+		t.Error("nil comm accepted")
+	}
+	if _, err := New(ws[0], nil, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(ws[0], g, Config{Weights: []float64{1}}); err == nil {
+		t.Error("short weights accepted")
+	}
+	if _, err := New(ws[0], g, Config{Order: order.Morton, Weights: []float64{1, 1}}); err == nil {
+		// testMesh has coords, so use a graph without them.
+		bare, _ := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, nil)
+		if _, err := New(ws[0], bare, Config{Order: order.Morton, Weights: []float64{1, 1}}); err == nil {
+			t.Error("failing ordering accepted")
+		}
+	}
+}
+
+func TestForeignVectorRejected(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	rtA, err := New(ws[0], g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB, err := New(ws[0], g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rtA.NewVector()
+	if err := rtB.Exchange(v); err == nil {
+		t.Error("foreign vector accepted by Exchange")
+	}
+	if err := rtB.ScatterAdd(v); err == nil {
+		t.Error("foreign vector accepted by ScatterAdd")
+	}
+	if _, err := rtB.GatherGlobal(0, v); err == nil {
+		t.Error("foreign vector accepted by GatherGlobal")
+	}
+	if _, err := rtA.Remap([]float64{1, 1}); err == nil {
+		t.Error("wrong-length remap weights accepted")
+	}
+}
+
+func TestMultipleVectorsSurviveRemap(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := New(c, g, Config{Order: order.RCB})
+		if err != nil {
+			return err
+		}
+		a := rt.NewVector()
+		b := rt.NewVector()
+		a.SetByGlobal(func(gid int64) float64 { return float64(gid) })
+		b.SetByGlobal(func(gid int64) float64 { return float64(-gid) })
+		if _, err := rt.Remap([]float64{3, 1, 2}); err != nil {
+			return err
+		}
+		iv := rt.GlobalInterval()
+		for u := 0; u < rt.LocalN(); u++ {
+			gid := iv.Lo + int64(u)
+			if a.Data[u] != float64(gid) {
+				return fmt.Errorf("vector a corrupted at global %d: %v", gid, a.Data[u])
+			}
+			if b.Data[u] != float64(-gid) {
+				return fmt.Errorf("vector b corrupted at global %d: %v", gid, b.Data[u])
+			}
+		}
+		if len(a.Data) != rt.LocalN()+rt.Schedule().NGhosts() {
+			return fmt.Errorf("vector a not resized for new schedule")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	g, err := mesh.GridTriangulated(8, 8, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 3
+	want := seqReference(t, g, order.RCB, iters)
+	ws, closer, err := comm.NewTCPWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+	var got []float64
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := New(c, g, Config{Order: order.RCB})
+		if err != nil {
+			return err
+		}
+		v := rt.NewVector()
+		v.SetByGlobal(initValue)
+		if err := parKernel(rt, v, iters); err != nil {
+			return err
+		}
+		full, err := rt.GatherGlobal(0, v)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			got = full
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TCP element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

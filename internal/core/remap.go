@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/partition"
+	"stance/internal/redist"
+)
+
+// RemapStats reports what a Remap cost and moved (paper Sections 3.4
+// and 3.5).
+type RemapStats struct {
+	// Moved is the number of elements that crossed the network.
+	Moved int64
+	// Messages is the number of point-to-point transfers generated.
+	Messages int
+	// Total is the wall time of the whole remap on this rank,
+	// including data movement and the inspector rebuild.
+	Total time.Duration
+	// Inspector is the schedule-rebuild portion.
+	Inspector time.Duration
+	// Changed reports whether the layout actually changed.
+	Changed bool
+}
+
+// Remap redistributes the data for new processor capabilities: a new
+// layout is chosen under the configured policy, every registered
+// vector's owned section is moved according to the transfer plan, and
+// the inspector rebuilds the schedule and local subgraph. Collective;
+// all ranks must pass the same weights.
+func (rt *Runtime) Remap(newWeights []float64) (RemapStats, error) {
+	start := time.Now()
+	if len(newWeights) != rt.c.Size() {
+		return RemapStats{}, fmt.Errorf("core: %d weights for %d ranks", len(newWeights), rt.c.Size())
+	}
+	newLayout, err := rt.chooseLayout(newWeights)
+	if err != nil {
+		return RemapStats{}, err
+	}
+	stats := RemapStats{}
+	stats.Moved, err = partition.Moved(rt.layout, newLayout)
+	if err != nil {
+		return RemapStats{}, err
+	}
+	stats.Messages, err = partition.Messages(rt.layout, newLayout)
+	if err != nil {
+		return RemapStats{}, err
+	}
+	if newLayout.Equal(rt.layout) {
+		stats.Total = time.Since(start)
+		return stats, nil
+	}
+	stats.Changed = true
+
+	plan, err := redist.NewPlan(rt.layout, newLayout, rt.c.Rank())
+	if err != nil {
+		return RemapStats{}, err
+	}
+	if err := rt.moveVectors(plan); err != nil {
+		return RemapStats{}, err
+	}
+	rt.layout = newLayout
+	if err := rt.rebuild(); err != nil {
+		return RemapStats{}, err
+	}
+	// Re-extend the vectors' ghost sections for the new schedule.
+	for _, v := range rt.vecs {
+		local := v.Data[:plan.New.Len()]
+		v.Data = make([]float64, int(plan.New.Len())+rt.sch.NGhosts())
+		copy(v.Data, local)
+	}
+	stats.Inspector = rt.lastInspector
+	stats.Total = time.Since(start)
+	return stats, nil
+}
+
+// chooseLayout picks the new layout under the configured remap policy,
+// cutting by vertex weights when the runtime carries them.
+func (rt *Runtime) chooseLayout(newWeights []float64) (*partition.Layout, error) {
+	if rt.itemWeights != nil {
+		switch rt.cfg.RemapPolicy {
+		case RemapKeepArrangement:
+			return partition.NewWeighted(rt.itemWeights, newWeights, rt.layout.Arrangement())
+		case RemapMCR:
+			return redist.MinimizeCostRedistributionWeighted(rt.layout, rt.itemWeights, newWeights, rt.cfg.RemapCost)
+		default:
+			return redist.IteratedWeighted(rt.layout, rt.itemWeights, newWeights, rt.cfg.RemapCost, 0)
+		}
+	}
+	switch rt.cfg.RemapPolicy {
+	case RemapKeepArrangement:
+		return partition.New(rt.n, newWeights, rt.layout.Arrangement())
+	case RemapMCR:
+		return redist.MinimizeCostRedistribution(rt.layout, newWeights, rt.cfg.RemapCost)
+	default:
+		return redist.Iterated(rt.layout, newWeights, rt.cfg.RemapCost, 0)
+	}
+}
+
+// moveVectors executes the transfer plan for every registered vector.
+// Vectors move in registration order on all ranks, so same-tag
+// transfers pair up FIFO.
+func (rt *Runtime) moveVectors(plan *redist.Plan) error {
+	for _, v := range rt.vecs {
+		oldLocal := v.Data[:plan.Old.Len()]
+		newLocal := make([]float64, plan.New.Len())
+		if err := plan.ApplyLocal(oldLocal, newLocal); err != nil {
+			return err
+		}
+		for _, s := range plan.Sends {
+			off := s.Global.Lo - plan.Old.Lo
+			seg := oldLocal[off : off+s.Global.Len()]
+			if err := rt.c.Send(s.Peer, tagRedist, comm.F64sToBytes(seg)); err != nil {
+				return err
+			}
+		}
+		for _, r := range plan.Recvs {
+			data, err := rt.c.Recv(r.Peer, tagRedist)
+			if err != nil {
+				return err
+			}
+			vals, err := comm.BytesToF64s(data)
+			if err != nil {
+				return err
+			}
+			if int64(len(vals)) != r.Global.Len() {
+				return fmt.Errorf("core: redistribution from %d carried %d values, want %d",
+					r.Peer, len(vals), r.Global.Len())
+			}
+			copy(newLocal[r.Global.Lo-plan.New.Lo:], vals)
+		}
+		// Park the new local section; ghost space is re-attached by
+		// Remap once the new schedule is known.
+		v.Data = newLocal
+	}
+	return nil
+}

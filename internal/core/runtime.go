@@ -1,0 +1,289 @@
+// Package core is the STANCE runtime proper: it ties the locality
+// transform (Phase A), inspector (Phase B), executor (Phase C) and
+// redistribution machinery together behind the interface a
+// data-parallel application programs against. Each SPMD rank holds a
+// Runtime; collective operations (New, Exchange, Remap) must be called
+// by every rank.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/graph"
+	"stance/internal/order"
+	"stance/internal/partition"
+	"stance/internal/redist"
+	"stance/internal/sched"
+)
+
+// Message tags used by the runtime (distinct from the inspector's).
+const (
+	tagOrder    = 0x201
+	tagExchange = 0x202
+	tagScatter  = 0x203
+	tagRedist   = 0x204
+	tagGatherV  = 0x205
+)
+
+// Strategy selects the inspector's schedule builder (paper Table 3).
+type Strategy int
+
+const (
+	// StrategySort2 builds schedules locally, generating send lists
+	// pre-sorted (the fastest builder; the default).
+	StrategySort2 Strategy = iota
+	// StrategySort1 builds schedules locally and sorts send lists
+	// afterwards.
+	StrategySort1
+	// StrategySimple dereferences through a distributed translation
+	// table with two message rounds (the baseline).
+	StrategySimple
+)
+
+// RemapPolicy selects how Remap chooses the new layout's arrangement
+// (paper Section 3.4).
+type RemapPolicy int
+
+const (
+	// RemapMCRIterated runs MCR sweeps with swap refinement to
+	// convergence (the default; still O(p^3) per sweep).
+	RemapMCRIterated RemapPolicy = iota
+	// RemapMCR runs the paper's single greedy MCR sweep.
+	RemapMCR
+	// RemapKeepArrangement re-cuts the list under the current
+	// arrangement without searching (the paper's "without MCR"
+	// baseline in Table 2).
+	RemapKeepArrangement
+)
+
+// Config parameterizes Runtime construction.
+type Config struct {
+	// Order is the locality transformation (nil means identity; the
+	// experiments use order.RCB or order.Spectral). It must be
+	// deterministic: every rank computes it independently unless
+	// RootComputesOrder is set.
+	Order order.Func
+	// Weights are the initial relative processor capabilities (nil
+	// means uniform). Length must equal the world size.
+	Weights []float64
+	// VertexWeights are per-vertex computational weights in the
+	// original vertex numbering (nil means unit weights). With weights
+	// set, intervals balance total vertex weight instead of vertex
+	// counts — the paper's "nodes with computational weight
+	// proportional to the computational capabilities" model. A common
+	// choice is the vertex degree, which tracks the Figure 8 kernel's
+	// per-element cost.
+	VertexWeights []float64
+	// Strategy selects the inspector variant.
+	Strategy Strategy
+	// RemapPolicy selects the arrangement search used by Remap.
+	RemapPolicy RemapPolicy
+	// RemapCost scores candidate arrangements (nil means maximize
+	// overlap).
+	RemapCost redist.CostFunc
+	// RootComputesOrder makes rank 0 compute the transformation and
+	// broadcast it, instead of every rank computing it independently.
+	RootComputesOrder bool
+}
+
+// Runtime is one rank's view of a distributed computational graph.
+type Runtime struct {
+	c      *comm.Comm
+	cfg    Config
+	n      int64
+	tg     *graph.Graph // transformed graph (immutable, shared read-only)
+	perm   []int32      // original vertex -> transformed index
+	layout *partition.Layout
+	sch    *sched.Schedule
+	// itemWeights are the vertex weights in transformed order, or nil
+	// for unit weights.
+	itemWeights []float64
+
+	// Localized CSR: references < LocalN() are local indices,
+	// references >= LocalN() are LocalN()+ghost slot.
+	lxadj []int32
+	ladj  []int32
+
+	vecs []*Vector
+
+	lastInspector time.Duration
+}
+
+// New builds the runtime collectively: transforms the graph into the
+// one-dimensional representation, partitions it by the configured
+// weights, extracts this rank's local subgraph and builds the
+// communication schedule. Every rank must call New with the same graph
+// and configuration.
+func New(c *comm.Comm, g *graph.Graph, cfg Config) (*Runtime, error) {
+	if c == nil || g == nil {
+		return nil, fmt.Errorf("core: nil communicator or graph")
+	}
+	if cfg.Order == nil {
+		cfg.Order = order.Identity
+	}
+	if cfg.Weights == nil {
+		cfg.Weights = make([]float64, c.Size())
+		for i := range cfg.Weights {
+			cfg.Weights[i] = 1
+		}
+	}
+	if len(cfg.Weights) != c.Size() {
+		return nil, fmt.Errorf("core: %d weights for %d ranks", len(cfg.Weights), c.Size())
+	}
+	rt := &Runtime{c: c, cfg: cfg, n: int64(g.N)}
+
+	var perm []int32
+	var err error
+	if cfg.RootComputesOrder {
+		var payload []byte
+		if c.Rank() == 0 {
+			perm, err = cfg.Order(g)
+			if err != nil {
+				return nil, fmt.Errorf("core: ordering: %w", err)
+			}
+			payload = comm.I32sToBytes(perm)
+		}
+		payload, err = c.Bcast(0, tagOrder, payload)
+		if err != nil {
+			return nil, err
+		}
+		perm, err = comm.BytesToI32s(payload)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		perm, err = cfg.Order(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: ordering: %w", err)
+		}
+	}
+	if err := order.Validate(perm, g.N); err != nil {
+		return nil, fmt.Errorf("core: ordering: %w", err)
+	}
+	rt.perm = perm
+	rt.tg, err = g.Permute(perm)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.VertexWeights != nil {
+		if len(cfg.VertexWeights) != g.N {
+			return nil, fmt.Errorf("core: %d vertex weights for %d vertices", len(cfg.VertexWeights), g.N)
+		}
+		rt.itemWeights = make([]float64, g.N)
+		for orig, nw := range perm {
+			rt.itemWeights[nw] = cfg.VertexWeights[orig]
+		}
+		rt.layout, err = partition.NewWeighted(rt.itemWeights, cfg.Weights, identityArrangement(c.Size()))
+	} else {
+		rt.layout, err = partition.NewBlock(rt.n, cfg.Weights)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.rebuild(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// rebuild runs the inspector for the current layout: builds the
+// schedule and the localized CSR. Collective when StrategySimple.
+func (rt *Runtime) rebuild() error {
+	refs := rt.refs()
+	start := time.Now()
+	var s *sched.Schedule
+	var err error
+	switch rt.cfg.Strategy {
+	case StrategySort1:
+		s, err = sched.BuildSort1(rt.layout, rt.c.Rank(), refs)
+	case StrategySimple:
+		s, err = sched.BuildSimple(rt.c, rt.layout, refs)
+	default:
+		s, err = sched.BuildSort2(rt.layout, rt.c.Rank(), refs)
+	}
+	if err != nil {
+		return err
+	}
+	rt.lastInspector = time.Since(start)
+	rt.sch = s
+	return rt.localize(refs)
+}
+
+// refs extracts this rank's access pattern from the transformed graph.
+func (rt *Runtime) refs() sched.Refs {
+	iv := rt.layout.Interval(rt.c.Rank())
+	nLocal := int(iv.Len())
+	r := sched.Refs{Xadj: make([]int32, 1, nLocal+1)}
+	for g := iv.Lo; g < iv.Hi; g++ {
+		for _, w := range rt.tg.Neighbors(int(g)) {
+			r.Adj = append(r.Adj, int64(w))
+		}
+		r.Xadj = append(r.Xadj, int32(len(r.Adj)))
+	}
+	return r
+}
+
+// localize rewrites the access pattern into local/ghost references,
+// preserving neighbor order so floating-point sums match a sequential
+// execution of the transformed graph exactly.
+func (rt *Runtime) localize(refs sched.Refs) error {
+	iv := rt.layout.Interval(rt.c.Rank())
+	nLocal := int(iv.Len())
+	rt.lxadj = refs.Xadj
+	rt.ladj = make([]int32, len(refs.Adj))
+	for i, g := range refs.Adj {
+		if iv.Contains(g) {
+			rt.ladj[i] = int32(g - iv.Lo)
+			continue
+		}
+		slot := rt.sch.GhostSlot(g)
+		if slot < 0 {
+			return fmt.Errorf("core: reference %d missing from ghost list", g)
+		}
+		rt.ladj[i] = int32(nLocal + slot)
+	}
+	return nil
+}
+
+// Comm returns the rank's communicator.
+func (rt *Runtime) Comm() *comm.Comm { return rt.c }
+
+// Layout returns the current data layout.
+func (rt *Runtime) Layout() *partition.Layout { return rt.layout }
+
+// Schedule returns the current communication schedule.
+func (rt *Runtime) Schedule() *sched.Schedule { return rt.sch }
+
+// Perm returns the locality transformation (original vertex ->
+// transformed index). The returned slice must not be modified.
+func (rt *Runtime) Perm() []int32 { return rt.perm }
+
+// LocalN returns the number of locally owned elements.
+func (rt *Runtime) LocalN() int { return rt.sch.NLocal }
+
+// GlobalInterval returns the contiguous range of transformed indices
+// this rank owns.
+func (rt *Runtime) GlobalInterval() partition.Interval {
+	return rt.layout.Interval(rt.c.Rank())
+}
+
+// LocalAdj returns the localized CSR: for local element u, its
+// references are adj[xadj[u]:xadj[u+1]], where values < LocalN() index
+// the vector's local section and values >= LocalN() index the ghost
+// section. The slices must not be modified.
+func (rt *Runtime) LocalAdj() (xadj, adj []int32) { return rt.lxadj, rt.ladj }
+
+// LastInspectorTime reports how long the most recent schedule build
+// took — the Phase B cost the load balancer weighs remapping against.
+func (rt *Runtime) LastInspectorTime() time.Duration { return rt.lastInspector }
+
+// identityArrangement returns the arrangement [0, 1, ..., p-1].
+func identityArrangement(p int) []int {
+	arr := make([]int, p)
+	for i := range arr {
+		arr[i] = i
+	}
+	return arr
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"stance/internal/comm"
+)
+
+// Vector is a distributed array aligned with the runtime's layout:
+// Data[0:LocalN()] are the locally owned elements (local index order),
+// Data[LocalN():] is the ghost section filled by Exchange. Vectors are
+// registered with their runtime and follow it through Remap.
+type Vector struct {
+	rt   *Runtime
+	Data []float64
+}
+
+// NewVector allocates and registers a zero vector. All ranks must
+// create their vectors in the same order (vector creation pairs them
+// across ranks during redistribution).
+func (rt *Runtime) NewVector() *Vector {
+	v := &Vector{
+		rt:   rt,
+		Data: make([]float64, rt.LocalN()+rt.sch.NGhosts()),
+	}
+	rt.vecs = append(rt.vecs, v)
+	return v
+}
+
+// Local returns the owned section.
+func (v *Vector) Local() []float64 { return v.Data[:v.rt.LocalN()] }
+
+// Ghost returns the ghost section (valid after Exchange).
+func (v *Vector) Ghost() []float64 { return v.Data[v.rt.LocalN():] }
+
+// SetByGlobal initializes the owned section from a function of the
+// transformed global index.
+func (v *Vector) SetByGlobal(f func(global int64) float64) {
+	iv := v.rt.GlobalInterval()
+	for u := range v.Local() {
+		v.Data[u] = f(iv.Lo + int64(u))
+	}
+}
+
+// Exchange fills v's ghost section with the owning ranks' current
+// values — the executor's gather primitive (paper Section 3.3),
+// replaying the inspector's schedule.
+func (rt *Runtime) Exchange(v *Vector) error {
+	if v.rt != rt {
+		return fmt.Errorf("core: vector belongs to a different runtime")
+	}
+	s := rt.sch
+	for q := 0; q < s.NProcs; q++ {
+		idx := s.SendIdx[q]
+		if len(idx) == 0 {
+			continue
+		}
+		buf := make([]float64, len(idx))
+		for i, li := range idx {
+			buf[i] = v.Data[li]
+		}
+		if err := rt.c.Send(q, tagExchange, comm.F64sToBytes(buf)); err != nil {
+			return err
+		}
+	}
+	nLocal := rt.LocalN()
+	for q := 0; q < s.NProcs; q++ {
+		slots := s.RecvSlot[q]
+		if len(slots) == 0 {
+			continue
+		}
+		data, err := rt.c.Recv(q, tagExchange)
+		if err != nil {
+			return err
+		}
+		vals, err := comm.BytesToF64s(data)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(slots) {
+			return fmt.Errorf("core: peer %d sent %d values, schedule expects %d", q, len(vals), len(slots))
+		}
+		for i, slot := range slots {
+			v.Data[nLocal+int(slot)] = vals[i]
+		}
+	}
+	return nil
+}
+
+// ScatterAdd is the executor's scatter primitive: each ghost value is
+// sent back to its owner and added into the owned element. Callers
+// accumulate partial contributions into the ghost section, then
+// scatter them home (the transpose of Exchange).
+func (rt *Runtime) ScatterAdd(v *Vector) error {
+	if v.rt != rt {
+		return fmt.Errorf("core: vector belongs to a different runtime")
+	}
+	s := rt.sch
+	nLocal := rt.LocalN()
+	for q := 0; q < s.NProcs; q++ {
+		slots := s.RecvSlot[q]
+		if len(slots) == 0 {
+			continue
+		}
+		buf := make([]float64, len(slots))
+		for i, slot := range slots {
+			buf[i] = v.Data[nLocal+int(slot)]
+		}
+		if err := rt.c.Send(q, tagScatter, comm.F64sToBytes(buf)); err != nil {
+			return err
+		}
+	}
+	for q := 0; q < s.NProcs; q++ {
+		idx := s.SendIdx[q]
+		if len(idx) == 0 {
+			continue
+		}
+		data, err := rt.c.Recv(q, tagScatter)
+		if err != nil {
+			return err
+		}
+		vals, err := comm.BytesToF64s(data)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(idx) {
+			return fmt.Errorf("core: peer %d scattered %d values, schedule expects %d", q, len(vals), len(idx))
+		}
+		for i, li := range idx {
+			v.Data[li] += vals[i]
+		}
+	}
+	return nil
+}
+
+// GatherGlobal assembles the full vector (transformed-global order) on
+// root; other ranks return nil. Collective.
+func (rt *Runtime) GatherGlobal(root int, v *Vector) ([]float64, error) {
+	if v.rt != rt {
+		return nil, fmt.Errorf("core: vector belongs to a different runtime")
+	}
+	parts, err := rt.c.Gather(root, tagGatherV, comm.F64sToBytes(v.Local()))
+	if err != nil {
+		return nil, err
+	}
+	if rt.c.Rank() != root {
+		return nil, nil
+	}
+	out := make([]float64, rt.n)
+	for q := 0; q < rt.c.Size(); q++ {
+		vals, err := comm.BytesToF64s(parts[q])
+		if err != nil {
+			return nil, err
+		}
+		iv := rt.layout.Interval(q)
+		if int64(len(vals)) != iv.Len() {
+			return nil, fmt.Errorf("core: rank %d sent %d values for interval of %d", q, len(vals), iv.Len())
+		}
+		copy(out[iv.Lo:iv.Hi], vals)
+	}
+	return out, nil
+}
+
+// Unpermute maps a transformed-global vector back to original vertex
+// numbering: out[original] = vals[perm[original]].
+func (rt *Runtime) Unpermute(vals []float64) ([]float64, error) {
+	if int64(len(vals)) != rt.n {
+		return nil, fmt.Errorf("core: vector length %d, want %d", len(vals), rt.n)
+	}
+	out := make([]float64, rt.n)
+	for orig, nw := range rt.perm {
+		out[orig] = vals[nw]
+	}
+	return out, nil
+}

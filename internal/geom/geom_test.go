@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	p := Point{1, 2, 3}
+	for axis := 0; axis < 3; axis++ {
+		want := float64(axis + 1)
+		if got := p.Coord(axis); got != want {
+			t.Errorf("Coord(%d) = %v, want %v", axis, got, want)
+		}
+	}
+	q := p.WithCoord(1, 9)
+	if q.Y != 9 || q.X != 1 || q.Z != 3 {
+		t.Errorf("WithCoord(1, 9) = %+v", q)
+	}
+	if p.Y != 2 {
+		t.Error("WithCoord mutated the receiver")
+	}
+}
+
+func TestCoordPanicsOnBadAxis(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coord(3) did not panic")
+		}
+	}()
+	Point{}.Coord(3)
+}
+
+func TestWithCoordPanicsOnBadAxis(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithCoord(-1) did not panic")
+		}
+	}()
+	Point{}.WithCoord(-1, 0)
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Point{4, 5, 6}
+	if got := p.Add(q); got != (Point{5, 7, 9}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := q.Sub(p); got != (Point{3, 3, 3}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4, 6}) {
+		t.Errorf("Scale = %+v", got)
+	}
+	if got := p.Dot(q); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Dist(p, p); got != 0 {
+		t.Errorf("Dist(p, p) = %v", got)
+	}
+	if got := Dist(Point{}, Point{3, 4, 0}); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestEmptyBoxExtend(t *testing.T) {
+	b := EmptyBox()
+	p := Point{1, -2, 3}
+	b = b.Extend(p)
+	if b.Min != p || b.Max != p {
+		t.Errorf("Extend on empty box = %+v", b)
+	}
+	if !b.Contains(p) {
+		t.Error("box does not contain its only point")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pts := []Point{{0, 0, 0}, {2, -1, 5}, {1, 3, -2}}
+	b := Bounds(pts)
+	if b.Min != (Point{0, -1, -2}) {
+		t.Errorf("Min = %+v", b.Min)
+	}
+	if b.Max != (Point{2, 3, 5}) {
+		t.Errorf("Max = %+v", b.Max)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("Bounds does not contain %+v", p)
+		}
+	}
+}
+
+func TestLongestAxis(t *testing.T) {
+	cases := []struct {
+		box  Box
+		want int
+	}{
+		{Box{Point{0, 0, 0}, Point{3, 1, 1}}, 0},
+		{Box{Point{0, 0, 0}, Point{1, 3, 1}}, 1},
+		{Box{Point{0, 0, 0}, Point{1, 1, 3}}, 2},
+		{Box{Point{0, 0, 0}, Point{2, 2, 2}}, 0}, // tie prefers X
+	}
+	for _, c := range cases {
+		if got := c.box.LongestAxis(); got != c.want {
+			t.Errorf("LongestAxis(%+v) = %d, want %d", c.box, got, c.want)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != (Point{}) {
+		t.Errorf("Centroid(nil) = %+v", got)
+	}
+	pts := []Point{{0, 0, 0}, {2, 4, 6}}
+	if got := Centroid(pts); got != (Point{1, 2, 3}) {
+		t.Errorf("Centroid = %+v", got)
+	}
+}
+
+func TestBoundsContainsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		pts := make([]Point, int(n)+1)
+		for i := range pts {
+			pts[i] = Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		}
+		b := Bounds(pts)
+		for _, p := range pts {
+			if !b.Contains(p) {
+				return false
+			}
+		}
+		c := Centroid(pts)
+		return b.Contains(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		p := Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		q := Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		r := Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		return Dist(p, r) <= Dist(p, q)+Dist(q, r)+1e-12
+	}
+	for i := 0; i < 200; i++ {
+		if !f() {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := (Point{3, 4, 0}).Norm(); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Norm = %v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package graph
+
+import "fmt"
+
+// EdgeCut returns the number of undirected edges whose endpoints are
+// assigned to different parts. part[v] is the part of vertex v.
+func (g *Graph) EdgeCut(part []int32) (int, error) {
+	if len(part) != g.N {
+		return 0, fmt.Errorf("graph: part length %d for %d vertices", len(part), g.N)
+	}
+	cut := 0
+	for v := int32(0); int(v) < g.N; v++ {
+		for _, w := range g.Neighbors(int(v)) {
+			if v < w && part[v] != part[w] {
+				cut++
+			}
+		}
+	}
+	return cut, nil
+}
+
+// Bandwidth returns max |u - v| over edges (u, v) under the current
+// numbering: the worst-case distance in the one-dimensional list that
+// an interaction has to reach across.
+func (g *Graph) Bandwidth() int {
+	bw := 0
+	for v := int32(0); int(v) < g.N; v++ {
+		for _, w := range g.Neighbors(int(v)) {
+			d := int(v - w)
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// MeanEdgeSpan returns the mean |u - v| over undirected edges under
+// the current numbering. Lower means better one-dimensional locality.
+// It returns 0 for an edgeless graph.
+func (g *Graph) MeanEdgeSpan() float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	total := 0.0
+	for v := int32(0); int(v) < g.N; v++ {
+		for _, w := range g.Neighbors(int(v)) {
+			if v < w {
+				total += float64(w - v)
+			}
+		}
+	}
+	return total / float64(g.NumEdges())
+}
+
+// DegreeHistogram returns a histogram h where h[d] is the number of
+// vertices with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N; v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}

@@ -1,0 +1,140 @@
+// Package hetero simulates the nonuniform and adaptive computational
+// environments of paper Section 2. The paper ran on five SUN4
+// workstations, one of which was given a constant competing load; here
+// each "workstation" is a goroutine whose effective speed is shaped by
+// a per-rank speed factor and a schedule of competing loads. The
+// solver amplifies its per-element work by the active factor, so the
+// load monitor observes exactly what the paper's monitor observed: a
+// changed computation time per data item.
+package hetero
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Load is a competing load occupying a workstation for a span of
+// iterations: while active it multiplies the rank's work per element
+// by Factor (Factor 2 halves the effective speed, like one competing
+// CPU-bound process on a timeshared workstation).
+type Load struct {
+	Rank      int
+	Factor    float64
+	FromIter  int // first iteration the load is active (inclusive)
+	UntilIter int // last iteration the load is active (exclusive); <=0 means forever
+}
+
+// Env describes the simulated cluster.
+type Env struct {
+	// Speeds[i] is workstation i's base speed relative to workstation
+	// 0 (1 = same, 0.5 = half as fast). A slower machine does
+	// proportionally more work per element.
+	Speeds []float64
+	// Loads are competing loads; several may overlap.
+	Loads []Load
+}
+
+// Uniform returns an environment of p equally fast unloaded
+// workstations — the paper's static experiment (Table 4).
+func Uniform(p int) *Env {
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	return &Env{Speeds: speeds}
+}
+
+// PaperAdaptive returns the paper's adaptive experiment (Table 5): p
+// equally fast workstations with a constant competing load of the
+// given factor on workstation 0 from iteration 0 onward. The paper's
+// sequential timings (97.61 s unloaded vs 290.93 s loaded) imply a
+// factor of about 3.
+func PaperAdaptive(p int, factor float64) *Env {
+	env := Uniform(p)
+	env.Loads = append(env.Loads, Load{Rank: 0, Factor: factor, FromIter: 0, UntilIter: 0})
+	return env
+}
+
+// Validate checks the environment description.
+func (e *Env) Validate() error {
+	if len(e.Speeds) == 0 {
+		return fmt.Errorf("hetero: no workstations")
+	}
+	for i, s := range e.Speeds {
+		if s <= 0 {
+			return fmt.Errorf("hetero: workstation %d has speed %g, want > 0", i, s)
+		}
+	}
+	for i, l := range e.Loads {
+		if l.Rank < 0 || l.Rank >= len(e.Speeds) {
+			return fmt.Errorf("hetero: load %d targets workstation %d of %d", i, l.Rank, len(e.Speeds))
+		}
+		if l.Factor < 1 {
+			return fmt.Errorf("hetero: load %d has factor %g, want >= 1", i, l.Factor)
+		}
+		if l.UntilIter > 0 && l.UntilIter <= l.FromIter {
+			return fmt.Errorf("hetero: load %d spans [%d,%d)", i, l.FromIter, l.UntilIter)
+		}
+	}
+	return nil
+}
+
+// P returns the number of workstations.
+func (e *Env) P() int { return len(e.Speeds) }
+
+// WorkFactor returns the work multiplier for rank at the given
+// iteration: 1/speed times the product of active competing-load
+// factors. The solver repeats its per-element kernel proportionally,
+// so a factor of 3 makes the workstation behave three times slower.
+func (e *Env) WorkFactor(rank, iter int) float64 {
+	f := 1 / e.Speeds[rank]
+	for _, l := range e.Loads {
+		if l.Rank != rank {
+			continue
+		}
+		if iter < l.FromIter {
+			continue
+		}
+		if l.UntilIter > 0 && iter >= l.UntilIter {
+			continue
+		}
+		f *= l.Factor
+	}
+	return f
+}
+
+// EffectiveSpeed returns 1/WorkFactor: the rank's delivered speed at
+// the given iteration, the quantity load balancing tries to match the
+// partition sizes to.
+func (e *Env) EffectiveSpeed(rank, iter int) float64 {
+	return 1 / e.WorkFactor(rank, iter)
+}
+
+// EffectiveSpeeds returns every rank's delivered speed at an
+// iteration.
+func (e *Env) EffectiveSpeeds(iter int) []float64 {
+	out := make([]float64, e.P())
+	for r := range out {
+		out[r] = e.EffectiveSpeed(r, iter)
+	}
+	return out
+}
+
+// ChangePoints returns the sorted iterations at which some rank's
+// work factor changes — the adaptation instants of an adaptive
+// environment.
+func (e *Env) ChangePoints() []int {
+	set := map[int]bool{}
+	for _, l := range e.Loads {
+		set[l.FromIter] = true
+		if l.UntilIter > 0 {
+			set[l.UntilIter] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for it := range set {
+		out = append(out, it)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,278 @@
+// Package loadbal implements the adaptive load balancing of paper
+// Section 3.5: each processor monitors its own load (average compute
+// time per data item), ships it to a centralized controller (rank 0),
+// and the controller decides whether remapping pays — remapping is
+// profitable when the predicted per-phase improvement over the
+// decision horizon offsets the estimated cost of moving the data and
+// rebuilding the communication schedule.
+package loadbal
+
+import (
+	"fmt"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/partition"
+	"stance/internal/redist"
+)
+
+// Message tags for the controller protocol.
+const (
+	tagLoadReport = 0x401
+	tagDecision   = 0x402
+)
+
+// Config parameterizes the balancer.
+type Config struct {
+	// Horizon is the number of future iterations a remap is assumed to
+	// benefit; the paper checks every 10 iterations and the remap
+	// serves until the next check, so Horizon defaults to CheckEvery.
+	Horizon int
+	// SafetyFactor inflates the estimated remap cost before the
+	// profitability comparison (default 1: the paper's plain
+	// comparison).
+	SafetyFactor float64
+	// CostModel estimates redistribution time from the data moved and
+	// messages generated. The zero model prices redistribution at zero
+	// and makes every imbalance remap-worthy.
+	CostModel redist.CostModel
+	// Estimator predicts next-phase rates from the measurement
+	// history (nil: the paper's last-window behaviour). See
+	// EstimatorKind for the policies.
+	Estimator *Estimator
+	// Decentralized replaces the centralized controller with the
+	// paper's envisioned distributed strategy: rates travel by
+	// all-gather and every rank computes the (identical) decision
+	// itself, removing the controller bottleneck at the price of p
+	// concurrent reductions.
+	Decentralized bool
+}
+
+// Report is one rank's load report: measured compute seconds per data
+// item over the window since the last check.
+type Report struct {
+	RatePerItem float64
+	Items       int64
+}
+
+// Decision is the controller's verdict, identical on every rank.
+type Decision struct {
+	// Remapped reports whether a remap was performed.
+	Remapped bool
+	// NewWeights are the capability estimates (1/rate, normalized)
+	// that the remap used, or would have used.
+	NewWeights []float64
+	// PredictedCurrent and PredictedNew are the controller's per-phase
+	// time predictions for the current and proposed layouts.
+	PredictedCurrent, PredictedNew float64
+	// EstimatedRemapCost is the modeled redistribution + inspector
+	// cost in seconds.
+	EstimatedRemapCost float64
+	// CheckTime is the cost of the check itself (report, decide,
+	// broadcast) on this rank.
+	CheckTime time.Duration
+	// RemapTime is the measured remap cost on this rank (zero when no
+	// remap happened).
+	RemapTime time.Duration
+}
+
+// Balancer drives the periodic load-balance check for one rank.
+type Balancer struct {
+	rt  *core.Runtime
+	cfg Config
+}
+
+// New creates a balancer bound to a runtime.
+func New(rt *core.Runtime, cfg Config) (*Balancer, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("loadbal: nil runtime")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 10
+	}
+	if cfg.SafetyFactor <= 0 {
+		cfg.SafetyFactor = 1
+	}
+	return &Balancer{rt: rt, cfg: cfg}, nil
+}
+
+// Check is the collective load-balance check. In the paper's
+// centralized mode every rank reports its measured rate to rank 0,
+// which decides and broadcasts; in decentralized mode the rates travel
+// by all-gather and every rank computes the identical decision. If
+// remapping is profitable, all ranks remap together. The caller
+// supplies the window measurement (typically solver.Timings since the
+// last check).
+func (b *Balancer) Check(rep Report) (Decision, error) {
+	c := b.rt.Comm()
+	start := time.Now()
+
+	payload := comm.F64sToBytes([]float64{rep.RatePerItem, float64(rep.Items)})
+	var verdict []float64 // [remap 0/1, predCur, predNew, estCost, weights...]
+	if b.cfg.Decentralized {
+		all, err := c.AllGather(tagLoadReport, payload)
+		if err != nil {
+			return Decision{}, err
+		}
+		rates, err := parseReports(all)
+		if err != nil {
+			return Decision{}, err
+		}
+		// Every rank computes the same pure-float decision from the
+		// same gathered inputs, so no broadcast is needed.
+		verdict, err = b.decide(rates)
+		if err != nil {
+			return Decision{}, err
+		}
+	} else {
+		reports, err := c.Gather(0, tagLoadReport, payload)
+		if err != nil {
+			return Decision{}, err
+		}
+		if c.Rank() == 0 {
+			rates, err := parseReports(reports)
+			if err != nil {
+				return Decision{}, err
+			}
+			verdict, err = b.decide(rates)
+			if err != nil {
+				return Decision{}, err
+			}
+		}
+		packed, err := c.Bcast(0, tagDecision, comm.F64sToBytes(verdict))
+		if err != nil {
+			return Decision{}, err
+		}
+		verdict, err = comm.BytesToF64s(packed)
+		if err != nil {
+			return Decision{}, err
+		}
+	}
+	if len(verdict) != 4+c.Size() {
+		return Decision{}, fmt.Errorf("loadbal: malformed decision of %d values", len(verdict))
+	}
+	d := Decision{
+		Remapped:           verdict[0] != 0,
+		PredictedCurrent:   verdict[1],
+		PredictedNew:       verdict[2],
+		EstimatedRemapCost: verdict[3],
+		NewWeights:         verdict[4:],
+	}
+	d.CheckTime = time.Since(start)
+
+	if d.Remapped {
+		t0 := time.Now()
+		if _, err := b.rt.Remap(d.NewWeights); err != nil {
+			return Decision{}, err
+		}
+		d.RemapTime = time.Since(t0)
+	}
+	return d, nil
+}
+
+// parseReports decodes the gathered per-rank reports into rates.
+func parseReports(reports [][]byte) ([]float64, error) {
+	rates := make([]float64, len(reports))
+	for q, data := range reports {
+		vals, err := comm.BytesToF64s(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != 2 {
+			return nil, fmt.Errorf("loadbal: malformed report from rank %d", q)
+		}
+		rates[q] = vals[0]
+	}
+	return rates, nil
+}
+
+// decide runs on the controller (or on every rank when
+// decentralized): estimate capabilities from measured rates, predict
+// the next phase under current and proposed layouts, price the
+// redistribution, and compare.
+func (b *Balancer) decide(rates []float64) ([]float64, error) {
+	if b.cfg.Estimator != nil {
+		b.cfg.Estimator.Observe(rates)
+		rates = b.cfg.Estimator.Predict()
+	}
+	layout := b.rt.Layout()
+	p := layout.P()
+
+	// A rank that measured nothing (no items yet) inherits the mean
+	// positive rate, a neutral estimate.
+	meanRate := 0.0
+	nPos := 0
+	for _, r := range rates {
+		if r > 0 {
+			meanRate += r
+			nPos++
+		}
+	}
+	if nPos == 0 {
+		// No information at all: keep the current layout.
+		verdict := make([]float64, 4+p)
+		for i := range verdict[4:] {
+			verdict[4+i] = 1
+		}
+		return verdict, nil
+	}
+	meanRate /= float64(nPos)
+	weights := make([]float64, p)
+	for i, r := range rates {
+		if r <= 0 {
+			r = meanRate
+		}
+		weights[i] = 1 / r
+	}
+
+	// Predicted per-phase time = max_i items_i * rate_i (the paper's
+	// idle-time minimization target).
+	predCur := 0.0
+	for i := 0; i < p; i++ {
+		r := rates[i]
+		if r <= 0 {
+			r = meanRate
+		}
+		if t := float64(layout.Size(i)) * r; t > predCur {
+			predCur = t
+		}
+	}
+	newSizes, err := partition.SizesFromWeights(layout.N(), weights)
+	if err != nil {
+		return nil, err
+	}
+	predNew := 0.0
+	for i := 0; i < p; i++ {
+		r := rates[i]
+		if r <= 0 {
+			r = meanRate
+		}
+		if t := float64(newSizes[i]) * r; t > predNew {
+			predNew = t
+		}
+	}
+
+	// Price the redistribution against the proposed layout (identity
+	// arrangement bound; MCR only lowers it) plus the last measured
+	// inspector time as the schedule-rebuild estimate.
+	cand, err := partition.NewFromSizes(newSizes, layout.Arrangement())
+	if err != nil {
+		return nil, err
+	}
+	moveCost, err := b.cfg.CostModel.Estimate(layout, cand)
+	if err != nil {
+		return nil, err
+	}
+	estCost := (moveCost + b.rt.LastInspectorTime().Seconds()) * b.cfg.SafetyFactor
+
+	gain := (predCur - predNew) * float64(b.cfg.Horizon)
+	remap := 0.0
+	if gain > estCost && predNew < predCur {
+		remap = 1
+	}
+	verdict := make([]float64, 0, 4+p)
+	verdict = append(verdict, remap, predCur, predNew, estCost)
+	verdict = append(verdict, weights...)
+	return verdict, nil
+}

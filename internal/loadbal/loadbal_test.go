@@ -1,0 +1,309 @@
+package loadbal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/graph"
+	"stance/internal/hetero"
+	"stance/internal/mesh"
+	"stance/internal/order"
+	"stance/internal/redist"
+	"stance/internal/solver"
+)
+
+func testMesh(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := mesh.Honeycomb(25, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runScenario runs the solver under env for warmup iterations, checks
+// once, and returns the decisions (indexed by rank) plus the final
+// layout sizes.
+func runScenario(t *testing.T, env *hetero.Env, cfg Config, warmup int) ([]Decision, []int64) {
+	t.Helper()
+	g := testMesh(t)
+	p := env.P()
+	ws, err := comm.NewWorld(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	decisions := make([]Decision, p)
+	sizes := make([]int64, p)
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := core.New(c, g, core.Config{Order: order.RCB})
+		if err != nil {
+			return err
+		}
+		s, err := solver.New(rt, env, 2)
+		if err != nil {
+			return err
+		}
+		b, err := New(rt, cfg)
+		if err != nil {
+			return err
+		}
+		if err := s.Run(warmup, nil); err != nil {
+			return err
+		}
+		tm := s.TakeTimings()
+		d, err := b.Check(Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
+		if err != nil {
+			return err
+		}
+		decisions[c.Rank()] = d
+		if c.Rank() == 0 {
+			for q := 0; q < p; q++ {
+				sizes[q] = rt.Layout().Size(q)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decisions, sizes
+}
+
+func TestImbalanceTriggersRemap(t *testing.T) {
+	// Workstation 0 carries a constant factor-3 competing load (the
+	// paper's Table 5 setup): the controller must remap, and the new
+	// layout must give workstation 0 roughly a third of a fair share.
+	env := hetero.PaperAdaptive(4, 3)
+	decisions, sizes := runScenario(t, env, Config{Horizon: 490}, 10)
+	for rank, d := range decisions {
+		if !d.Remapped {
+			t.Fatalf("rank %d: no remap despite 3x imbalance", rank)
+		}
+		if d.PredictedNew >= d.PredictedCurrent {
+			t.Errorf("rank %d: predicted no improvement (%v >= %v)",
+				rank, d.PredictedNew, d.PredictedCurrent)
+		}
+		if d.CheckTime <= 0 {
+			t.Errorf("rank %d: check time not measured", rank)
+		}
+		if d.RemapTime <= 0 {
+			t.Errorf("rank %d: remap time not measured", rank)
+		}
+	}
+	// All ranks must agree on the decision.
+	for rank := 1; rank < len(decisions); rank++ {
+		if decisions[rank].Remapped != decisions[0].Remapped {
+			t.Fatal("ranks disagree on the decision")
+		}
+	}
+	fair := int64(0)
+	for _, s := range sizes {
+		fair += s
+	}
+	fair /= int64(len(sizes))
+	if sizes[0] >= fair {
+		t.Errorf("loaded workstation still owns %d of fair share %d", sizes[0], fair)
+	}
+	// The loaded workstation should hold roughly fair/3 x 4/3... more
+	// precisely weights ~ (1/3,1,1,1): share ~ (1/3)/(10/3) = 10%.
+	total := 4 * fair
+	lo, hi := total/20, total/5 // 5%..20% brackets the 10% target
+	if sizes[0] < lo || sizes[0] > hi {
+		t.Errorf("loaded workstation owns %d of %d, want in [%d,%d]", sizes[0], total, lo, hi)
+	}
+}
+
+func TestBalancedEnvironmentDoesNotRemap(t *testing.T) {
+	env := hetero.Uniform(3)
+	// A realistic cost model: any remap costs something, and a
+	// balanced run cannot win anything back.
+	cfg := Config{
+		Horizon:   10,
+		CostModel: redist.CostModel{PerMessage: 1e-3, PerByte: 1e-6},
+	}
+	decisions, _ := runScenario(t, env, cfg, 8)
+	for rank, d := range decisions {
+		if d.Remapped {
+			t.Errorf("rank %d: remapped a balanced environment (gain %v vs cost %v)",
+				rank, d.PredictedCurrent-d.PredictedNew, d.EstimatedRemapCost)
+		}
+	}
+}
+
+func TestShortHorizonSuppressesRemap(t *testing.T) {
+	// Same 3x imbalance, but the remap only has 1 iteration to pay off
+	// against an enormous modeled cost: the controller must decline.
+	env := hetero.PaperAdaptive(3, 3)
+	cfg := Config{
+		Horizon:      1,
+		CostModel:    redist.CostModel{PerMessage: 10, PerByte: 1e-3},
+		SafetyFactor: 1,
+	}
+	decisions, _ := runScenario(t, env, cfg, 6)
+	for rank, d := range decisions {
+		if d.Remapped {
+			t.Errorf("rank %d: remapped despite prohibitive cost", rank)
+		}
+		if d.EstimatedRemapCost <= 0 {
+			t.Errorf("rank %d: zero cost estimate under a priced model", rank)
+		}
+	}
+}
+
+func TestZeroInformationKeepsLayout(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := core.New(c, g, core.Config{})
+		if err != nil {
+			return err
+		}
+		b, err := New(rt, Config{})
+		if err != nil {
+			return err
+		}
+		d, err := b.Check(Report{}) // no measurements at all
+		if err != nil {
+			return err
+		}
+		if d.Remapped {
+			return fmt.Errorf("remapped with zero information")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialInformationUsesMeanRate(t *testing.T) {
+	// One rank reports a rate, the other reports nothing: the missing
+	// rank is assumed average, so weights come out equal and no remap
+	// happens under a priced model.
+	g := testMesh(t)
+	ws, err := comm.NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := core.New(c, g, core.Config{})
+		if err != nil {
+			return err
+		}
+		b, err := New(rt, Config{CostModel: redist.CostModel{PerMessage: 1e-3}})
+		if err != nil {
+			return err
+		}
+		rep := Report{}
+		if c.Rank() == 0 {
+			rep = Report{RatePerItem: 1e-6, Items: 1000}
+		}
+		d, err := b.Check(rep)
+		if err != nil {
+			return err
+		}
+		if d.Remapped {
+			return fmt.Errorf("remapped on partial information")
+		}
+		if len(d.NewWeights) != 2 {
+			return fmt.Errorf("weights = %v", d.NewWeights)
+		}
+		if d.NewWeights[0] != d.NewWeights[1] {
+			return fmt.Errorf("missing rank not assumed average: %v", d.NewWeights)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil runtime accepted")
+	}
+}
+
+// End-to-end: with the paper's protocol (run 10, check, run the rest)
+// the balanced run must beat the unbalanced one substantially.
+func TestAdaptiveRunBeatsStaticUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison in -short mode")
+	}
+	// Enough work per iteration that the imbalance dominates
+	// scheduling noise.
+	g, err := mesh.Honeycomb(60, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := hetero.PaperAdaptive(3, 3)
+	const totalIters = 40
+	const workRep = 50
+	run := func(balance bool) float64 {
+		ws, err := comm.NewWorld(3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer comm.CloseWorld(ws)
+		var elapsed float64
+		err = comm.SPMD(ws, func(c *comm.Comm) error {
+			rt, err := core.New(c, g, core.Config{Order: order.RCB})
+			if err != nil {
+				return err
+			}
+			s, err := solver.New(rt, env, workRep)
+			if err != nil {
+				return err
+			}
+			b, err := New(rt, Config{Horizon: totalIters - 10})
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(0x777); err != nil {
+				return err
+			}
+			start := nowSeconds()
+			if err := s.Run(10, nil); err != nil {
+				return err
+			}
+			if balance {
+				tm := s.TakeTimings()
+				if _, err := b.Check(Report{RatePerItem: tm.RatePerItem(), Items: tm.Items}); err != nil {
+					return err
+				}
+			}
+			if err := s.Run(totalIters-10, nil); err != nil {
+				return err
+			}
+			if err := c.Barrier(0x778); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				elapsed = nowSeconds() - start
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	static := run(false)
+	adaptive := run(true)
+	if adaptive >= static {
+		t.Errorf("load balancing did not help: %.3fs with vs %.3fs without", adaptive, static)
+	}
+}
+
+func nowSeconds() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

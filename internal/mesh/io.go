@@ -1,0 +1,80 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"stance/internal/geom"
+	"stance/internal/graph"
+)
+
+// The text format is a minimal unstructured-mesh interchange format:
+//
+//	stance-mesh 1
+//	<nVertices> <nEdges> <hasCoords:0|1>
+//	x y z                (nVertices lines, if hasCoords)
+//	u v                  (nEdges lines)
+//
+// It stands in for the mesh files a user of the original library would
+// have read from disk on each workstation.
+
+// Write serializes g in the stance-mesh text format.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	hasCoords := 0
+	if g.Coords != nil {
+		hasCoords = 1
+	}
+	if _, err := fmt.Fprintf(bw, "stance-mesh 1\n%d %d %d\n", g.N, g.NumEdges(), hasCoords); err != nil {
+		return err
+	}
+	if g.Coords != nil {
+		for _, p := range g.Coords {
+			if _, err := fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a mesh in the stance-mesh text format.
+func Read(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	var version int
+	if _, err := fmt.Fscanf(br, "stance-mesh %d\n", &version); err != nil {
+		return nil, fmt.Errorf("mesh: bad header: %w", err)
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("mesh: unsupported version %d", version)
+	}
+	var n, e, hasCoords int
+	if _, err := fmt.Fscanf(br, "%d %d %d\n", &n, &e, &hasCoords); err != nil {
+		return nil, fmt.Errorf("mesh: bad size line: %w", err)
+	}
+	if n < 0 || e < 0 || hasCoords < 0 || hasCoords > 1 {
+		return nil, fmt.Errorf("mesh: invalid sizes %d %d %d", n, e, hasCoords)
+	}
+	var coords []geom.Point
+	if hasCoords == 1 {
+		coords = make([]geom.Point, n)
+		for i := range coords {
+			if _, err := fmt.Fscanf(br, "%g %g %g\n", &coords[i].X, &coords[i].Y, &coords[i].Z); err != nil {
+				return nil, fmt.Errorf("mesh: bad coord line %d: %w", i, err)
+			}
+		}
+	}
+	edges := make([]graph.Edge, e)
+	for i := range edges {
+		if _, err := fmt.Fscanf(br, "%d %d\n", &edges[i].U, &edges[i].V); err != nil {
+			return nil, fmt.Errorf("mesh: bad edge line %d: %w", i, err)
+		}
+	}
+	return graph.FromEdges(n, edges, coords)
+}

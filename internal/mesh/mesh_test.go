@@ -1,0 +1,283 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGridTriangulated(t *testing.T) {
+	g, err := GridTriangulated(4, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 12 {
+		t.Fatalf("N = %d, want 12", g.N)
+	}
+	// Edges: horizontal 3*3=9, vertical 4*2=8, diagonal 3*2=6.
+	if got := g.NumEdges(); got != 23 {
+		t.Fatalf("E = %d, want 23", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("grid not connected")
+	}
+	if g.Coords == nil {
+		t.Error("grid should have coordinates")
+	}
+}
+
+func TestGridPerturbDeterministic(t *testing.T) {
+	a, err := GridTriangulated(5, 5, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GridTriangulated(5, 5, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatal("same seed produced different coordinates")
+		}
+	}
+	c, err := GridTriangulated(5, 5, 0.3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Coords {
+		if a.Coords[i] != c.Coords[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical coordinates")
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := GridTriangulated(1, 5, 0, 0); err == nil {
+		t.Error("nx=1 accepted")
+	}
+	if _, err := GridTriangulated(5, 1, 0, 0); err == nil {
+		t.Error("ny=1 accepted")
+	}
+}
+
+func TestHoneycombDegreeProfile(t *testing.T) {
+	g, err := Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("honeycomb not connected")
+	}
+	if max := g.MaxDegree(); max > 3 {
+		t.Errorf("honeycomb MaxDegree = %d, want <= 3", max)
+	}
+	ratio := float64(g.NumEdges()) / float64(g.N)
+	if ratio < 1.3 || ratio > 1.55 {
+		t.Errorf("honeycomb |E|/|V| = %.3f, want ~1.5", ratio)
+	}
+}
+
+func TestHoneycombErrors(t *testing.T) {
+	if _, err := Honeycomb(1, 5); err == nil {
+		t.Error("rows=1 accepted")
+	}
+	if _, err := Honeycomb(5, 1); err == nil {
+		t.Error("cols=1 accepted")
+	}
+}
+
+func TestPaperMeshMatchesPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale mesh in -short mode")
+	}
+	g := Paper()
+	if g.N != PaperVertices {
+		t.Fatalf("Paper mesh has %d vertices, want %d", g.N, PaperVertices)
+	}
+	e := g.NumEdges()
+	// Within ~1.5% of the paper's 44929 edges.
+	if math.Abs(float64(e-PaperEdges))/float64(PaperEdges) > 0.015 {
+		t.Errorf("Paper mesh has %d edges, want within 1.5%% of %d", e, PaperEdges)
+	}
+	if !g.Connected() {
+		t.Error("Paper mesh not connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnulus(t *testing.T) {
+	g, err := Annulus(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 24 {
+		t.Fatalf("N = %d, want 24", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("annulus not connected")
+	}
+	// circumferential 3*8, radial 2*8, diagonal 2*8
+	if got := g.NumEdges(); got != 56 {
+		t.Errorf("E = %d, want 56", got)
+	}
+}
+
+func TestAnnulusErrors(t *testing.T) {
+	if _, err := Annulus(1, 8); err == nil {
+		t.Error("rings=1 accepted")
+	}
+	if _, err := Annulus(3, 2); err == nil {
+		t.Error("segs=2 accepted")
+	}
+}
+
+func TestRandomGeometricConnected(t *testing.T) {
+	for _, n := range []int{10, 100, 500} {
+		g, err := RandomGeometric(n, 0.08, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N != n {
+			t.Fatalf("N = %d, want %d", g.N, n)
+		}
+		if !g.Connected() {
+			t.Errorf("random geometric graph n=%d not connected", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomGeometricErrors(t *testing.T) {
+	if _, err := RandomGeometric(1, 0.1, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := RandomGeometric(10, 0, 0); err == nil {
+		t.Error("radius=0 accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g, err := Honeycomb(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Describe(g)
+	if s.Vertices != 16 || s.Edges != g.NumEdges() || !s.Connected {
+		t.Errorf("Describe = %+v", s)
+	}
+	if s.MinDegree < 1 || s.MaxDegree > 3 {
+		t.Errorf("degree range [%d,%d]", s.MinDegree, s.MaxDegree)
+	}
+	if s.AvgDegree <= 0 {
+		t.Error("AvgDegree should be positive")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	g, err := GridTriangulated(6, 5, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d -> %d/%d", g.N, g.NumEdges(), g2.N, g2.NumEdges())
+	}
+	for v := 0; v < g.N; v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+	}
+	for i := range g.Coords {
+		if g.Coords[i] != g2.Coords[i] {
+			t.Fatalf("coord mismatch at %d", i)
+		}
+	}
+}
+
+func TestIONoCoords(t *testing.T) {
+	g, err := Honeycomb(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Coords = nil
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Coords != nil {
+		t.Error("expected nil coords")
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("edge count changed")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-mesh\n",
+		"stance-mesh 2\n1 0 0\n",
+		"stance-mesh 1\n-1 0 0\n",
+		"stance-mesh 1\n2 1 0\n",        // missing edge line
+		"stance-mesh 1\n2 1 1\n0 0 0\n", // missing second coord
+		"stance-mesh 1\n2 0 9\n",        // bad hasCoords
+		"stance-mesh 1\n2 1 0\n0 5\n",   // edge out of range
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestSortEdges(t *testing.T) {
+	g, _ := Honeycomb(3, 3)
+	edges := g.Edges()
+	// Shuffle-ish: reverse.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	SortEdges(edges)
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			t.Fatal("edges not sorted")
+		}
+	}
+}

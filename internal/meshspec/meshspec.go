@@ -1,0 +1,84 @@
+// Package meshspec parses the command-line mesh specifications shared
+// by the stance-run and meshgen commands:
+//
+//	paper            the 30269-vertex evaluation-mesh substitute
+//	honeycomb:RxC    brick-wall lattice, degree <= 3
+//	grid:WxH         triangulated, perturbed grid
+//	annulus:RxS      ring-shaped domain with a hole
+//	random:N         connected random geometric graph
+//
+// Omitted arguments select sensible demo sizes.
+package meshspec
+
+import (
+	"fmt"
+	"strings"
+
+	"stance/internal/graph"
+	"stance/internal/mesh"
+)
+
+// Build constructs the mesh described by spec.
+func Build(spec string) (*graph.Graph, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	a, b, err := parseArg(arg)
+	if err != nil {
+		return nil, fmt.Errorf("mesh %q: %w", spec, err)
+	}
+	switch name {
+	case "paper":
+		if arg != "" {
+			return nil, fmt.Errorf("mesh %q: paper takes no argument", spec)
+		}
+		return mesh.Paper(), nil
+	case "honeycomb":
+		if a == 0 {
+			a, b = 60, 80
+		}
+		return mesh.Honeycomb(a, b)
+	case "grid":
+		if a == 0 {
+			a, b = 40, 40
+		}
+		return mesh.GridTriangulated(a, b, 0.2, 1)
+	case "annulus":
+		if a == 0 {
+			a, b = 20, 120
+		}
+		return mesh.Annulus(a, b)
+	case "random":
+		if a == 0 {
+			a = 5000
+		}
+		return mesh.RandomGeometric(a, 0.03, 1)
+	}
+	return nil, fmt.Errorf("unknown mesh %q (want paper, honeycomb:RxC, grid:WxH, annulus:RxS, random:N)", name)
+}
+
+// parseArg accepts "", "N" or "AxB".
+func parseArg(arg string) (a, b int, err error) {
+	if arg == "" {
+		return 0, 0, nil
+	}
+	if i := strings.IndexByte(arg, 'x'); i >= 0 {
+		if _, err := fmt.Sscanf(arg, "%dx%d", &a, &b); err != nil {
+			return 0, 0, fmt.Errorf("want RxC, got %q", arg)
+		}
+		if a <= 0 || b <= 0 {
+			return 0, 0, fmt.Errorf("dimensions must be positive, got %dx%d", a, b)
+		}
+		return a, b, nil
+	}
+	if _, err := fmt.Sscanf(arg, "%d", &a); err != nil {
+		return 0, 0, fmt.Errorf("want N or RxC, got %q", arg)
+	}
+	if a <= 0 {
+		return 0, 0, fmt.Errorf("size must be positive, got %d", a)
+	}
+	return a, 0, nil
+}
+
+// Names lists the accepted specification forms, for usage strings.
+func Names() string {
+	return "paper, honeycomb:RxC, grid:WxH, annulus:RxS, random:N"
+}

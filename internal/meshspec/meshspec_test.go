@@ -1,0 +1,72 @@
+package meshspec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSpecs(t *testing.T) {
+	cases := []struct {
+		spec     string
+		vertices int // 0 = just check it builds
+	}{
+		{"honeycomb:10x12", 120},
+		{"grid:6x7", 42},
+		{"annulus:3x9", 27},
+		{"random:100", 100},
+		{"honeycomb", 4800},
+		{"grid", 1600},
+		{"annulus", 2400},
+	}
+	for _, c := range cases {
+		g, err := Build(c.spec)
+		if err != nil {
+			t.Errorf("Build(%q): %v", c.spec, err)
+			continue
+		}
+		if c.vertices != 0 && g.N != c.vertices {
+			t.Errorf("Build(%q) has %d vertices, want %d", c.spec, g.N, c.vertices)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Build(%q): invalid graph: %v", c.spec, err)
+		}
+	}
+}
+
+func TestBuildPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper mesh in -short mode")
+	}
+	g, err := Build("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 30269 {
+		t.Errorf("paper mesh has %d vertices", g.N)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		"paper:5",
+		"grid:0x5",
+		"grid:-3x5",
+		"grid:abc",
+		"random:0",
+		"random:xyz",
+		"honeycomb:4", // honeycomb needs two dims >= 2; 4x0 fails in mesh
+	}
+	for _, spec := range cases {
+		if _, err := Build(spec); err == nil {
+			t.Errorf("Build(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if !strings.Contains(Names(), "honeycomb") {
+		t.Errorf("Names() = %q", Names())
+	}
+}

@@ -1,0 +1,28 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"stance/internal/metrics"
+)
+
+// The paper's Table 4, last row: all five workstations take 31.50 s on
+// a task each could finish alone in 97.61 s.
+func ExampleEfficiencyStatic() {
+	seq := []float64{97.61, 97.61, 97.61, 97.61, 97.61}
+	e, _ := metrics.EfficiencyStatic(31.50, seq)
+	fmt.Printf("E = %.2f\n", e)
+	// Output:
+	// E = 0.62
+}
+
+// In an adaptive run, efficiency compares against what each processor
+// could have completed with the resources it actually had (Section 4).
+func ExampleEfficiencyAdaptive() {
+	// Four processors; during the run each could have done 30% of the
+	// task alone (some capacity idled at synchronization points).
+	e, _ := metrics.EfficiencyAdaptive([]float64{0.3, 0.3, 0.3, 0.3})
+	fmt.Printf("E = %.2f\n", e)
+	// Output:
+	// E = 0.83
+}

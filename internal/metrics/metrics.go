@@ -1,0 +1,116 @@
+// Package metrics implements the performance measures of paper
+// Section 4: efficiency definitions that make sense when processors
+// are nonuniform (different speeds) or adaptive (speeds change during
+// the run), where classic speedup over "p processors" is meaningless.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// EfficiencyStatic is the paper's nonuniform-environment efficiency:
+//
+//	E(p1..pn) = (1/Tpar) / sum_i (1/T(pi))
+//
+// where Tpar is the parallel completion time and seqTimes[i] = T(pi)
+// is the time processor i alone would need for the whole task.
+// Collectively the processors can complete sum_i 1/T(pi) of the task
+// per unit time, so E is achieved throughput over ideal throughput.
+func EfficiencyStatic(tPar float64, seqTimes []float64) (float64, error) {
+	if tPar <= 0 {
+		return 0, fmt.Errorf("metrics: parallel time %g, want > 0", tPar)
+	}
+	if len(seqTimes) == 0 {
+		return 0, fmt.Errorf("metrics: no sequential times")
+	}
+	ideal := 0.0
+	for i, t := range seqTimes {
+		if t <= 0 {
+			return 0, fmt.Errorf("metrics: sequential time %g at %d, want > 0", t, i)
+		}
+		ideal += 1 / t
+	}
+	return (1 / tPar) / ideal, nil
+}
+
+// EfficiencyAdaptive is the paper's adaptive-environment efficiency:
+//
+//	E = 1 / sum_i f_i(T)
+//
+// where f_i(T) is the fraction of the whole task processor i could
+// have completed during the parallel run's duration T, given the
+// resources it actually had.
+func EfficiencyAdaptive(fractions []float64) (float64, error) {
+	if len(fractions) == 0 {
+		return 0, fmt.Errorf("metrics: no fractions")
+	}
+	sum := 0.0
+	for i, f := range fractions {
+		if f < 0 {
+			return 0, fmt.Errorf("metrics: negative fraction %g at %d", f, i)
+		}
+		sum += f
+	}
+	if sum <= 0 {
+		return 0, fmt.Errorf("metrics: fractions sum to %g, want > 0", sum)
+	}
+	return 1 / sum, nil
+}
+
+// FractionCompleted returns f_i(T) for a processor whose solo
+// completion time for the whole task is seqTime: running for elapsed
+// time T it completes T/seqTime of the task.
+func FractionCompleted(t, seqTime float64) (float64, error) {
+	if seqTime <= 0 {
+		return 0, fmt.Errorf("metrics: sequential time %g, want > 0", seqTime)
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("metrics: elapsed time %g, want >= 0", t)
+	}
+	return t / seqTime, nil
+}
+
+// Speedup is tSeq / tPar, using the fastest single processor as the
+// sequential baseline.
+func Speedup(tSeq, tPar float64) (float64, error) {
+	if tSeq <= 0 || tPar <= 0 {
+		return 0, fmt.Errorf("metrics: times must be positive (%g, %g)", tSeq, tPar)
+	}
+	return tSeq / tPar, nil
+}
+
+// Summary is basic descriptive statistics for repeated measurements.
+type Summary struct {
+	N                  int
+	Mean, Min, Max, SD float64
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.SD = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}

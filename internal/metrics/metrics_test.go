@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestEfficiencyStaticUniform(t *testing.T) {
+	// Two identical processors, perfect halving: E = 1.
+	e, err := EfficiencyStatic(50, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(e, 1) {
+		t.Errorf("E = %v, want 1", e)
+	}
+}
+
+func TestEfficiencyStaticPaperTable4(t *testing.T) {
+	// Paper Table 4 row "1,2": T=55.68 with E=0.88 given T(p1)=97.61.
+	// Back out T(p2) and verify our formula reproduces the row: with
+	// all five workstations roughly matching T(p1), E(5 ws, T=31.50)
+	// ~= 0.62 as the paper reports.
+	seq := []float64{97.61, 97.61, 97.61, 97.61, 97.61}
+	e, err := EfficiencyStatic(31.50, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0.60 || e > 0.64 {
+		t.Errorf("E = %.3f, want ~0.62 (paper Table 4)", e)
+	}
+	e2, err := EfficiencyStatic(55.68, seq[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 < 0.85 || e2 > 0.90 {
+		t.Errorf("E(2) = %.3f, want ~0.88 (paper Table 4)", e2)
+	}
+}
+
+func TestEfficiencyStaticHeterogeneous(t *testing.T) {
+	// One processor twice as fast as the other; together they can do
+	// 1/50 + 1/100 = 0.03 tasks per second. A run at the ideal 33.3s
+	// has efficiency 1.
+	e, err := EfficiencyStatic(100.0/3.0, []float64{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(e, 1) {
+		t.Errorf("E = %v, want 1", e)
+	}
+}
+
+func TestEfficiencyStaticErrors(t *testing.T) {
+	if _, err := EfficiencyStatic(0, []float64{1}); err == nil {
+		t.Error("tPar=0 accepted")
+	}
+	if _, err := EfficiencyStatic(1, nil); err == nil {
+		t.Error("empty seq accepted")
+	}
+	if _, err := EfficiencyStatic(1, []float64{1, -1}); err == nil {
+		t.Error("negative seq time accepted")
+	}
+}
+
+func TestEfficiencyAdaptive(t *testing.T) {
+	// If during the run each of 4 processors could have completed a
+	// quarter of the task, E = 1.
+	e, err := EfficiencyAdaptive([]float64{0.25, 0.25, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(e, 1) {
+		t.Errorf("E = %v, want 1", e)
+	}
+	// Overshooting capacity (idle time existed) lowers efficiency.
+	e2, err := EfficiencyAdaptive([]float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(e2, 0.5) {
+		t.Errorf("E = %v, want 0.5", e2)
+	}
+}
+
+func TestEfficiencyAdaptiveErrors(t *testing.T) {
+	if _, err := EfficiencyAdaptive(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := EfficiencyAdaptive([]float64{-0.1, 0.5}); err == nil {
+		t.Error("negative accepted")
+	}
+	if _, err := EfficiencyAdaptive([]float64{0, 0}); err == nil {
+		t.Error("zero-sum accepted")
+	}
+}
+
+func TestFractionCompleted(t *testing.T) {
+	f, err := FractionCompleted(25, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f, 0.25) {
+		t.Errorf("f = %v, want 0.25", f)
+	}
+	if _, err := FractionCompleted(1, 0); err == nil {
+		t.Error("seqTime=0 accepted")
+	}
+	if _, err := FractionCompleted(-1, 10); err == nil {
+		t.Error("negative elapsed accepted")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s, 4) {
+		t.Errorf("speedup = %v, want 4", s)
+	}
+	if _, err := Speedup(0, 1); err == nil {
+		t.Error("tSeq=0 accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary = %+v", s)
+	}
+	// Sample SD of this classic dataset is ~2.138.
+	if math.Abs(s.SD-2.13809) > 1e-4 {
+		t.Errorf("SD = %v", s.SD)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty Summary = %+v", empty)
+	}
+	one := Summarize([]float64{3})
+	if one.SD != 0 || one.Mean != 3 {
+		t.Errorf("single Summary = %+v", one)
+	}
+}

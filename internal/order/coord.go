@@ -1,0 +1,181 @@
+package order
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stance/internal/geom"
+	"stance/internal/graph"
+)
+
+// RCB computes a recursive-coordinate-bisection index (paper Figure
+// 2): the point set is recursively split at the median of its longest
+// axis, and the leaves of the recursion are numbered left to right.
+// Vertices that are physically proximate end up with nearby indices.
+func RCB(g *graph.Graph) ([]int32, error) {
+	if g.Coords == nil {
+		return nil, fmt.Errorf("order: RCB requires vertex coordinates")
+	}
+	ids := make([]int32, g.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	rcbRecurse(ids, g.Coords, axisLongest)
+	return fromRanked(ids), nil
+}
+
+// RIB computes a recursive-inertial-bisection index: like RCB but each
+// split is along the principal axis of the point subset (the direction
+// of greatest variance), which adapts to non-axis-aligned geometry.
+func RIB(g *graph.Graph) ([]int32, error) {
+	if g.Coords == nil {
+		return nil, fmt.Errorf("order: RIB requires vertex coordinates")
+	}
+	ids := make([]int32, g.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	rcbRecurse(ids, g.Coords, axisPrincipal)
+	return fromRanked(ids), nil
+}
+
+// axisKey returns, for the point subset ids, a scalar key to sort by
+// when bisecting.
+type axisKey func(ids []int32, coords []geom.Point) func(v int32) float64
+
+// axisLongest keys by the coordinate along the bounding box's longest
+// axis.
+func axisLongest(ids []int32, coords []geom.Point) func(v int32) float64 {
+	b := geom.EmptyBox()
+	for _, v := range ids {
+		b = b.Extend(coords[v])
+	}
+	axis := b.LongestAxis()
+	return func(v int32) float64 { return coords[v].Coord(axis) }
+}
+
+// axisPrincipal keys by projection onto the principal component of the
+// subset, computed by power iteration on the 3x3 covariance matrix.
+func axisPrincipal(ids []int32, coords []geom.Point) func(v int32) float64 {
+	var c geom.Point
+	for _, v := range ids {
+		c = c.Add(coords[v])
+	}
+	c = c.Scale(1 / float64(len(ids)))
+	// Covariance matrix (symmetric 3x3).
+	var m [3][3]float64
+	for _, v := range ids {
+		d := coords[v].Sub(c)
+		dv := [3]float64{d.X, d.Y, d.Z}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += dv[i] * dv[j]
+			}
+		}
+	}
+	// Power iteration from a fixed start.
+	vec := [3]float64{1, 0.5, 0.25}
+	for it := 0; it < 50; it++ {
+		var nv [3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				nv[i] += m[i][j] * vec[j]
+			}
+		}
+		norm := math.Sqrt(nv[0]*nv[0] + nv[1]*nv[1] + nv[2]*nv[2])
+		if norm == 0 {
+			break // degenerate subset (all points identical)
+		}
+		for i := range nv {
+			nv[i] /= norm
+		}
+		vec = nv
+	}
+	dir := geom.Point{X: vec[0], Y: vec[1], Z: vec[2]}
+	return func(v int32) float64 { return coords[v].Sub(c).Dot(dir) }
+}
+
+// rcbRecurse reorders ids in place so that the recursion's leaves read
+// left to right.
+func rcbRecurse(ids []int32, coords []geom.Point, ax axisKey) {
+	if len(ids) <= 2 {
+		if len(ids) == 2 {
+			key := ax(ids, coords)
+			if key(ids[0]) > key(ids[1]) || (key(ids[0]) == key(ids[1]) && ids[0] > ids[1]) {
+				ids[0], ids[1] = ids[1], ids[0]
+			}
+		}
+		return
+	}
+	key := ax(ids, coords)
+	sort.SliceStable(ids, func(i, j int) bool {
+		ki, kj := key(ids[i]), key(ids[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return ids[i] < ids[j]
+	})
+	mid := len(ids) / 2
+	rcbRecurse(ids[:mid], coords, ax)
+	rcbRecurse(ids[mid:], coords, ax)
+}
+
+// RCBStages returns the intermediate partitions of the first `levels`
+// levels of recursive coordinate bisection, for visualizing paper
+// Figure 2: stage k maps each vertex to one of 2^k cells.
+func RCBStages(g *graph.Graph, levels int) ([][]int32, error) {
+	if g.Coords == nil {
+		return nil, fmt.Errorf("order: RCB requires vertex coordinates")
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("order: levels must be >= 1, got %d", levels)
+	}
+	ids := make([]int32, g.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	// stages[k][v] is the cell (0..2^(k+1)-1) of vertex v after k+1
+	// bisection levels.
+	stages := make([][]int32, levels)
+	for k := range stages {
+		stages[k] = make([]int32, g.N)
+	}
+	var walk func(ids []int32, level int, cell int32)
+	walk = func(ids []int32, level int, cell int32) {
+		if level >= levels {
+			return
+		}
+		if len(ids) < 2 {
+			// A cell too small to split stays put in all deeper stages.
+			c := cell
+			for k := level; k < levels; k++ {
+				c *= 2
+				for _, v := range ids {
+					stages[k][v] = c
+				}
+			}
+			return
+		}
+		key := axisLongest(ids, g.Coords)
+		sort.SliceStable(ids, func(i, j int) bool {
+			ki, kj := key(ids[i]), key(ids[j])
+			if ki != kj {
+				return ki < kj
+			}
+			return ids[i] < ids[j]
+		})
+		mid := len(ids) / 2
+		left, right := ids[:mid], ids[mid:]
+		for _, v := range left {
+			stages[level][v] = 2 * cell
+		}
+		for _, v := range right {
+			stages[level][v] = 2*cell + 1
+		}
+		walk(left, level+1, 2*cell)
+		walk(right, level+1, 2*cell+1)
+	}
+	walk(ids, 0, 0)
+	return stages, nil
+}

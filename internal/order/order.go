@@ -1,0 +1,168 @@
+// Package order implements the architecture-independent locality
+// transformations of paper Section 3.1: permutations T : V -> {0..n-1}
+// that renumber a computational graph so that physically proximate
+// vertices receive nearby indices. Once a graph is in this
+// one-dimensional form, partitioning for any processor-capability
+// vector is just cutting the list into contiguous intervals, and
+// remapping after an adaptation reuses the same transform.
+//
+// The paper treats the transform as pluggable ("several methods are
+// described in [19, 7]"); this package provides the standard family:
+// recursive coordinate bisection, recursive inertial bisection, Morton
+// and Hilbert space-filling curves, (reverse) Cuthill-McKee, and an
+// approximate spectral (Fiedler-vector) ordering, plus identity and
+// random baselines.
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"stance/internal/graph"
+)
+
+// A Func computes a permutation perm with perm[v] = the new index of
+// vertex v in the one-dimensional list.
+type Func func(g *graph.Graph) ([]int32, error)
+
+// Identity returns the trivial transformation T(v) = v.
+func Identity(g *graph.Graph) ([]int32, error) {
+	perm := make([]int32, g.N)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm, nil
+}
+
+// Random returns a uniformly random permutation; the worst-case
+// baseline for locality experiments.
+func Random(seed int64) Func {
+	return func(g *graph.Graph) ([]int32, error) {
+		rng := rand.New(rand.NewSource(seed))
+		perm := make([]int32, g.N)
+		for i, p := range rng.Perm(g.N) {
+			perm[i] = int32(p)
+		}
+		return perm, nil
+	}
+}
+
+// ByName returns the named ordering: "identity", "random", "rcb",
+// "rib", "morton", "hilbert", "rcm" or "spectral".
+func ByName(name string) (Func, error) {
+	switch name {
+	case "identity":
+		return Identity, nil
+	case "random":
+		return Random(1), nil
+	case "rcb":
+		return RCB, nil
+	case "rib":
+		return RIB, nil
+	case "morton":
+		return Morton, nil
+	case "hilbert":
+		return Hilbert, nil
+	case "rcm":
+		return RCM, nil
+	case "spectral":
+		return Spectral(DefaultSpectralOptions()), nil
+	}
+	return nil, fmt.Errorf("order: unknown ordering %q", name)
+}
+
+// Names lists the orderings available through ByName.
+func Names() []string {
+	return []string{"identity", "random", "rcb", "rib", "morton", "hilbert", "rcm", "spectral"}
+}
+
+// Validate checks that perm is a permutation of 0..n-1.
+func Validate(perm []int32, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("order: permutation length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for v, p := range perm {
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("order: perm[%d] = %d out of range", v, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("order: duplicate target %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// Invert returns the inverse permutation: inv[newIndex] = oldVertex.
+func Invert(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for old, nw := range perm {
+		inv[nw] = int32(old)
+	}
+	return inv
+}
+
+// fromRanked builds a permutation from a slice of vertex ids listed in
+// their new order: ranked[i] is the vertex that gets index i.
+func fromRanked(ranked []int32) []int32 {
+	perm := make([]int32, len(ranked))
+	for i, v := range ranked {
+		perm[v] = int32(i)
+	}
+	return perm
+}
+
+// sortByKey returns the vertices 0..n-1 sorted by key, breaking ties
+// by vertex id so orderings are deterministic.
+func sortByKey(n int, key func(v int32) float64) []int32 {
+	ranked := make([]int32, n)
+	for i := range ranked {
+		ranked[i] = int32(i)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		ki, kj := key(ranked[i]), key(ranked[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Quality reports how well an ordering serves interval partitioning.
+type Quality struct {
+	EdgeCut      int     // edges crossing block boundaries for p equal blocks
+	Bandwidth    int     // max index distance across an edge
+	MeanEdgeSpan float64 // mean index distance across an edge
+}
+
+// Evaluate partitions the transformed list into p equal contiguous
+// blocks and reports the resulting cut and locality statistics.
+func Evaluate(g *graph.Graph, perm []int32, p int) (Quality, error) {
+	if err := Validate(perm, g.N); err != nil {
+		return Quality{}, err
+	}
+	if p < 1 {
+		return Quality{}, fmt.Errorf("order: p must be >= 1, got %d", p)
+	}
+	ng, err := g.Permute(perm)
+	if err != nil {
+		return Quality{}, err
+	}
+	part := make([]int32, g.N)
+	for v := 0; v < g.N; v++ {
+		b := v * p / g.N
+		part[v] = int32(b)
+	}
+	cut, err := ng.EdgeCut(part)
+	if err != nil {
+		return Quality{}, err
+	}
+	return Quality{
+		EdgeCut:      cut,
+		Bandwidth:    ng.Bandwidth(),
+		MeanEdgeSpan: ng.MeanEdgeSpan(),
+	}, nil
+}

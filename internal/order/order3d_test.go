@@ -1,0 +1,104 @@
+package order
+
+import (
+	"testing"
+
+	"stance/internal/geom"
+	"stance/internal/graph"
+)
+
+// cube3d builds a small 3-D lattice graph to exercise the
+// three-dimensional paths of the coordinate orderings.
+func cube3d(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	id := func(x, y, z int) int32 { return int32((z*n+y)*n + x) }
+	var edges []graph.Edge
+	coords := make([]geom.Point, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				coords[id(x, y, z)] = geom.Point{X: float64(x), Y: float64(y), Z: float64(z)}
+				if x+1 < n {
+					edges = append(edges, graph.Edge{U: id(x, y, z), V: id(x+1, y, z)})
+				}
+				if y+1 < n {
+					edges = append(edges, graph.Edge{U: id(x, y, z), V: id(x, y+1, z)})
+				}
+				if z+1 < n {
+					edges = append(edges, graph.Edge{U: id(x, y, z), V: id(x, y, z+1)})
+				}
+			}
+		}
+	}
+	g, err := graph.FromEdges(n*n*n, edges, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCoordinateOrderings3D(t *testing.T) {
+	g := cube3d(t, 6)
+	randPerm := mustPerm(t, Random(13), g)
+	shuffled, err := g.Permute(randPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseQ, err := Evaluate(shuffled, mustPerm(t, Identity, shuffled), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rcb", "rib", "morton", "hilbert"} {
+		f, _ := ByName(name)
+		perm, err := f(shuffled)
+		if err != nil {
+			t.Fatalf("%s on 3-D data: %v", name, err)
+		}
+		if err := Validate(perm, g.N); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q, err := Evaluate(shuffled, perm, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.EdgeCut >= baseQ.EdgeCut {
+			t.Errorf("%s 3-D edge cut %d not better than shuffled %d", name, q.EdgeCut, baseQ.EdgeCut)
+		}
+	}
+}
+
+func TestRCB3DSplitsAlongLongestAxis(t *testing.T) {
+	// An elongated 3-D box: the first split must separate low-Z from
+	// high-Z, so the two halves of the resulting index each stay in
+	// one Z half.
+	n := 4
+	id := func(x, y, z int) int {
+		return (z*n+y)*n + x
+	}
+	var edges []graph.Edge
+	coords := make([]geom.Point, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				coords[id(x, y, z)] = geom.Point{X: float64(x), Y: float64(y), Z: float64(z) * 100}
+				if x+1 < n {
+					edges = append(edges, graph.Edge{U: int32(id(x, y, z)), V: int32(id(x+1, y, z))})
+				}
+			}
+		}
+	}
+	// Make it connected along rows only; RCB needs no connectivity.
+	g, err := graph.FromEdges(n*n*n, edges, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := mustPerm(t, RCB, g)
+	half := int32(g.N / 2)
+	for v := 0; v < g.N; v++ {
+		z := v / (n * n)
+		lowHalf := perm[v] < half
+		if (z < n/2) != lowHalf {
+			t.Fatalf("vertex %d (z=%d) mapped to index %d: first split not along Z", v, z, perm[v])
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package order
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stance/internal/graph"
+	"stance/internal/mesh"
+)
+
+func testMesh(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := mesh.GridTriangulated(16, 16, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func allOrderings(t testing.TB) map[string]Func {
+	t.Helper()
+	out := map[string]Func{}
+	for _, name := range Names() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		out[name] = f
+	}
+	return out
+}
+
+func TestEveryOrderingIsAPermutation(t *testing.T) {
+	g := testMesh(t)
+	for name, f := range allOrderings(t) {
+		perm, err := f(g)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := Validate(perm, g.N); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	g := testMesh(t)
+	perm, err := Identity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		if int(p) != i {
+			t.Fatalf("Identity perm[%d] = %d", i, p)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	g := testMesh(t)
+	a, _ := Random(7)(g)
+	b, _ := Random(7)(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random(7) not deterministic")
+		}
+	}
+	c, _ := Random(8)(g)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical permutation")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	g := testMesh(t)
+	perm, _ := Random(3)(g)
+	inv := Invert(perm)
+	for old, nw := range perm {
+		if inv[nw] != int32(old) {
+			t.Fatalf("Invert broken at %d", old)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := Validate([]int32{0, 1}, 3); err == nil {
+		t.Error("short perm accepted")
+	}
+	if err := Validate([]int32{0, 1, 3}, 3); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := Validate([]int32{0, 1, 1}, 3); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+// Locality orderings must beat the random baseline on a planar mesh,
+// and should beat identity-on-shuffled-input too. This is the core
+// claim of paper Section 3.1.
+func TestLocalityOrderingsBeatRandom(t *testing.T) {
+	g := testMesh(t)
+	randPerm, _ := Random(99)(g)
+	shuffled, err := g.Permute(randPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randQ, err := Evaluate(shuffled, mustPerm(t, Identity, shuffled), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rcb", "rib", "morton", "hilbert", "rcm", "spectral"} {
+		f, _ := ByName(name)
+		perm, err := f(shuffled)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q, err := Evaluate(shuffled, perm, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if q.EdgeCut >= randQ.EdgeCut {
+			t.Errorf("%s edge cut %d not better than shuffled baseline %d", name, q.EdgeCut, randQ.EdgeCut)
+		}
+		if q.MeanEdgeSpan >= randQ.MeanEdgeSpan {
+			t.Errorf("%s mean span %.1f not better than shuffled baseline %.1f", name, q.MeanEdgeSpan, randQ.MeanEdgeSpan)
+		}
+	}
+}
+
+func mustPerm(t testing.TB, f Func, g *graph.Graph) []int32 {
+	t.Helper()
+	perm, err := f(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perm
+}
+
+func TestCoordinateOrderingsRequireCoords(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rcb", "rib", "morton", "hilbert"} {
+		f, _ := ByName(name)
+		if _, err := f(g); err == nil {
+			t.Errorf("%s accepted a coordinate-less graph", name)
+		}
+	}
+	// RCM and spectral do not need coordinates.
+	for _, name := range []string{"rcm", "spectral"} {
+		f, _ := ByName(name)
+		perm, err := f(g)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := Validate(perm, g.N); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRCMPathIsContiguous(t *testing.T) {
+	// On a path graph RCM must recover bandwidth 1.
+	n := 30
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	g, err := graph.FromEdges(n, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := g.Permute(mustPerm(t, Random(5), g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := mustPerm(t, RCM, shuffled)
+	ng, err := shuffled.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := ng.Bandwidth(); bw != 1 {
+		t.Errorf("RCM on path: bandwidth %d, want 1", bw)
+	}
+}
+
+func TestRCMDisconnected(t *testing.T) {
+	g, err := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := mustPerm(t, RCM, g)
+	if err := Validate(perm, g.N); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertLocality2D(t *testing.T) {
+	// Adjacent Hilbert indices must be adjacent grid cells.
+	prev := [2]uint32{}
+	first := true
+	// Walk a small sub-curve by inverting via brute force on an 8x8 grid.
+	type cell struct {
+		x, y uint32
+		d    uint64
+	}
+	var cells []cell
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			// Scale up to the full sfcBits grid to use the same code path.
+			d := hilbertXY2D(x<<(sfcBits-3), y<<(sfcBits-3))
+			cells = append(cells, cell{x, y, d})
+		}
+	}
+	// Sort by curve position.
+	for i := range cells {
+		for j := i + 1; j < len(cells); j++ {
+			if cells[j].d < cells[i].d {
+				cells[i], cells[j] = cells[j], cells[i]
+			}
+		}
+	}
+	for _, c := range cells {
+		if !first {
+			dx := int(c.x) - int(prev[0])
+			dy := int(c.y) - int(prev[1])
+			if dx*dx+dy*dy != 1 {
+				t.Fatalf("Hilbert neighbors (%d,%d) -> (%d,%d) not grid-adjacent", prev[0], prev[1], c.x, c.y)
+			}
+		}
+		prev = [2]uint32{c.x, c.y}
+		first = false
+	}
+}
+
+func TestMortonBijective(t *testing.T) {
+	f := func(x, y uint16) bool {
+		m := morton2(uint32(x), uint32(y))
+		// Deinterleave and compare.
+		var gx, gy uint32
+		for b := 0; b < 16; b++ {
+			gx |= uint32(m>>(2*b)&1) << b
+			gy |= uint32(m>>(2*b+1)&1) << b
+		}
+		return gx == uint32(x) && gy == uint32(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorton3Bijective(t *testing.T) {
+	f := func(x, y, z uint16) bool {
+		m := morton3(uint32(x), uint32(y), uint32(z))
+		var gx, gy, gz uint32
+		for b := 0; b < 16; b++ {
+			gx |= uint32(m>>(3*b)&1) << b
+			gy |= uint32(m>>(3*b+1)&1) << b
+			gz |= uint32(m>>(3*b+2)&1) << b
+		}
+		return gx == uint32(x) && gy == uint32(y) && gz == uint32(z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertInjectiveOnGrid(t *testing.T) {
+	seen := map[uint64][2]uint32{}
+	for x := uint32(0); x < 32; x++ {
+		for y := uint32(0); y < 32; y++ {
+			d := hilbertXY2D(x<<(sfcBits-5), y<<(sfcBits-5))
+			if prev, ok := seen[d]; ok {
+				t.Fatalf("Hilbert collision: (%d,%d) and (%d,%d)", prev[0], prev[1], x, y)
+			}
+			seen[d] = [2]uint32{x, y}
+		}
+	}
+}
+
+func TestSpectralOnPath(t *testing.T) {
+	// The Fiedler vector of a path is monotone, so spectral ordering
+	// must recover bandwidth 1 on a shuffled path.
+	n := 24
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	g, err := graph.FromEdges(n, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := g.Permute(mustPerm(t, Random(2), g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Spectral(SpectralOptions{MaxIters: 4000, Tol: 1e-12, Seed: 4})
+	perm := mustPerm(t, f, shuffled)
+	ng, err := shuffled.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := ng.Bandwidth(); bw > 2 {
+		t.Errorf("spectral on path: bandwidth %d, want <= 2", bw)
+	}
+}
+
+func TestSpectralBadOptions(t *testing.T) {
+	g := testMesh(t)
+	if _, err := Spectral(SpectralOptions{MaxIters: 0})(g); err == nil {
+		t.Error("MaxIters=0 accepted")
+	}
+}
+
+func TestSpectralEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := Spectral(DefaultSpectralOptions())(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != 0 {
+		t.Error("empty graph should give empty permutation")
+	}
+}
+
+func TestRCBStages(t *testing.T) {
+	g := testMesh(t)
+	stages, err := RCBStages(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages", len(stages))
+	}
+	for k, st := range stages {
+		maxCell := int32(1)<<(k+1) - 1
+		counts := map[int32]int{}
+		for _, c := range st {
+			if c < 0 || c > maxCell {
+				t.Fatalf("stage %d: cell %d out of range [0,%d]", k, c, maxCell)
+			}
+			counts[c]++
+		}
+		if len(counts) != int(maxCell)+1 {
+			t.Errorf("stage %d: %d distinct cells, want %d", k, len(counts), maxCell+1)
+		}
+		// Each split is at the median, so cells stay balanced within 1
+		// at every power-of-two level on a 256-vertex mesh.
+		for c, cnt := range counts {
+			want := g.N / (int(maxCell) + 1)
+			if cnt < want-1 || cnt > want+1 {
+				t.Errorf("stage %d cell %d has %d vertices, want ~%d", k, c, cnt, want)
+			}
+		}
+	}
+	// Stages refine: same stage-k cell implies same stage-(k-1) cell.
+	for v := 0; v < g.N; v++ {
+		for k := 1; k < 3; k++ {
+			if stages[k][v]/2 != stages[k-1][v] {
+				t.Fatalf("stage %d does not refine stage %d at vertex %d", k, k-1, v)
+			}
+		}
+	}
+	if _, err := RCBStages(g, 0); err == nil {
+		t.Error("levels=0 accepted")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := testMesh(t)
+	perm := mustPerm(t, Identity, g)
+	if _, err := Evaluate(g, perm, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := Evaluate(g, perm[:10], 2); err == nil {
+		t.Error("short perm accepted")
+	}
+}
+
+func TestEvaluateBalancedBlocks(t *testing.T) {
+	g := testMesh(t)
+	perm := mustPerm(t, RCB, g)
+	q, err := Evaluate(g, perm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EdgeCut <= 0 {
+		t.Error("expected a positive edge cut on a connected mesh")
+	}
+	if q.Bandwidth <= 0 || q.MeanEdgeSpan <= 0 {
+		t.Errorf("quality = %+v", q)
+	}
+}

@@ -1,0 +1,105 @@
+package order
+
+import (
+	"sort"
+
+	"stance/internal/graph"
+)
+
+// RCM computes a reverse Cuthill-McKee ordering: breadth-first search
+// from a pseudo-peripheral vertex, visiting neighbors in increasing
+// degree order, then reversing. RCM is the classic cheap
+// bandwidth-reducing renumbering and needs no coordinates, so it works
+// on purely combinatorial graphs. Disconnected graphs are handled by
+// restarting the search in each component.
+func RCM(g *graph.Graph) ([]int32, error) {
+	ranked := make([]int32, 0, g.N)
+	visited := make([]bool, g.N)
+	queue := make([]int32, 0, g.N)
+	for {
+		start := pseudoPeripheral(g, visited)
+		if start < 0 {
+			break
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			ranked = append(ranked, v)
+			nbrs := make([]int32, 0, g.Degree(int(v)))
+			for _, w := range g.Neighbors(int(v)) {
+				if !visited[w] {
+					visited[w] = true
+					nbrs = append(nbrs, w)
+				}
+			}
+			sort.Slice(nbrs, func(i, j int) bool {
+				di, dj := g.Degree(int(nbrs[i])), g.Degree(int(nbrs[j]))
+				if di != dj {
+					return di < dj
+				}
+				return nbrs[i] < nbrs[j]
+			})
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse (the "R" in RCM).
+	for i, j := 0, len(ranked)-1; i < j; i, j = i+1, j-1 {
+		ranked[i], ranked[j] = ranked[j], ranked[i]
+	}
+	return fromRanked(ranked), nil
+}
+
+// pseudoPeripheral finds a vertex at (approximately) maximum
+// eccentricity among unvisited vertices: start anywhere, BFS to the
+// farthest vertex, repeat once. Returns -1 when every vertex is
+// visited.
+func pseudoPeripheral(g *graph.Graph, visited []bool) int32 {
+	start := int32(-1)
+	for v := 0; v < g.N; v++ {
+		if !visited[v] {
+			start = int32(v)
+			break
+		}
+	}
+	if start < 0 {
+		return -1
+	}
+	for iter := 0; iter < 2; iter++ {
+		far := bfsFarthest(g, start, visited)
+		if far == start {
+			break
+		}
+		start = far
+	}
+	return start
+}
+
+// bfsFarthest returns the vertex at maximum BFS distance from start
+// within the unvisited subgraph, preferring the one with minimum
+// degree (a heuristic for peripherality), then lowest id.
+func bfsFarthest(g *graph.Graph, start int32, visited []bool) int32 {
+	dist := make(map[int32]int, 64)
+	dist[start] = 0
+	queue := []int32{start}
+	best, bestDist := start, 0
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if d > bestDist ||
+			(d == bestDist && g.Degree(int(v)) < g.Degree(int(best))) ||
+			(d == bestDist && g.Degree(int(v)) == g.Degree(int(best)) && v < best) {
+			best, bestDist = v, d
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if visited[w] {
+				continue
+			}
+			if _, ok := dist[w]; !ok {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,53 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"stance/internal/partition"
+)
+
+// The paper's Figure 5: 100 elements on five workstations whose
+// capabilities adapt. Keeping the arrangement preserves little data;
+// the (P0,P3,P1,P2,P4) arrangement preserves twice as much.
+func ExampleOverlap() {
+	old, _ := partition.NewBlock(100, []float64{0.27, 0.18, 0.34, 0.07, 0.14})
+	keep, _ := partition.NewBlock(100, []float64{0.10, 0.13, 0.29, 0.24, 0.24})
+	better, _ := partition.New(100, []float64{0.10, 0.13, 0.29, 0.24, 0.24}, []int{0, 3, 1, 2, 4})
+
+	ovKeep, _ := partition.Overlap(old, keep)
+	ovBetter, _ := partition.Overlap(old, better)
+	fmt.Println("same arrangement:", ovKeep, "elements stay")
+	fmt.Println("rearranged:      ", ovBetter, "elements stay")
+	// Output:
+	// same arrangement: 31 elements stay
+	// rearranged:       64 elements stay
+}
+
+// Locate is the paper's interval-table dereference: a global index
+// resolves to (processor, local index) from p+1 boundaries alone.
+func ExampleLayout_Locate() {
+	l, _ := partition.NewBlock(200, []float64{0.5, 0.3, 0.2})
+	for _, g := range []int64{0, 99, 150, 199} {
+		proc, local, _ := l.Locate(g)
+		fmt.Printf("global %3d -> processor %d, local %d\n", g, proc, local)
+	}
+	// Output:
+	// global   0 -> processor 0, local 0
+	// global  99 -> processor 0, local 99
+	// global 150 -> processor 1, local 50
+	// global 199 -> processor 2, local 39
+}
+
+// WeightedSizes balances total vertex weight rather than counts: a
+// heavy prefix shrinks the first block.
+func ExampleWeightedSizes() {
+	items := make([]float64, 10)
+	for i := range items {
+		items[i] = 1
+	}
+	items[0], items[1] = 5, 5 // two heavyweight elements up front
+	sizes, _ := partition.WeightedSizes(items, []float64{1, 1})
+	fmt.Println("block sizes:", sizes)
+	// Output:
+	// block sizes: [2 8]
+}

@@ -1,0 +1,109 @@
+package redist
+
+import (
+	"fmt"
+
+	"stance/internal/partition"
+)
+
+// Transfer is one contiguous block of global indices moving between
+// two processors during a redistribution.
+type Transfer struct {
+	Peer   int                // the other processor
+	Global partition.Interval // global index range being transferred
+}
+
+// Plan describes, for one processor, the data movement required to go
+// from layout Old to layout New. Sends are ranges of the processor's
+// old interval destined for peers; Recvs are ranges of its new
+// interval arriving from peers. Ranges kept locally appear in neither.
+type Plan struct {
+	Proc  int
+	Old   partition.Interval
+	New   partition.Interval
+	Keep  partition.Interval // intersection retained locally (may be empty)
+	Sends []Transfer         // ordered by peer
+	Recvs []Transfer         // ordered by peer
+}
+
+// NewPlan computes processor proc's part of the redistribution from
+// old to new. Because both layouts assign contiguous intervals, each
+// peer exchange is a single contiguous range.
+func NewPlan(old, new *partition.Layout, proc int) (*Plan, error) {
+	if old.N() != new.N() || old.P() != new.P() {
+		return nil, fmt.Errorf("redist: incompatible layouts (%d/%d elements, %d/%d processors)",
+			old.N(), new.N(), old.P(), new.P())
+	}
+	if proc < 0 || proc >= old.P() {
+		return nil, fmt.Errorf("redist: processor %d out of range [0,%d)", proc, old.P())
+	}
+	pl := &Plan{
+		Proc: proc,
+		Old:  old.Interval(proc),
+		New:  new.Interval(proc),
+	}
+	pl.Keep = pl.Old.Intersect(pl.New)
+	for peer := 0; peer < old.P(); peer++ {
+		if peer == proc {
+			continue
+		}
+		if send := pl.Old.Intersect(new.Interval(peer)); send.Len() > 0 {
+			pl.Sends = append(pl.Sends, Transfer{Peer: peer, Global: send})
+		}
+		if recv := pl.New.Intersect(old.Interval(peer)); recv.Len() > 0 {
+			pl.Recvs = append(pl.Recvs, Transfer{Peer: peer, Global: recv})
+		}
+	}
+	return pl, nil
+}
+
+// MovedBytes returns the number of float64 payload bytes this
+// processor sends during the redistribution.
+func (p *Plan) MovedBytes() int64 {
+	var n int64
+	for _, s := range p.Sends {
+		n += s.Global.Len() * 8
+	}
+	return n
+}
+
+// ApplyLocal rearranges the retained region: it copies the kept range
+// from oldData (indexed by old local indices) into newData (indexed by
+// new local indices). Transfer ranges are filled in by the comm layer.
+func (p *Plan) ApplyLocal(oldData, newData []float64) error {
+	if int64(len(oldData)) != p.Old.Len() {
+		return fmt.Errorf("redist: old data length %d, want %d", len(oldData), p.Old.Len())
+	}
+	if int64(len(newData)) != p.New.Len() {
+		return fmt.Errorf("redist: new data length %d, want %d", len(newData), p.New.Len())
+	}
+	if p.Keep.Len() == 0 {
+		return nil
+	}
+	srcOff := p.Keep.Lo - p.Old.Lo
+	dstOff := p.Keep.Lo - p.New.Lo
+	copy(newData[dstOff:dstOff+p.Keep.Len()], oldData[srcOff:srcOff+p.Keep.Len()])
+	return nil
+}
+
+// CostModel estimates redistribution time for profitability decisions
+// (paper Section 3.5): latency per message plus volume over bandwidth.
+type CostModel struct {
+	PerMessage float64 // seconds per message
+	PerByte    float64 // seconds per payload byte
+}
+
+// Estimate returns the predicted redistribution time from old to new:
+// every transfer contributes a message setup, and the total moved
+// volume is serialized over the (shared-medium) network.
+func (m CostModel) Estimate(old, new *partition.Layout) (float64, error) {
+	msgs, err := partition.Messages(old, new)
+	if err != nil {
+		return 0, err
+	}
+	moved, err := partition.Moved(old, new)
+	if err != nil {
+		return 0, err
+	}
+	return float64(msgs)*m.PerMessage + float64(moved*8)*m.PerByte, nil
+}

@@ -1,0 +1,195 @@
+// Package solver implements the paper's motivating application: the
+// irregular loop of Figure 8 (neighbor averaging through an
+// indirection array over an unstructured mesh), iterated hundreds of
+// times with an implicit synchronization per phase. It runs on the
+// core runtime and doubles as the measurement instrument: per-phase
+// compute and communication times drive the adaptive load balancer,
+// and a work-amplification hook lets the hetero package emulate slower
+// or loaded workstations.
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"stance/internal/core"
+	"stance/internal/hetero"
+)
+
+// Solver holds one rank's state for the iterative loop.
+type Solver struct {
+	rt  *core.Runtime
+	env *hetero.Env
+	y   *core.Vector
+	t   []float64
+
+	// workRep is the number of times each element's kernel body is
+	// repeated per iteration at work factor 1. Amplifying per-element
+	// work keeps the compute/communication ratio of the paper's SUN4 +
+	// Ethernet setting reproducible on modern hardware.
+	workRep int
+
+	iter int
+
+	// Accumulated timings since the last TakeTimings call.
+	computeTime time.Duration
+	commTime    time.Duration
+	items       int64
+}
+
+// New creates a solver for the runtime. env may be nil (uniform,
+// unloaded). workRep < 1 is treated as 1.
+func New(rt *core.Runtime, env *hetero.Env, workRep int) (*Solver, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("solver: nil runtime")
+	}
+	if env != nil {
+		if err := env.Validate(); err != nil {
+			return nil, err
+		}
+		if env.P() != rt.Comm().Size() {
+			return nil, fmt.Errorf("solver: environment has %d workstations, world has %d",
+				env.P(), rt.Comm().Size())
+		}
+	}
+	if workRep < 1 {
+		workRep = 1
+	}
+	s := &Solver{
+		rt:      rt,
+		env:     env,
+		y:       rt.NewVector(),
+		workRep: workRep,
+	}
+	s.InitDefault()
+	return s, nil
+}
+
+// Y returns the solution vector.
+func (s *Solver) Y() *core.Vector { return s.y }
+
+// Runtime returns the underlying runtime.
+func (s *Solver) Runtime() *core.Runtime { return s.rt }
+
+// Iter returns the number of completed iterations.
+func (s *Solver) Iter() int { return s.iter }
+
+// InitDefault sets the canonical initial condition y(g) = (g mod 97) + 1.
+func (s *Solver) InitDefault() {
+	s.y.SetByGlobal(func(g int64) float64 { return float64(g%97) + 1 })
+}
+
+// Step executes one phase of the Figure 8 loop:
+//
+//	gather ghosts; t[i] = sum_k y[ia[k]]; y[i] = t[i]/deg(i)
+//
+// The kernel body is repeated workRep * WorkFactor(rank, iter) times;
+// repeats recompute identical values, so the numerical result is
+// independent of the environment — only the time changes, exactly like
+// a slower workstation.
+func (s *Solver) Step() error {
+	c := s.rt.Comm()
+	t0 := time.Now()
+	if err := s.rt.Exchange(s.y); err != nil {
+		return err
+	}
+	s.commTime += time.Since(t0)
+
+	factor := 1.0
+	if s.env != nil {
+		factor = s.env.WorkFactor(c.Rank(), s.iter)
+	}
+	reps := float64(s.workRep) * factor
+	full := int(reps)
+	frac := reps - float64(full)
+
+	nLocal := s.rt.LocalN()
+	if cap(s.t) < nLocal {
+		s.t = make([]float64, nLocal)
+	}
+	tv := s.t[:nLocal]
+	xadj, adj := s.rt.LocalAdj()
+	data := s.y.Data
+
+	t1 := time.Now()
+	for rep := 0; rep <= full; rep++ {
+		limit := nLocal
+		if rep == full {
+			limit = int(frac * float64(nLocal))
+		}
+		for u := 0; u < limit; u++ {
+			sum := 0.0
+			for k := xadj[u]; k < xadj[u+1]; k++ {
+				sum += data[adj[k]]
+			}
+			tv[u] = sum
+		}
+	}
+	// One guaranteed full pass so results never depend on the factor.
+	for u := 0; u < nLocal; u++ {
+		sum := 0.0
+		for k := xadj[u]; k < xadj[u+1]; k++ {
+			sum += data[adj[k]]
+		}
+		tv[u] = sum
+	}
+	for u := 0; u < nLocal; u++ {
+		if d := xadj[u+1] - xadj[u]; d > 0 {
+			data[u] = tv[u] / float64(d)
+		}
+	}
+	s.computeTime += time.Since(t1)
+	s.items += int64(nLocal)
+	s.iter++
+	return nil
+}
+
+// Timings are the accumulated per-rank measurements since the last
+// TakeTimings.
+type Timings struct {
+	Compute time.Duration
+	Comm    time.Duration
+	// Items is the total number of element-iterations computed; the
+	// load monitor's "average computation time per data item" is
+	// Compute/Items (paper Section 5).
+	Items int64
+}
+
+// RatePerItem returns the measured compute seconds per element, the
+// paper's capability estimate. Zero items yields zero.
+func (t Timings) RatePerItem() float64 {
+	if t.Items == 0 {
+		return 0
+	}
+	return t.Compute.Seconds() / float64(t.Items)
+}
+
+// TakeTimings returns the accumulated measurements and resets them.
+func (s *Solver) TakeTimings() Timings {
+	t := Timings{Compute: s.computeTime, Comm: s.commTime, Items: s.items}
+	s.computeTime, s.commTime, s.items = 0, 0, 0
+	return t
+}
+
+// Run executes n iterations, invoking afterIter (if non-nil) once per
+// completed iteration — the hook the load balancer's periodic check
+// uses.
+func (s *Solver) Run(n int, afterIter func(iter int) error) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+		if afterIter != nil {
+			if err := afterIter(s.iter); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SequentialReference runs the same kernel single-rank and returns the
+// gathered result; see core's tests for the bit-exactness argument.
+func (s *Solver) GatherResult(root int) ([]float64, error) {
+	return s.rt.GatherGlobal(root, s.y)
+}

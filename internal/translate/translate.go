@@ -1,0 +1,178 @@
+// Package translate implements the address-translation mechanisms of
+// paper Section 3.2 (Figure 3). Dereferencing converts a global index
+// into a (processor, local index) pair. Three schemes are provided:
+//
+//   - IntervalTable: the paper's contribution. After the 1-D locality
+//     transform each processor owns one contiguous interval, so storing
+//     the p+1 interval boundaries (replicated everywhere, O(p) memory)
+//     is enough to dereference locally.
+//   - ReplicatedTable: the classic CHAOS/PARTI scheme — a full
+//     element-to-home table replicated on every processor. Fast but
+//     O(n) memory per processor, which the paper rejects for large
+//     data.
+//   - DistributedTable: the full table block-distributed across
+//     processors; dereferencing an element owned by another shard
+//     requires communication (the request/reply protocol lives in the
+//     inspector, package sched). This is the "Simple Strategy" baseline
+//     of Table 3.
+package translate
+
+import (
+	"fmt"
+
+	"stance/internal/partition"
+)
+
+// Entry is a dereferenced address: the home processor and the local
+// index there.
+type Entry struct {
+	Proc  int32
+	Local int32
+}
+
+// Table dereferences global indices without communication.
+type Table interface {
+	// Lookup translates a global index.
+	Lookup(global int64) (Entry, error)
+	// MemoryWords reports the table's per-processor storage in
+	// 32-bit words, the quantity the paper's memory argument is about.
+	MemoryWords() int64
+}
+
+// IntervalTable dereferences through the layout's interval
+// boundaries: binary search over p+1 starts.
+type IntervalTable struct {
+	layout *partition.Layout
+}
+
+// NewIntervalTable wraps a layout as a translation table.
+func NewIntervalTable(l *partition.Layout) *IntervalTable {
+	return &IntervalTable{layout: l}
+}
+
+// Lookup implements Table.
+func (t *IntervalTable) Lookup(global int64) (Entry, error) {
+	proc, local, err := t.layout.Locate(global)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{Proc: int32(proc), Local: int32(local)}, nil
+}
+
+// MemoryWords implements Table: p+1 interval starts (two words each,
+// being 64-bit) plus the arrangement.
+func (t *IntervalTable) MemoryWords() int64 {
+	p := int64(t.layout.P())
+	return 2*(p+1) + p
+}
+
+// ReplicatedTable stores every element's home explicitly.
+type ReplicatedTable struct {
+	entries []Entry
+}
+
+// NewReplicatedTable materializes the full table for a layout.
+func NewReplicatedTable(l *partition.Layout) *ReplicatedTable {
+	entries := make([]Entry, l.N())
+	for proc := 0; proc < l.P(); proc++ {
+		iv := l.Interval(proc)
+		for g := iv.Lo; g < iv.Hi; g++ {
+			entries[g] = Entry{Proc: int32(proc), Local: int32(g - iv.Lo)}
+		}
+	}
+	return &ReplicatedTable{entries: entries}
+}
+
+// Lookup implements Table.
+func (t *ReplicatedTable) Lookup(global int64) (Entry, error) {
+	if global < 0 || global >= int64(len(t.entries)) {
+		return Entry{}, fmt.Errorf("translate: index %d out of range [0,%d)", global, len(t.entries))
+	}
+	return t.entries[global], nil
+}
+
+// MemoryWords implements Table: two words per element.
+func (t *ReplicatedTable) MemoryWords() int64 { return 2 * int64(len(t.entries)) }
+
+// DistributedTable is one processor's shard of the full table,
+// block-distributed by global index: shard s holds entries for
+// globals [s*blockSize, (s+1)*blockSize). Lookups outside the local
+// shard must be resolved by asking the owning shard (see
+// sched.BuildSimple); ShardOf says whom to ask.
+type DistributedTable struct {
+	n         int64
+	shards    int
+	blockSize int64
+	shard     int
+	entries   []Entry // local shard
+}
+
+// NewDistributedTable builds processor shard's piece of the table for
+// the given layout, distributed over shards processors.
+func NewDistributedTable(l *partition.Layout, shards, shard int) (*DistributedTable, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("translate: shards must be positive, got %d", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("translate: shard %d out of range [0,%d)", shard, shards)
+	}
+	n := l.N()
+	blockSize := (n + int64(shards) - 1) / int64(shards)
+	if blockSize == 0 {
+		blockSize = 1
+	}
+	lo := int64(shard) * blockSize
+	hi := lo + blockSize
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	t := &DistributedTable{
+		n:         n,
+		shards:    shards,
+		blockSize: blockSize,
+		shard:     shard,
+	}
+	if hi > lo {
+		t.entries = make([]Entry, hi-lo)
+		for g := lo; g < hi; g++ {
+			proc, local, err := l.Locate(g)
+			if err != nil {
+				return nil, err
+			}
+			t.entries[g-lo] = Entry{Proc: int32(proc), Local: int32(local)}
+		}
+	}
+	return t, nil
+}
+
+// ShardOf returns the processor whose table shard can resolve global.
+func (t *DistributedTable) ShardOf(global int64) (int, error) {
+	if global < 0 || global >= t.n {
+		return 0, fmt.Errorf("translate: index %d out of range [0,%d)", global, t.n)
+	}
+	return int(global / t.blockSize), nil
+}
+
+// Lookup resolves a global index against the local shard only; it
+// fails with ErrRemote if another shard owns the entry.
+func (t *DistributedTable) Lookup(global int64) (Entry, error) {
+	owner, err := t.ShardOf(global)
+	if err != nil {
+		return Entry{}, err
+	}
+	if owner != t.shard {
+		return Entry{}, fmt.Errorf("translate: index %d owned by shard %d, not %d: %w",
+			global, owner, t.shard, ErrRemote)
+	}
+	return t.entries[global-int64(t.shard)*t.blockSize], nil
+}
+
+// MemoryWords implements Table: two words per locally stored entry.
+func (t *DistributedTable) MemoryWords() int64 { return 2 * int64(len(t.entries)) }
+
+// ErrRemote reports that a lookup needs communication with the owning
+// shard.
+var ErrRemote = fmt.Errorf("entry stored on a remote shard")

@@ -1,0 +1,189 @@
+package translate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stance/internal/partition"
+)
+
+func testLayout(t *testing.T) *partition.Layout {
+	t.Helper()
+	l, err := partition.New(100, []float64{0.27, 0.18, 0.34, 0.07, 0.14}, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestIntervalTableMatchesLayout(t *testing.T) {
+	l := testLayout(t)
+	tab := NewIntervalTable(l)
+	for g := int64(0); g < l.N(); g++ {
+		e, err := tab.Lookup(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, local, err := l.Locate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(e.Proc) != proc || int64(e.Local) != local {
+			t.Fatalf("Lookup(%d) = %+v, want (%d,%d)", g, e, proc, local)
+		}
+	}
+	if _, err := tab.Lookup(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := tab.Lookup(100); err == nil {
+		t.Error("past-end index accepted")
+	}
+}
+
+func TestAllTablesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		p := rng.Intn(6) + 1
+		n := int64(rng.Intn(300) + 1)
+		w := make([]float64, p)
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		arr := rng.Perm(p)
+		l, err := partition.New(n, w, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interval := NewIntervalTable(l)
+		replicated := NewReplicatedTable(l)
+		shards := make([]*DistributedTable, p)
+		for s := 0; s < p; s++ {
+			shards[s], err = NewDistributedTable(l, p, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for g := int64(0); g < n; g++ {
+			a, err := interval.Lookup(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := replicated.Lookup(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("interval %+v != replicated %+v at %d", a, b, g)
+			}
+			owner, err := shards[0].ShardOf(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := shards[owner].Lookup(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != c {
+				t.Fatalf("interval %+v != distributed %+v at %d", a, c, g)
+			}
+		}
+	}
+}
+
+func TestDistributedTableRemote(t *testing.T) {
+	l := testLayout(t)
+	tab, err := NewDistributedTable(l, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 holds globals [0, 20); index 50 is remote.
+	if _, err := tab.Lookup(50); !errors.Is(err, ErrRemote) {
+		t.Errorf("remote lookup error = %v, want ErrRemote", err)
+	}
+	if _, err := tab.Lookup(5); err != nil {
+		t.Errorf("local lookup failed: %v", err)
+	}
+	if _, err := tab.Lookup(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := tab.ShardOf(1000); err == nil {
+		t.Error("out-of-range ShardOf accepted")
+	}
+}
+
+func TestDistributedTableErrors(t *testing.T) {
+	l := testLayout(t)
+	if _, err := NewDistributedTable(l, 0, 0); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := NewDistributedTable(l, 3, 3); err == nil {
+		t.Error("shard out of range accepted")
+	}
+}
+
+func TestDistributedTableUnevenShards(t *testing.T) {
+	// 10 elements over 4 shards: block size 3, last shard holds 1.
+	l, err := partition.NewUniform(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{3, 3, 3, 1}
+	for s := 0; s < 4; s++ {
+		tab, err := NewDistributedTable(l, 4, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(tab.MemoryWords() / 2); got != sizes[s] {
+			t.Errorf("shard %d holds %d entries, want %d", s, got, sizes[s])
+		}
+	}
+}
+
+func TestMemoryWordsScaling(t *testing.T) {
+	// The paper's argument: interval table is O(p), replicated is O(n).
+	l, err := partition.NewUniform(10000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := NewIntervalTable(l).MemoryWords()
+	replicated := NewReplicatedTable(l).MemoryWords()
+	if interval >= 100 {
+		t.Errorf("interval table uses %d words, want O(p)", interval)
+	}
+	if replicated != 20000 {
+		t.Errorf("replicated table uses %d words, want 2n", replicated)
+	}
+	dist, err := NewDistributedTable(l, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.MemoryWords() != 5000 {
+		t.Errorf("distributed shard uses %d words, want 2n/p", dist.MemoryWords())
+	}
+}
+
+func TestReplicatedTableBounds(t *testing.T) {
+	l := testLayout(t)
+	tab := NewReplicatedTable(l)
+	if _, err := tab.Lookup(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := tab.Lookup(100); err == nil {
+		t.Error("past-end accepted")
+	}
+}
+
+func TestTableInterfaceCompliance(t *testing.T) {
+	l := testLayout(t)
+	var tables []Table
+	tables = append(tables, NewIntervalTable(l), NewReplicatedTable(l))
+	for _, tab := range tables {
+		if tab.MemoryWords() <= 0 {
+			t.Errorf("%T: non-positive memory", tab)
+		}
+		if _, err := tab.Lookup(0); err != nil {
+			t.Errorf("%T: %v", tab, err)
+		}
+	}
+}

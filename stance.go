@@ -1,0 +1,204 @@
+// Package stance is a Go reproduction of the STANCE runtime library
+// from "Runtime Support for Parallelization of Data-Parallel
+// Applications on Adaptive and Nonuniform Computational Environments"
+// (Kaddoura & Ranka, Syracuse University, 1995).
+//
+// STANCE parallelizes iterative, unstructured data-parallel
+// applications — the canonical example is a sparse neighbor-averaging
+// loop over an unstructured mesh — on clusters whose machines differ
+// in speed (nonuniform) and whose delivered speeds change during the
+// run (adaptive). The library is organized around the paper's four
+// phases:
+//
+//   - Phase A, data partitioning: a locality-preserving transformation
+//     maps the computational graph to a one-dimensional list, so
+//     partitioning for any capability vector is just cutting the list
+//     into contiguous intervals (see Orderings).
+//   - Phase B, inspector: off-processor references are deduplicated
+//     and turned into communication schedules, either with zero
+//     communication by exploiting access symmetry (schedule_sort1/2)
+//     or through a distributed translation table (the baseline).
+//   - Phase C, executor: Exchange and ScatterAdd replay the schedules
+//     to move ghost data each iteration.
+//   - Phase D, load balancing: measured per-item compute rates feed a
+//     centralized controller that remaps data when the predicted gain
+//     beats the redistribution cost, choosing the new arrangement with
+//     the MinimizeCostRedistribution heuristic.
+//
+// The facade re-exports the internal packages a downstream user needs:
+// message-passing worlds (in-process with a modeled Ethernet, or TCP),
+// mesh generators, locality orderings, the runtime, the solver and the
+// balancer. See examples/ for runnable programs and DESIGN.md for the
+// full architecture.
+package stance
+
+import (
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/graph"
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/mesh"
+	"stance/internal/order"
+	"stance/internal/partition"
+	"stance/internal/redist"
+	"stance/internal/solver"
+)
+
+// Re-exported core types. The aliases expose the internal
+// implementations as the public API surface.
+type (
+	// Comm is one rank's endpoint in an SPMD world.
+	Comm = comm.Comm
+	// NetworkModel emulates a shared-medium network's latency and
+	// bandwidth for in-process worlds.
+	NetworkModel = comm.Model
+	// Graph is an undirected computational graph in CSR form.
+	Graph = graph.Graph
+	// Edge is an undirected graph edge.
+	Edge = graph.Edge
+	// Config parameterizes the runtime.
+	Config = core.Config
+	// Runtime is one rank's view of the distributed computation.
+	Runtime = core.Runtime
+	// Vector is a distributed array with a ghost section.
+	Vector = core.Vector
+	// RemapStats reports what a redistribution moved and cost.
+	RemapStats = core.RemapStats
+	// Strategy selects the inspector variant.
+	Strategy = core.Strategy
+	// RemapPolicy selects the arrangement search used on remaps.
+	RemapPolicy = core.RemapPolicy
+	// Layout assigns contiguous intervals of the one-dimensional list
+	// to processors.
+	Layout = partition.Layout
+	// Interval is a half-open range of global indices.
+	Interval = partition.Interval
+	// Env describes a simulated nonuniform/adaptive cluster.
+	Env = hetero.Env
+	// Load is a competing load on one workstation.
+	Load = hetero.Load
+	// Solver runs the paper's Figure 8 irregular loop.
+	Solver = solver.Solver
+	// Timings are the solver's accumulated per-rank measurements.
+	Timings = solver.Timings
+	// Balancer drives the periodic load-balance check.
+	Balancer = loadbal.Balancer
+	// BalancerConfig parameterizes the balancer.
+	BalancerConfig = loadbal.Config
+	// Report is one rank's load report.
+	Report = loadbal.Report
+	// Decision is the controller's load-balancing verdict.
+	Decision = loadbal.Decision
+	// CostModel prices redistributions for profitability decisions.
+	CostModel = redist.CostModel
+	// OrderFunc computes a locality-preserving permutation.
+	OrderFunc = order.Func
+	// Estimator predicts next-phase rates from measurement history.
+	Estimator = loadbal.Estimator
+	// EstimatorKind selects the rate-prediction policy.
+	EstimatorKind = loadbal.EstimatorKind
+)
+
+// Rate-estimation policies (the paper's "predict from more than one
+// previous phase" extension).
+const (
+	EstimateLast = loadbal.EstimateLast
+	EstimateEWMA = loadbal.EstimateEWMA
+	EstimateMax  = loadbal.EstimateMax
+)
+
+// NewEstimator creates a rate estimator for BalancerConfig.Estimator.
+func NewEstimator(kind EstimatorKind, alpha float64) (*Estimator, error) {
+	return loadbal.NewEstimator(kind, alpha)
+}
+
+// Inspector strategies (paper Table 3).
+const (
+	StrategySort2  = core.StrategySort2
+	StrategySort1  = core.StrategySort1
+	StrategySimple = core.StrategySimple
+)
+
+// Remap policies (paper Section 3.4).
+const (
+	RemapMCRIterated     = core.RemapMCRIterated
+	RemapMCR             = core.RemapMCR
+	RemapKeepArrangement = core.RemapKeepArrangement
+)
+
+// NewWorld creates an in-process SPMD world of p ranks whose messages
+// cost according to model (nil = free network).
+func NewWorld(p int, model *NetworkModel) ([]*Comm, error) {
+	return comm.NewWorld(p, model)
+}
+
+// NewTCPWorld creates a world connected by loopback TCP sockets; the
+// returned closer shuts the mesh down.
+func NewTCPWorld(p int) ([]*Comm, func() error, error) {
+	return comm.NewTCPWorld(p)
+}
+
+// Ethernet models the paper's 10 Mbit shared Ethernet; scale < 1
+// speeds it up proportionally.
+func Ethernet(scale float64) *NetworkModel {
+	return comm.Ethernet(scale)
+}
+
+// SPMD runs f once per rank, each in its own goroutine, and joins all
+// errors.
+func SPMD(comms []*Comm, f func(c *Comm) error) error {
+	return comm.SPMD(comms, f)
+}
+
+// CloseWorld closes every endpoint in a world.
+func CloseWorld(comms []*Comm) error {
+	return comm.CloseWorld(comms)
+}
+
+// New builds the runtime collectively on every rank.
+func New(c *Comm, g *Graph, cfg Config) (*Runtime, error) {
+	return core.New(c, g, cfg)
+}
+
+// NewSolver creates the Figure 8 solver on a runtime; env may be nil.
+func NewSolver(rt *Runtime, env *Env, workRep int) (*Solver, error) {
+	return solver.New(rt, env, workRep)
+}
+
+// NewBalancer creates the adaptive load balancer bound to a runtime.
+func NewBalancer(rt *Runtime, cfg BalancerConfig) (*Balancer, error) {
+	return loadbal.New(rt, cfg)
+}
+
+// UniformEnv returns p equally fast, unloaded workstations.
+func UniformEnv(p int) *Env { return hetero.Uniform(p) }
+
+// LoadedEnv returns p workstations with a constant competing load of
+// the given factor on workstation 0 — the paper's Table 5 scenario.
+func LoadedEnv(p int, factor float64) *Env { return hetero.PaperAdaptive(p, factor) }
+
+// OrderByName returns a locality ordering by name: "identity",
+// "random", "rcb", "rib", "morton", "hilbert", "rcm" or "spectral".
+func OrderByName(name string) (OrderFunc, error) { return order.ByName(name) }
+
+// Orderings lists the available ordering names.
+func Orderings() []string { return order.Names() }
+
+// RCB is recursive coordinate bisection, the ordering used throughout
+// the paper's figures.
+var RCB = order.RCB
+
+// Mesh generators (package mesh): the paper's evaluation mesh is not
+// available, so PaperMesh builds a honeycomb matched to its 30269
+// vertices and ~45k edges.
+var (
+	PaperMesh       = mesh.Paper
+	Honeycomb       = mesh.Honeycomb
+	GridMesh        = mesh.GridTriangulated
+	AnnulusMesh     = mesh.Annulus
+	RandomGeometric = mesh.RandomGeometric
+)
+
+// GraphFromEdges builds a validated CSR graph from an edge list.
+var GraphFromEdges = graph.FromEdges
