@@ -1,59 +1,64 @@
 // Command stance-run executes the paper's iterative irregular loop on
 // a simulated (or TCP-connected) cluster with arbitrary mesh, ordering,
 // heterogeneity and load-balancing settings — the workbench the
-// examples and tables are special cases of.
+// examples and tables are special cases of. It is a thin shell over
+// the session API: every run is one NewSession + Run.
 //
 // Examples:
 //
 //	stance-run -p 4 -iters 50 -mesh honeycomb:60x80 -order rcb
 //	stance-run -p 3 -load 0:3 -lb -check-every 10
-//	stance-run -p 2 -tcp -mesh grid:40x40
+//	stance-run -p 2 -transport tcp -mesh grid:40x40
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"stance/internal/comm"
 	"stance/internal/core"
 	"stance/internal/hetero"
 	"stance/internal/loadbal"
-	"stance/internal/metrics"
-	"stance/internal/redist"
-	"stance/internal/solver"
-
 	"stance/internal/mesh"
 	"stance/internal/meshspec"
 	"stance/internal/order"
+	"stance/internal/redist"
+	"stance/internal/session"
 )
 
 type loadFlags []hetero.Load
 
 func (l *loadFlags) String() string { return fmt.Sprint(*l) }
 
-// Set parses "rank:factor[:fromIter[:untilIter]]".
+// Set parses "rank:factor[:fromIter[:untilIter]]". strconv rejects
+// trailing garbage ("3junk"), unlike fmt.Sscanf.
 func (l *loadFlags) Set(s string) error {
 	var ld hetero.Load
 	parts := strings.Split(s, ":")
 	if len(parts) < 2 || len(parts) > 4 {
 		return fmt.Errorf("load %q: want rank:factor[:from[:until]]", s)
 	}
-	if _, err := fmt.Sscanf(parts[0], "%d", &ld.Rank); err != nil {
+	var err error
+	if ld.Rank, err = strconv.Atoi(parts[0]); err != nil {
 		return fmt.Errorf("load rank %q: %v", parts[0], err)
 	}
-	if _, err := fmt.Sscanf(parts[1], "%g", &ld.Factor); err != nil {
+	if ld.Factor, err = strconv.ParseFloat(parts[1], 64); err != nil {
 		return fmt.Errorf("load factor %q: %v", parts[1], err)
 	}
 	if len(parts) > 2 {
-		if _, err := fmt.Sscanf(parts[2], "%d", &ld.FromIter); err != nil {
+		if ld.FromIter, err = strconv.Atoi(parts[2]); err != nil {
 			return fmt.Errorf("load from %q: %v", parts[2], err)
 		}
 	}
 	if len(parts) > 3 {
-		if _, err := fmt.Sscanf(parts[3], "%d", &ld.UntilIter); err != nil {
+		if ld.UntilIter, err = strconv.Atoi(parts[3]); err != nil {
 			return fmt.Errorf("load until %q: %v", parts[3], err)
 		}
 	}
@@ -73,179 +78,124 @@ func main() {
 	lb := flag.Bool("lb", false, "enable adaptive load balancing")
 	checkEvery := flag.Int("check-every", 10, "iterations between load-balance checks")
 	netScale := flag.Float64("netscale", 0.1, "Ethernet model scale (in-process transport only)")
-	tcp := flag.Bool("tcp", false, "connect ranks over loopback TCP instead of in-process channels")
+	transport := flag.String("transport", "inproc", "comm transport: "+strings.Join(comm.Transports(), ", "))
+	tcp := flag.Bool("tcp", false, "shorthand for -transport tcp")
 	weighted := flag.Bool("weighted", false, "balance vertex weight (degree) instead of vertex counts")
 	decentralized := flag.Bool("decentralized", false, "decide load balancing on every rank (no controller)")
 	ewma := flag.Float64("ewma", 0, "EWMA smoothing for rate estimates (0 = paper's last-window)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "competing load rank:factor[:from[:until]] (repeatable)")
 	flag.Parse()
+	if *tcp {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "transport" {
+				explicit = true
+			}
+		})
+		if explicit && *transport != "tcp" {
+			log.Fatalf("-tcp conflicts with -transport %s", *transport)
+		}
+		*transport = "tcp"
+	}
+
+	// Ctrl-C cancels the session context: every blocked receive
+	// unwinds with context.Canceled instead of the run deadlocking.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	g, err := meshspec.Build(*meshSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ord, err := order.ByName(*ordName)
-	if err != nil {
-		log.Fatal(err)
+	// Every transport receives the model; ones that run over real
+	// sockets (tcp) ignore it.
+	cfg := session.Config{
+		Procs:      *p,
+		Transport:  *transport,
+		Model:      comm.Ethernet(*netScale),
+		OrderName:  *ordName,
+		WorkRep:    *workRep,
+		CheckEvery: *checkEvery,
 	}
-	var strat core.Strategy
 	switch *strategy {
 	case "sort1":
-		strat = core.StrategySort1
+		cfg.Strategy = core.StrategySort1
 	case "sort2":
-		strat = core.StrategySort2
+		cfg.Strategy = core.StrategySort2
 	case "simple":
-		strat = core.StrategySimple
+		cfg.Strategy = core.StrategySimple
 	default:
 		log.Fatalf("unknown strategy %q", *strategy)
 	}
 	env := hetero.Uniform(*p)
 	env.Loads = append(env.Loads, loads...)
-	if err := env.Validate(); err != nil {
-		log.Fatal(err)
+	cfg.Env = env
+	if *weighted {
+		vw := make([]float64, g.N)
+		for v := 0; v < g.N; v++ {
+			vw[v] = float64(g.Degree(v)) + 1
+		}
+		cfg.VertexWeights = vw
 	}
-
-	var ws []*comm.Comm
-	if *tcp {
-		var closer func() error
-		ws, closer, err = comm.NewTCPWorld(*p)
-		if err != nil {
-			log.Fatal(err)
+	if *lb {
+		// Horizon is left zero: the session defaults it to the check
+		// interval.
+		bal := loadbal.Config{
+			CostModel:     redist.CostModel{PerMessage: 1e-3 * *netScale, PerByte: *netScale / 1.25e6},
+			Decentralized: *decentralized,
 		}
-		defer closer()
-	} else {
-		ws, err = comm.NewWorld(*p, comm.Ethernet(*netScale))
-		if err != nil {
-			log.Fatal(err)
+		if *ewma > 0 {
+			est, err := loadbal.NewEstimator(loadbal.EstimateEWMA, *ewma)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bal.Estimator = est
 		}
-		defer comm.CloseWorld(ws)
+		cfg.Balancer = &bal
+		// Print remaps live, so long runs show balancing as it happens.
+		cfg.OnCheck = func(ev session.CheckEvent) {
+			if d := ev.Decision; d.Remapped {
+				fmt.Printf("  iter %d: remapped (predicted %.4fs -> %.4fs per phase, cost %.4fs)\n",
+					ev.Iter, d.PredictedCurrent, d.PredictedNew, d.EstimatedRemapCost)
+			}
+		}
 	}
 
 	st := mesh.Describe(g)
 	fmt.Printf("mesh: %d vertices, %d edges (degree %d..%d), order %s, %d workstations, transport %s\n",
-		st.Vertices, st.Edges, st.MinDegree, st.MaxDegree, *ordName, *p, transportName(*tcp))
+		st.Vertices, st.Edges, st.MinDegree, st.MaxDegree, *ordName, *p, *transport)
 	if len(loads) > 0 {
 		fmt.Printf("competing loads: %v\n", []hetero.Load(loads))
 	}
 
-	var wall time.Duration
-	totals := make([]solver.Timings, *p)
-	accumulate := func(rank int, tm solver.Timings) {
-		totals[rank].Compute += tm.Compute
-		totals[rank].Comm += tm.Comm
-		totals[rank].Items += tm.Items
+	s, err := session.New(ctx, g, cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	checks, remaps := 0, 0
-	var vertexWeights []float64
-	if *weighted {
-		vertexWeights = make([]float64, g.N)
-		for v := 0; v < g.N; v++ {
-			vertexWeights[v] = float64(g.Degree(v)) + 1
-		}
-	}
-	err = comm.SPMD(ws, func(c *comm.Comm) error {
-		rt, err := core.New(c, g, core.Config{Order: ord, Strategy: strat, VertexWeights: vertexWeights})
-		if err != nil {
-			return err
-		}
-		s, err := solver.New(rt, env, *workRep)
-		if err != nil {
-			return err
-		}
-		var bal *loadbal.Balancer
-		if *lb {
-			var est *loadbal.Estimator
-			if *ewma > 0 {
-				est, err = loadbal.NewEstimator(loadbal.EstimateEWMA, *ewma)
-				if err != nil {
-					return err
-				}
-			}
-			bal, err = loadbal.New(rt, loadbal.Config{
-				Horizon:       *checkEvery,
-				CostModel:     redist.CostModel{PerMessage: 1e-3 * *netScale, PerByte: *netScale / 1.25e6},
-				Estimator:     est,
-				Decentralized: *decentralized,
-			})
-			if err != nil {
-				return err
-			}
-		}
-		if err := c.Barrier(1); err != nil {
-			return err
-		}
-		start := time.Now()
-		err = s.Run(*iters, func(iter int) error {
-			if bal == nil || iter%*checkEvery != 0 || iter == *iters {
-				return nil
-			}
-			tm := s.TakeTimings()
-			accumulate(c.Rank(), tm)
-			d, err := bal.Check(loadbal.Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
-			if err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				checks++
-				if d.Remapped {
-					remaps++
-					fmt.Printf("  iter %d: remapped (predicted %.4fs -> %.4fs per phase, cost %.4fs)\n",
-						iter, d.PredictedCurrent, d.PredictedNew, d.EstimatedRemapCost)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		if err := c.Barrier(2); err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			wall = time.Since(start)
-		}
-		accumulate(c.Rank(), s.TakeTimings())
-		return nil
-	})
+	defer s.Close()
+	rep, err := s.Run(*iters)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\n%d iterations in %v (%.2f ms/iter)\n", *iters, wall.Round(time.Millisecond),
-		wall.Seconds()*1e3/float64(*iters))
+	fmt.Printf("\n%d iterations in %v (%.2f ms/iter)\n", *iters, rep.Wall.Round(time.Millisecond),
+		rep.Wall.Seconds()*1e3/float64(*iters))
+	fmt.Printf("messages: %d (%d payload bytes)\n", rep.Msgs, rep.Bytes)
 	fmt.Println("rank  compute     comm        items")
-	for r, tm := range totals {
-		fmt.Printf("%4d  %-10v  %-10v  %d\n", r, tm.Compute.Round(time.Microsecond),
-			tm.Comm.Round(time.Microsecond), tm.Items)
+	for r, u := range rep.Ranks {
+		fmt.Printf("%4d  %-10v  %-10v  %d\n", r, u.Compute.Round(time.Microsecond),
+			u.Comm.Round(time.Microsecond), u.Items)
 	}
 	if *p > 1 {
 		// Section 4 efficiency from measured rates: a rank computing
 		// rate seconds/item alone would need rate * meshSize * iters
 		// for the whole run.
-		seq := make([]float64, 0, *p)
-		usable := true
-		for _, tm := range totals {
-			if tm.Items == 0 {
-				usable = false
-				break
-			}
-			seq = append(seq, tm.RatePerItem()*float64(st.Vertices)*float64(*iters))
-		}
-		if usable {
-			if e, err := metrics.EfficiencyStatic(wall.Seconds(), seq); err == nil {
-				fmt.Printf("efficiency (Section 4 definition, measured rates): %.2f\n", e)
-			}
+		if e, err := rep.Efficiency(st.Vertices); err == nil {
+			fmt.Printf("efficiency (Section 4 definition, measured rates): %.2f\n", e)
 		}
 	}
 	if *lb {
-		fmt.Printf("load-balance checks: %d, remaps: %d\n", checks, remaps)
+		fmt.Printf("load-balance checks: %d, remaps: %d\n", len(rep.Checks), len(rep.Remaps()))
 	}
-}
-
-func transportName(tcp bool) string {
-	if tcp {
-		return "tcp"
-	}
-	return "in-process"
 }

@@ -3,13 +3,15 @@
 // constant competing load lands on workstation 0. Without load
 // balancing the loaded machine drags every phase; with the paper's
 // protocol (check after 10 iterations, remap if profitable) the run
-// time roughly halves.
+// time roughly halves. Each variant is one session: the balanced run
+// just adds WithBalancer.
 //
 //	go run ./examples/adaptive
 //	go run ./examples/adaptive -p 5 -factor 3 -iters 40
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,64 +20,38 @@ import (
 	"stance"
 )
 
-func run(g *stance.Graph, p, iters, workRep int, factor, netScale float64, balance bool) (time.Duration, *stance.Decision) {
-	world, err := stance.NewWorld(p, stance.Ethernet(netScale))
-	if err != nil {
-		log.Fatal(err)
+func run(g *stance.Graph, p, iters, workRep int, factor, netScale float64, balance bool) (time.Duration, *stance.CheckEvent, int) {
+	opts := []stance.Option{
+		stance.WithOrdering("rcb"),
+		stance.WithNetworkModel(stance.Ethernet(netScale)),
+		stance.WithEnv(stance.LoadedEnv(p, factor)),
+		stance.WithWorkRep(workRep),
 	}
-	defer stance.CloseWorld(world)
-	env := stance.LoadedEnv(p, factor)
-	var wall time.Duration
-	var decision *stance.Decision
-	err = stance.SPMD(world, func(c *stance.Comm) error {
-		rt, err := stance.New(c, g, stance.Config{Order: stance.RCB})
-		if err != nil {
-			return err
-		}
-		s, err := stance.NewSolver(rt, env, workRep)
-		if err != nil {
-			return err
-		}
-		bal, err := stance.NewBalancer(rt, stance.BalancerConfig{
-			Horizon:   iters - 10,
+	if balance {
+		// Horizon defaults to the check interval: each periodic check
+		// amortizes a remap over the iterations until the next check.
+		opts = append(opts, stance.WithBalancer(stance.BalancerConfig{
 			CostModel: stance.CostModel{PerMessage: 1e-3 * netScale, PerByte: netScale / 1.25e6},
-		})
-		if err != nil {
-			return err
-		}
-		if err := c.Barrier(1); err != nil {
-			return err
-		}
-		start := time.Now()
-		err = s.Run(iters, func(iter int) error {
-			if !balance || iter != 10 {
-				return nil
-			}
-			tm := s.TakeTimings()
-			d, err := bal.Check(stance.Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
-			if err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				decision = &d
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		if err := c.Barrier(2); err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			wall = time.Since(start)
-		}
-		return nil
-	})
+		}))
+	}
+	s, err := stance.NewSession(context.Background(), g, p, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return wall, decision
+	defer s.Close()
+	rep, err := s.Run(iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Report the check that remapped (a borderline first check may
+	// decline), falling back to the first check.
+	var ev *stance.CheckEvent
+	if remaps := rep.Remaps(); len(remaps) > 0 {
+		ev = &remaps[0]
+	} else if checks := rep.Checks; len(checks) > 0 {
+		ev = &checks[0]
+	}
+	return rep.Wall, ev, len(rep.Remaps())
 }
 
 func main() {
@@ -102,17 +78,21 @@ func main() {
 		g.N, *p, *factor)
 	fmt.Printf("decomposition assumes equal machines; %d iterations\n\n", *iters)
 
-	static, _ := run(g, *p, *iters, *workRep, *factor, *netScale, false)
+	static, _, _ := run(g, *p, *iters, *workRep, *factor, *netScale, false)
 	fmt.Printf("without load balancing: %v\n", static.Round(time.Millisecond))
 
-	adaptive, d := run(g, *p, *iters, *workRep, *factor, *netScale, true)
+	adaptive, ev, remaps := run(g, *p, *iters, *workRep, *factor, *netScale, true)
 	fmt.Printf("with load balancing:    %v\n", adaptive.Round(time.Millisecond))
-	if d != nil {
-		fmt.Printf("\ncheck after 10 iterations:\n")
+	if ev != nil {
+		d := ev.Decision
+		fmt.Printf("\ncheck after %d iterations:\n", ev.Iter)
 		fmt.Printf("  estimated capabilities: %v\n", normalized(d.NewWeights))
 		fmt.Printf("  predicted phase time: %.4fs -> %.4fs\n", d.PredictedCurrent, d.PredictedNew)
 		fmt.Printf("  remapped: %v (check cost %v, remap cost %v)\n",
 			d.Remapped, d.CheckTime.Round(time.Microsecond), d.RemapTime.Round(time.Microsecond))
+		if remaps > 1 {
+			fmt.Printf("  later checks remapped %d more time(s)\n", remaps-1)
+		}
 	}
 	if adaptive < static {
 		fmt.Printf("\nload balancing saved %.0f%% (paper Table 5: ~50%%)\n",

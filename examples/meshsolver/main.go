@@ -1,18 +1,19 @@
 // Meshsolver reproduces the paper's static-environment experiment
 // (Table 4): the 500-iteration irregular loop over the paper-scale
 // unstructured mesh on clusters of one to five workstations, with
-// efficiency computed by the Section 4 definition. Scaled-down
-// defaults keep the demo under a minute; flags restore paper scale.
+// efficiency computed by the Section 4 definition. Each cluster size
+// is one session. Scaled-down defaults keep the demo under a minute;
+// flags restore paper scale.
 //
 //	go run ./examples/meshsolver
 //	go run ./examples/meshsolver -iters 500 -work 300
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"time"
 
 	"stance"
 	"stance/internal/metrics"
@@ -42,40 +43,20 @@ func main() {
 
 	var t1 float64
 	for p := 1; p <= 5; p++ {
-		world, err := stance.NewWorld(p, stance.Ethernet(*netScale))
+		s, err := stance.NewSession(context.Background(), g, p,
+			stance.WithOrdering("rcb"),
+			stance.WithNetworkModel(stance.Ethernet(*netScale)),
+			stance.WithEnv(stance.UniformEnv(p)),
+			stance.WithWorkRep(*workRep))
 		if err != nil {
 			log.Fatal(err)
 		}
-		var wall time.Duration
-		err = stance.SPMD(world, func(c *stance.Comm) error {
-			rt, err := stance.New(c, g, stance.Config{Order: stance.RCB})
-			if err != nil {
-				return err
-			}
-			s, err := stance.NewSolver(rt, stance.UniformEnv(p), *workRep)
-			if err != nil {
-				return err
-			}
-			if err := c.Barrier(1); err != nil {
-				return err
-			}
-			start := time.Now()
-			if err := s.Run(*iters, nil); err != nil {
-				return err
-			}
-			if err := c.Barrier(2); err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				wall = time.Since(start)
-			}
-			return nil
-		})
-		stance.CloseWorld(world)
+		rep, err := s.Run(*iters)
+		s.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		tp := wall.Seconds()
+		tp := rep.Wall.Seconds()
 		if p == 1 {
 			t1 = tp
 		}

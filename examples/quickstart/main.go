@@ -1,10 +1,16 @@
 // Quickstart: run the paper's irregular loop (Figure 8) on three
 // simulated workstations in under a screenful of code.
 //
+// The session API is the shortest path into the library: one
+// NewSession call replaces the world/runtime/solver wiring every rank
+// used to repeat, and one Run call drives the iterations and hands
+// back a consolidated report.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,50 +28,43 @@ func main() {
 	}
 	fmt.Printf("mesh: %d vertices, %d edges\n", g.N, g.NumEdges())
 
-	// Three workstations connected by a (modeled) 10 Mbit Ethernet,
-	// sped up 10x. Each Comm is one SPMD rank.
-	world, err := stance.NewWorld(3, stance.Ethernet(0.1))
+	// One call builds the whole stack on three SPMD ranks: the mesh is
+	// transformed into the locality-preserving 1-D order (recursive
+	// coordinate bisection, Phase A), cut into per-rank intervals, and
+	// the communication schedule is built (Phase B). The ranks talk
+	// over a modeled 10 Mbit Ethernet sped up 10x; swap the transport
+	// with stance.WithTransport("tcp") to run over real sockets. The
+	// context tears the whole session down if cancelled.
+	s, err := stance.NewSession(context.Background(), g, 3,
+		stance.WithOrdering("rcb"),
+		stance.WithNetworkModel(stance.Ethernet(0.1)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer stance.CloseWorld(world)
+	defer s.Close()
 
-	// Every rank: transform the mesh into the locality-preserving 1-D
-	// order (recursive coordinate bisection), take its interval, build
-	// the communication schedule, and iterate: exchange ghosts,
-	// average neighbors.
-	err = stance.SPMD(world, func(c *stance.Comm) error {
-		rt, err := stance.New(c, g, stance.Config{Order: stance.RCB})
-		if err != nil {
-			return err
-		}
-		s, err := stance.NewSolver(rt, nil, 1)
-		if err != nil {
-			return err
-		}
-		if err := s.Run(20, nil); err != nil {
-			return err
-		}
-
-		// Gather the solution on rank 0 and summarize it.
-		y, err := s.GatherResult(0)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			sum := 0.0
-			for _, v := range y {
-				sum += v
-			}
-			tm := s.TakeTimings()
-			fmt.Printf("rank 0 owned %d elements, ghosts %d\n",
-				rt.LocalN(), rt.Schedule().NGhosts())
-			fmt.Printf("after 20 iterations: mean y = %.6f\n", sum/float64(len(y)))
-			fmt.Printf("rank 0 compute %v, comm %v\n", tm.Compute, tm.Comm)
-		}
-		return nil
-	})
+	// Run 20 iterations of the loop — each phase exchanges ghost
+	// values (Phase C) and averages neighbors — and collect the
+	// consolidated report: wall time, per-rank compute/comm split,
+	// message counts.
+	rep, err := s.Run(20)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Gather the solution and summarize the run.
+	y, err := s.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range y {
+		sum += v
+	}
+	rt := s.Runtime(0)
+	fmt.Printf("rank 0 owned %d elements, ghosts %d\n",
+		rt.LocalN(), rt.Schedule().NGhosts())
+	fmt.Printf("after %d iterations: mean y = %.6f\n", rep.Iters, sum/float64(len(y)))
+	fmt.Printf("wall %v; rank 0 compute %v, comm %v; %d messages (%d bytes)\n",
+		rep.Wall, rep.Ranks[0].Compute, rep.Ranks[0].Comm, rep.Msgs, rep.Bytes)
 }

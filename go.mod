@@ -1,0 +1,3 @@
+module stance
+
+go 1.24

@@ -153,6 +153,9 @@ func TestTable4Shape(t *testing.T) {
 	if len(tab.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
+	if testing.Short() {
+		t.Skip("wall-clock speedup assertions are unreliable on loaded/slow machines")
+	}
 	// Time decreases with processors; efficiency decreases but stays
 	// reasonable.
 	t1 := cellSeconds(t, tab, 0, "Measured Time")
@@ -178,19 +181,28 @@ func TestTable5Shape(t *testing.T) {
 	if len(tab.Rows) != 3 { // seq row + 2 worker sets in quick mode
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
+	// Deterministic structure first: a factor-3 imbalance must produce
+	// a remap, so the check and remap costs are measured in every row.
+	for row := 1; row < len(tab.Rows); row++ {
+		check := cellSeconds(t, tab, row, "check")
+		lbCost := cellSeconds(t, tab, row, "LB cost")
+		if check <= 0 || lbCost <= 0 {
+			t.Errorf("row %d: costs not measured (check %g, LB %g)", row, check, lbCost)
+		}
+	}
+	if testing.Short() {
+		t.Skip("wall-clock LB-gain and cost-ratio assertions are unreliable on loaded/slow machines")
+	}
 	for row := 1; row < len(tab.Rows); row++ {
 		withLB := cellSeconds(t, tab, row, "LB")
 		withoutLB := cellSeconds(t, tab, row, "no-LB")
 		if withLB >= withoutLB {
 			t.Errorf("row %d: load balancing did not help (%g vs %g)", row, withLB, withoutLB)
 		}
-		check := cellSeconds(t, tab, row, "check")
-		lbCost := cellSeconds(t, tab, row, "LB cost")
-		if check <= 0 || lbCost <= 0 {
-			t.Errorf("row %d: costs not measured (check %g, LB %g)", row, check, lbCost)
-		}
 		// The check is much cheaper than the remap (paper: an order of
 		// magnitude).
+		check := cellSeconds(t, tab, row, "check")
+		lbCost := cellSeconds(t, tab, row, "LB cost")
 		if check >= lbCost {
 			t.Errorf("row %d: check (%g) not cheaper than remap (%g)", row, check, lbCost)
 		}
@@ -217,6 +229,9 @@ func TestMeasureAdaptiveReportsRemap(t *testing.T) {
 	}
 	if !res.Remapped {
 		t.Error("3x imbalance did not trigger a remap")
+	}
+	if testing.Short() {
+		t.Skip("wall-clock LB speedup assertion is unreliable on loaded/slow machines")
 	}
 	if res.WithLB >= res.WithoutLB {
 		t.Errorf("LB run (%v) not faster than static run (%v)", res.WithLB, res.WithoutLB)

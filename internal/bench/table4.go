@@ -1,15 +1,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"stance/internal/comm"
-	"stance/internal/core"
 	"stance/internal/graph"
 	"stance/internal/hetero"
+	"stance/internal/loadbal"
 	"stance/internal/metrics"
-	"stance/internal/solver"
+	"stance/internal/session"
 )
 
 // table4Paper holds the paper's published static-environment times and
@@ -36,51 +37,31 @@ func staticScale(opts Options) (iters, workRep int) {
 // unloaded workstations over the modeled Ethernet, returning the wall
 // time (max over ranks).
 func MeasureStaticRun(g *graph.Graph, p, iters, workRep int, netScale float64) (time.Duration, error) {
-	return measureRun(g, hetero.Uniform(p), p, iters, workRep, netScale, nil)
-}
-
-// measureRun executes an iterative solve and reports rank 0's
-// barrier-to-barrier wall time; hook (if non-nil) runs between
-// iterations (the load-balancing variant uses it).
-func measureRun(g *graph.Graph, env *hetero.Env, p, iters, workRep int, netScale float64,
-	hook func(c *comm.Comm, s *solver.Solver, iter int) error) (time.Duration, error) {
-	ws, err := comm.NewWorld(p, comm.Ethernet(netScale))
+	rep, err := measureRun(g, hetero.Uniform(p), p, iters, workRep, netScale, nil)
 	if err != nil {
 		return 0, err
 	}
-	defer comm.CloseWorld(ws)
-	var elapsed time.Duration
-	err = comm.SPMD(ws, func(c *comm.Comm) error {
-		rt, err := core.New(c, g, core.Config{})
-		if err != nil {
-			return err
-		}
-		s, err := solver.New(rt, env, workRep)
-		if err != nil {
-			return err
-		}
-		if err := c.Barrier(0x321); err != nil {
-			return err
-		}
-		start := time.Now()
-		err = s.Run(iters, func(iter int) error {
-			if hook != nil {
-				return hook(c, s, iter)
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		if err := c.Barrier(0x322); err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			elapsed = time.Since(start)
-		}
-		return nil
+	return rep.Wall, nil
+}
+
+// measureRun executes an iterative solve through the session driver
+// and returns its report (Wall is rank 0's barrier-to-barrier time).
+// bal (if non-nil) enables the paper's periodic load-balance protocol:
+// a check every 10 iterations, remapping when profitable.
+func measureRun(g *graph.Graph, env *hetero.Env, p, iters, workRep int, netScale float64,
+	bal *loadbal.Config) (*session.RunReport, error) {
+	s, err := session.New(context.Background(), g, session.Config{
+		Procs:    p,
+		Model:    comm.Ethernet(netScale),
+		Env:      env,
+		WorkRep:  workRep,
+		Balancer: bal,
 	})
-	return elapsed, err
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Run(iters)
 }
 
 // Table4 reproduces "Execution time of the parallel loop in static

@@ -9,6 +9,7 @@
 package comm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,23 +42,51 @@ type Multicaster interface {
 	Multicast(dsts []int, tag int, data []byte) error
 }
 
+// ContextTransport is implemented by transports whose blocking receives
+// can be cancelled through a context. Both built-in transports
+// implement it; a transport that does not simply blocks until a message
+// arrives or the endpoint closes.
+type ContextTransport interface {
+	RecvContext(ctx context.Context, src, tag int) ([]byte, error)
+	RecvAnyContext(ctx context.Context, tag int) (src int, data []byte, err error)
+}
+
 // Comm is one rank's endpoint in a world of size ranks.
 type Comm struct {
 	rank, size int
 	tr         Transport
+
+	// ctx governs blocking operations; World.SPMD binds the caller's
+	// context here for the duration of the SPMD section, so cancelling
+	// it tears the section down instead of deadlocking. Never nil.
+	ctx context.Context
 
 	sentMsgs  atomic.Int64
 	sentBytes atomic.Int64
 }
 
 // NewComm wraps a transport endpoint. Most users obtain Comms from
-// NewWorld (in-process) or NewTCPWorld instead.
+// a World (see Open) or from the legacy NewWorld/NewTCPWorld helpers.
 func NewComm(rank, size int, tr Transport) (*Comm, error) {
 	if size <= 0 || rank < 0 || rank >= size {
 		return nil, fmt.Errorf("comm: invalid rank %d of %d", rank, size)
 	}
-	return &Comm{rank: rank, size: size, tr: tr}, nil
+	return &Comm{rank: rank, size: size, tr: tr, ctx: context.Background()}, nil
 }
+
+// setContext binds ctx to the endpoint's blocking operations. It must
+// only be called while no operation is in flight (World.SPMD calls it
+// before spawning the rank goroutines and after joining them).
+func (c *Comm) setContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+}
+
+// Context returns the context governing the endpoint's blocking
+// operations (context.Background unless bound by World.SPMD).
+func (c *Comm) Context() context.Context { return c.ctx }
 
 // Rank returns this endpoint's rank in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
@@ -65,10 +94,15 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.size }
 
-// Send delivers data to dst with the given tag.
+// Send delivers data to dst with the given tag. A cancelled bound
+// context fails the send immediately, so send loops terminate promptly
+// during teardown.
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("comm: send to rank %d of %d", dst, c.size)
+	}
+	if err := c.ctx.Err(); err != nil {
+		return err
 	}
 	if err := c.tr.Send(dst, tag, data); err != nil {
 		return err
@@ -78,17 +112,48 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	return nil
 }
 
-// Recv blocks until a message from src with the given tag arrives.
+// Recv blocks until a message from src with the given tag arrives, the
+// endpoint closes, or the bound context is cancelled.
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	return c.RecvContext(c.ctx, src, tag)
+}
+
+// RecvContext is Recv under an explicit context: a cancelled ctx
+// unblocks the receive with ctx.Err() on transports that support
+// cancellation (both built-in transports do). On a transport without
+// cancellation support, an already-cancelled context still fails fast;
+// only mid-receive cancellation is unavailable.
+func (c *Comm) RecvContext(ctx context.Context, src, tag int) ([]byte, error) {
 	if src < 0 || src >= c.size {
 		return nil, fmt.Errorf("comm: recv from rank %d of %d", src, c.size)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		if ct, ok := c.tr.(ContextTransport); ok {
+			return ct.RecvContext(ctx, src, tag)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return c.tr.Recv(src, tag)
 }
 
 // RecvAny blocks until a message with the given tag arrives from any
-// source.
+// source, the endpoint closes, or the bound context is cancelled.
 func (c *Comm) RecvAny(tag int) (int, []byte, error) {
+	return c.RecvAnyContext(c.ctx, tag)
+}
+
+// RecvAnyContext is RecvAny under an explicit context.
+func (c *Comm) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error) {
+	if ctx != nil && ctx.Done() != nil {
+		if ct, ok := c.tr.(ContextTransport); ok {
+			return ct.RecvAnyContext(ctx, tag)
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+	}
 	return c.tr.RecvAny(tag)
 }
 
@@ -100,6 +165,9 @@ func (c *Comm) Multicast(dsts []int, tag int, data []byte) error {
 		if d < 0 || d >= c.size {
 			return fmt.Errorf("comm: multicast to rank %d of %d", d, c.size)
 		}
+	}
+	if err := c.ctx.Err(); err != nil {
+		return err
 	}
 	if m, ok := c.tr.(Multicaster); ok {
 		if err := m.Multicast(dsts, tag, data); err != nil {

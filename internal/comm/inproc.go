@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -82,11 +83,19 @@ func (t *inprocTransport) Multicast(dsts []int, tag int, data []byte) error {
 }
 
 func (t *inprocTransport) Recv(src, tag int) ([]byte, error) {
-	return t.boxes[t.rank].recv(src, tag)
+	return t.boxes[t.rank].recv(nil, src, tag)
 }
 
 func (t *inprocTransport) RecvAny(tag int) (int, []byte, error) {
-	return t.boxes[t.rank].recvAny(tag)
+	return t.boxes[t.rank].recvAny(nil, tag)
+}
+
+func (t *inprocTransport) RecvContext(ctx context.Context, src, tag int) ([]byte, error) {
+	return t.boxes[t.rank].recv(ctx, src, tag)
+}
+
+func (t *inprocTransport) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error) {
+	return t.boxes[t.rank].recvAny(ctx, tag)
 }
 
 func (t *inprocTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -39,8 +40,32 @@ func (m *mailbox) deliver(src, tag int, data []byte) error {
 	return nil
 }
 
-// recv blocks until a (src, tag) message is available.
-func (m *mailbox) recv(src, tag int) ([]byte, error) {
+// watchCancel arranges for a cancelled context to wake every waiter on
+// the mailbox, so blocked receives can observe ctx.Err() instead of
+// sleeping forever. It returns a stop function that must be called when
+// the receive completes. Receivers register it lazily — only once they
+// are actually about to block — so a receive satisfied from the queue
+// pays nothing for cancellation support. If ctx is already cancelled
+// the callback fires asynchronously; it only blocks on m.mu, which the
+// caller releases inside cond.Wait, so there is no deadlock.
+func (m *mailbox) watchCancel(ctx context.Context) func() bool {
+	return context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+}
+
+// recv blocks until a (src, tag) message is available, the mailbox is
+// closed, or ctx is cancelled (nil ctx blocks indefinitely).
+func (m *mailbox) recv(ctx context.Context, src, tag int) ([]byte, error) {
+	cancellable := ctx != nil && ctx.Done() != nil
+	var stop func() bool
+	defer func() {
+		if stop != nil {
+			stop()
+		}
+	}()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := msgKey{src, tag}
@@ -56,6 +81,14 @@ func (m *mailbox) recv(src, tag int) ([]byte, error) {
 		}
 		if m.closed {
 			return nil, ErrClosed
+		}
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if stop == nil {
+				stop = m.watchCancel(ctx)
+			}
 		}
 		m.cond.Wait()
 	}
@@ -95,8 +128,16 @@ func (m *mailbox) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
 }
 
 // recvAny blocks until any message with the tag is available,
-// preferring the lowest source rank for determinism.
-func (m *mailbox) recvAny(tag int) (int, []byte, error) {
+// preferring the lowest source rank for determinism. It unblocks with
+// an error when the mailbox closes or ctx is cancelled.
+func (m *mailbox) recvAny(ctx context.Context, tag int) (int, []byte, error) {
+	cancellable := ctx != nil && ctx.Done() != nil
+	var stop func() bool
+	defer func() {
+		if stop != nil {
+			stop()
+		}
+	}()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -119,6 +160,14 @@ func (m *mailbox) recvAny(tag int) (int, []byte, error) {
 		}
 		if m.closed {
 			return 0, nil, ErrClosed
+		}
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return 0, nil, err
+			}
+			if stop == nil {
+				stop = m.watchCancel(ctx)
+			}
 		}
 		m.cond.Wait()
 	}

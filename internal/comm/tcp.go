@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -250,11 +251,19 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 }
 
 func (t *tcpTransport) Recv(src, tag int) ([]byte, error) {
-	return t.box.recv(src, tag)
+	return t.box.recv(nil, src, tag)
 }
 
 func (t *tcpTransport) RecvAny(tag int) (int, []byte, error) {
-	return t.box.recvAny(tag)
+	return t.box.recvAny(nil, tag)
+}
+
+func (t *tcpTransport) RecvContext(ctx context.Context, src, tag int) ([]byte, error) {
+	return t.box.recv(ctx, src, tag)
+}
+
+func (t *tcpTransport) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error) {
+	return t.box.recvAny(ctx, tag)
 }
 
 func (t *tcpTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {

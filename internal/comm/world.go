@@ -1,0 +1,214 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TransportConfig carries the parameters a transport factory may use.
+// Factories ignore fields that do not apply to them (the TCP transport
+// runs over real sockets and has no use for the modeled network).
+type TransportConfig struct {
+	// Model is the network cost model for modeled transports (nil means
+	// a free network).
+	Model *Model
+}
+
+// TransportFactory builds the endpoints of a p-rank world. The returned
+// closer (which may be nil) releases resources the individual Comms do
+// not own, such as a shared socket mesh.
+type TransportFactory func(p int, cfg TransportConfig) (comms []*Comm, closer func() error, err error)
+
+var (
+	transportMu sync.RWMutex
+	transports  = map[string]TransportFactory{}
+)
+
+// RegisterTransport makes a transport available to Open under the given
+// name, so new backends plug in without touching the callers. The
+// built-in transports "inproc" and "tcp" are registered at package
+// initialization. Registering a name twice panics, like net/sql driver
+// registration.
+func RegisterTransport(name string, factory TransportFactory) {
+	if name == "" || factory == nil {
+		panic("comm: RegisterTransport with empty name or nil factory")
+	}
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	if _, dup := transports[name]; dup {
+		panic(fmt.Sprintf("comm: transport %q registered twice", name))
+	}
+	transports[name] = factory
+}
+
+// Transports returns the sorted names of the registered transports.
+func Transports() []string {
+	transportMu.RLock()
+	defer transportMu.RUnlock()
+	names := make([]string, 0, len(transports))
+	for name := range transports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterTransport("inproc", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
+		comms, err := NewWorld(p, cfg.Model)
+		return comms, nil, err
+	})
+	RegisterTransport("tcp", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
+		return NewTCPWorld(p)
+	})
+}
+
+// World is a first-class SPMD world: the set of communicators plus the
+// lifecycle they share. It replaces the raw []*Comm + ad-hoc closer
+// pair the library used to hand out.
+type World struct {
+	comms     []*Comm
+	closer    func() error
+	transport string
+
+	mu       sync.Mutex
+	active   bool // an SPMD section is running
+	closed   bool
+	closeErr error
+}
+
+// Open builds a world of p ranks on the named transport ("" selects
+// "inproc"). The transport must have been registered with
+// RegisterTransport.
+func Open(transport string, p int, cfg TransportConfig) (*World, error) {
+	if transport == "" {
+		transport = "inproc"
+	}
+	transportMu.RLock()
+	factory, ok := transports[transport]
+	transportMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("comm: unknown transport %q (registered: %s)",
+			transport, strings.Join(Transports(), ", "))
+	}
+	comms, closer, err := factory(p, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("comm: transport %q: %w", transport, err)
+	}
+	if len(comms) != p {
+		if closer != nil {
+			closer()
+		}
+		return nil, fmt.Errorf("comm: transport %q built %d endpoints for %d ranks", transport, len(comms), p)
+	}
+	return &World{comms: comms, closer: closer, transport: transport}, nil
+}
+
+// WrapWorld adopts pre-built endpoints (for example from the legacy
+// NewWorld/NewTCPWorld constructors) into a World. closer may be nil.
+func WrapWorld(comms []*Comm, closer func() error) *World {
+	return &World{comms: comms, closer: closer, transport: "custom"}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// Transport returns the name the world was opened with.
+func (w *World) Transport() string { return w.transport }
+
+// Comm returns rank's endpoint.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= len(w.comms) {
+		panic(fmt.Sprintf("comm: rank %d of %d", rank, len(w.comms)))
+	}
+	return w.comms[rank]
+}
+
+// Comms returns all endpoints, indexed by rank. The slice must not be
+// modified.
+func (w *World) Comms() []*Comm { return w.comms }
+
+// SPMD runs f once per rank, each in its own goroutine, with ctx bound
+// to every endpoint's blocking operations: cancelling ctx unblocks
+// pending receives with ctx.Err() and tears the section down instead of
+// deadlocking. It joins all ranks and returns their joined errors.
+// Only one SPMD section may run on a world at a time; a concurrent
+// call fails rather than racing on the context binding.
+func (w *World) SPMD(ctx context.Context, f func(c *Comm) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if w.active {
+		w.mu.Unlock()
+		return fmt.Errorf("comm: an SPMD section is already running on this world")
+	}
+	w.active = true
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.active = false
+		w.mu.Unlock()
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Ranks share a child context that is cancelled as soon as any
+	// rank's function returns an error, so peers blocked in a
+	// collective waiting on the failed rank unwind instead of
+	// deadlocking the section.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, c := range w.comms {
+		c.setContext(runCtx)
+	}
+	err := SPMD(w.comms, func(c *Comm) error {
+		err := f(c)
+		if err != nil {
+			cancel()
+		}
+		return err
+	})
+	for _, c := range w.comms {
+		c.setContext(context.Background())
+	}
+	return err
+}
+
+// Stats returns the total messages and payload bytes sent by all ranks
+// since the world was opened.
+func (w *World) Stats() (msgs, bytes int64) {
+	for _, c := range w.comms {
+		m, b := c.Stats()
+		msgs += m
+		bytes += b
+	}
+	return msgs, bytes
+}
+
+// Close shuts every endpoint down and releases transport resources.
+// Pending receives fail with ErrClosed. Close is idempotent: repeated
+// calls return the first call's error.
+func (w *World) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.closeErr
+	}
+	w.closed = true
+	err := CloseWorld(w.comms)
+	if w.closer != nil {
+		if cerr := w.closer(); err == nil {
+			err = cerr
+		}
+	}
+	w.closeErr = err
+	return err
+}

@@ -52,6 +52,17 @@ func NewEstimator(kind EstimatorKind, alpha float64) (*Estimator, error) {
 	return &Estimator{Kind: kind, Alpha: alpha, WindowCap: 8}, nil
 }
 
+// Clone returns a fresh estimator with the same policy and empty
+// history. An Estimator is stateful and not safe for concurrent use,
+// so each rank's balancer must own its own copy; the session layer
+// clones the configured prototype once per rank.
+func (e *Estimator) Clone() *Estimator {
+	if e == nil {
+		return nil
+	}
+	return &Estimator{Kind: e.Kind, Alpha: e.Alpha, WindowCap: e.WindowCap}
+}
+
 // Observe records one check's gathered rates (indexed by rank; zero
 // entries mean "no measurement this window").
 func (e *Estimator) Observe(rates []float64) {

@@ -108,20 +108,26 @@ func (b *Balancer) Check(rep Report) (Decision, error) {
 	c := b.rt.Comm()
 	start := time.Now()
 
-	payload := comm.F64sToBytes([]float64{rep.RatePerItem, float64(rep.Items)})
+	// The report carries the rank's last inspector time alongside the
+	// measurement: the schedule-rebuild estimate must be identical on
+	// every rank, or (in decentralized mode) a borderline decision
+	// could diverge and strand some ranks in the remap collective.
+	payload := comm.F64sToBytes([]float64{
+		rep.RatePerItem, float64(rep.Items), b.rt.LastInspectorTime().Seconds(),
+	})
 	var verdict []float64 // [remap 0/1, predCur, predNew, estCost, weights...]
 	if b.cfg.Decentralized {
 		all, err := c.AllGather(tagLoadReport, payload)
 		if err != nil {
 			return Decision{}, err
 		}
-		rates, err := parseReports(all)
+		rates, inspector, err := parseReports(all)
 		if err != nil {
 			return Decision{}, err
 		}
 		// Every rank computes the same pure-float decision from the
 		// same gathered inputs, so no broadcast is needed.
-		verdict, err = b.decide(rates)
+		verdict, err = b.decide(rates, inspector)
 		if err != nil {
 			return Decision{}, err
 		}
@@ -131,11 +137,11 @@ func (b *Balancer) Check(rep Report) (Decision, error) {
 			return Decision{}, err
 		}
 		if c.Rank() == 0 {
-			rates, err := parseReports(reports)
+			rates, inspector, err := parseReports(reports)
 			if err != nil {
 				return Decision{}, err
 			}
-			verdict, err = b.decide(rates)
+			verdict, err = b.decide(rates, inspector)
 			if err != nil {
 				return Decision{}, err
 			}
@@ -171,27 +177,35 @@ func (b *Balancer) Check(rep Report) (Decision, error) {
 	return d, nil
 }
 
-// parseReports decodes the gathered per-rank reports into rates.
-func parseReports(reports [][]byte) ([]float64, error) {
+// parseReports decodes the gathered per-rank reports into rates and
+// the slowest reported inspector time (the shared schedule-rebuild
+// estimate).
+func parseReports(reports [][]byte) ([]float64, float64, error) {
 	rates := make([]float64, len(reports))
+	inspector := 0.0
 	for q, data := range reports {
 		vals, err := comm.BytesToF64s(data)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		if len(vals) != 2 {
-			return nil, fmt.Errorf("loadbal: malformed report from rank %d", q)
+		if len(vals) != 3 {
+			return nil, 0, fmt.Errorf("loadbal: malformed report from rank %d", q)
 		}
 		rates[q] = vals[0]
+		if vals[2] > inspector {
+			inspector = vals[2]
+		}
 	}
-	return rates, nil
+	return rates, inspector, nil
 }
 
 // decide runs on the controller (or on every rank when
 // decentralized): estimate capabilities from measured rates, predict
 // the next phase under current and proposed layouts, price the
-// redistribution, and compare.
-func (b *Balancer) decide(rates []float64) ([]float64, error) {
+// redistribution, and compare. inspector is the gathered worst-case
+// schedule-rebuild time — deliberately not this rank's own, so every
+// rank prices the remap identically.
+func (b *Balancer) decide(rates []float64, inspector float64) ([]float64, error) {
 	if b.cfg.Estimator != nil {
 		b.cfg.Estimator.Observe(rates)
 		rates = b.cfg.Estimator.Predict()
@@ -254,7 +268,7 @@ func (b *Balancer) decide(rates []float64) ([]float64, error) {
 	}
 
 	// Price the redistribution against the proposed layout (identity
-	// arrangement bound; MCR only lowers it) plus the last measured
+	// arrangement bound; MCR only lowers it) plus the gathered
 	// inspector time as the schedule-rebuild estimate.
 	cand, err := partition.NewFromSizes(newSizes, layout.Arrangement())
 	if err != nil {
@@ -264,7 +278,7 @@ func (b *Balancer) decide(rates []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	estCost := (moveCost + b.rt.LastInspectorTime().Seconds()) * b.cfg.SafetyFactor
+	estCost := (moveCost + inspector) * b.cfg.SafetyFactor
 
 	gain := (predCur - predNew) * float64(b.cfg.Horizon)
 	remap := 0.0

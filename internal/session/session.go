@@ -1,0 +1,443 @@
+// Package session is the one-call orchestration layer of the STANCE
+// reproduction: it owns the wiring the paper's runtime library absorbs
+// on behalf of applications — build a world, transform and partition
+// the graph (Phase A), run the inspector (Phase B), then drive the
+// iterate → measure → balance-check → remap loop (Phases C and D) —
+// so callers go from a mesh to a finished run in two calls instead of
+// hand-wiring world, runtime, solver and balancer on every rank.
+//
+// The facade package re-exports this as stance.NewSession with
+// functional options; internal callers (the bench harness) use the
+// Config struct directly.
+package session
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/graph"
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/metrics"
+	"stance/internal/order"
+	"stance/internal/solver"
+)
+
+// Barrier tags for the Run driver (distinct from the runtime's and the
+// balancer's).
+const (
+	tagRunStart = 0x501
+	tagRunEnd   = 0x502
+)
+
+// Config parameterizes a session. The zero value runs the identity
+// ordering on one in-process rank with a free network and no load
+// balancing.
+type Config struct {
+	// Procs is the number of SPMD ranks (workstations).
+	Procs int
+	// Transport names a registered comm transport ("" means "inproc").
+	Transport string
+	// Model is the network cost model for modeled transports (nil means
+	// a free network; ignored by the TCP transport).
+	Model *comm.Model
+	// Order is the Phase A locality transformation (nil falls back to
+	// OrderName, then to identity).
+	Order order.Func
+	// OrderName resolves an ordering by registry name ("rcb",
+	// "hilbert", ...) when Order is nil.
+	OrderName string
+	// Weights are the initial relative processor capabilities (nil
+	// means uniform).
+	Weights []float64
+	// VertexWeights are per-vertex computational weights in original
+	// vertex numbering (nil means unit weights).
+	VertexWeights []float64
+	// Strategy selects the Phase B inspector variant.
+	Strategy core.Strategy
+	// RemapPolicy selects the arrangement search used on remaps.
+	RemapPolicy core.RemapPolicy
+	// RootComputesOrder makes rank 0 compute the ordering and broadcast
+	// it instead of every rank computing it independently.
+	RootComputesOrder bool
+	// Env simulates a nonuniform/adaptive cluster (nil means uniform,
+	// unloaded).
+	Env *hetero.Env
+	// WorkRep is the kernel work amplification per element (values < 1
+	// are treated as 1).
+	WorkRep int
+	// Balancer enables Phase D adaptive load balancing (nil disables
+	// it). A zero Horizon defaults to CheckEvery.
+	Balancer *loadbal.Config
+	// CheckEvery is the number of iterations between balance checks
+	// (default 10, the paper's protocol).
+	CheckEvery int
+	// OnCheck, if non-nil, is called on rank 0 immediately after each
+	// balance check, giving long runs live feedback instead of waiting
+	// for the RunReport. It runs inside the SPMD section; keep it
+	// cheap and do not call back into the session.
+	OnCheck func(CheckEvent)
+}
+
+// rankState is one rank's slice of the session.
+type rankState struct {
+	rt  *core.Runtime
+	sol *solver.Solver
+	bal *loadbal.Balancer
+	// window is the rank's most recent measurement window, kept so a
+	// check deferred across a Run boundary still has a rate estimate.
+	window solver.Timings
+}
+
+// Session owns a world and the per-rank runtime/solver/balancer stack
+// built on it. State persists across Run calls: iterations, layout and
+// vector values continue where the previous Run stopped.
+type Session struct {
+	cfg   Config
+	ctx   context.Context
+	g     *graph.Graph
+	world *comm.World
+	ranks []*rankState
+	// pendingCheck records that the previous Run ended on a check
+	// boundary whose check was skipped (a remap there could not pay
+	// off within that Run); the next Run performs it first, so a
+	// session driven by repeated short Runs still balances.
+	pendingCheck bool
+	// broken marks a session whose Run failed partway: ranks may have
+	// stopped at different iterations, so any further collective would
+	// misalign and deadlock. Only Close remains usable.
+	broken bool
+}
+
+// New builds a session collectively: opens the world on the configured
+// transport and constructs the runtime, solver and (optionally)
+// balancer on every rank. ctx governs the whole session: cancelling it
+// unblocks any pending communication with ctx.Err().
+func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if g == nil {
+		return nil, fmt.Errorf("session: nil graph")
+	}
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("session: world size must be positive, got %d", cfg.Procs)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 10
+	}
+	if cfg.Order == nil && cfg.OrderName != "" {
+		f, err := order.ByName(cfg.OrderName)
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		cfg.Order = f
+	}
+	if cfg.Env != nil {
+		if err := cfg.Env.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Env.P() != cfg.Procs {
+			return nil, fmt.Errorf("session: environment has %d workstations, world has %d",
+				cfg.Env.P(), cfg.Procs)
+		}
+	}
+	world, err := comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model})
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:   cfg,
+		ctx:   ctx,
+		g:     g,
+		world: world,
+		ranks: make([]*rankState, cfg.Procs),
+	}
+	err = world.SPMD(ctx, func(c *comm.Comm) error {
+		rt, err := core.New(c, g, core.Config{
+			Order:             cfg.Order,
+			Weights:           cfg.Weights,
+			VertexWeights:     cfg.VertexWeights,
+			Strategy:          cfg.Strategy,
+			RemapPolicy:       cfg.RemapPolicy,
+			RootComputesOrder: cfg.RootComputesOrder,
+		})
+		if err != nil {
+			return err
+		}
+		sol, err := solver.New(rt, cfg.Env, cfg.WorkRep)
+		if err != nil {
+			return err
+		}
+		st := &rankState{rt: rt, sol: sol}
+		if cfg.Balancer != nil {
+			bc := *cfg.Balancer
+			if bc.Horizon <= 0 {
+				bc.Horizon = cfg.CheckEvery
+			}
+			// The estimator is stateful and per-rank; the configured one
+			// is only a prototype, or the ranks would race on it.
+			bc.Estimator = bc.Estimator.Clone()
+			st.bal, err = loadbal.New(rt, bc)
+			if err != nil {
+				return err
+			}
+		}
+		s.ranks[c.Rank()] = st
+		return nil
+	})
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// RankUsage is one rank's accumulated measurements over a Run: the
+// solver's timing window type, summed across the Run's check windows.
+type RankUsage = solver.Timings
+
+// CheckEvent records one load-balance check (remapping or not) with
+// rank 0's view of the collective decision.
+type CheckEvent struct {
+	// Iter is the global iteration count at which the check ran.
+	Iter int
+	// Decision is the controller's verdict, including the predicted
+	// phase times, the modeled remap cost and the measured check/remap
+	// durations on rank 0.
+	Decision loadbal.Decision
+}
+
+// RunReport is the consolidated result of one Run: wall time, per-rank
+// timings, every balance check with its decision, and the messages and
+// bytes the world moved during the run.
+type RunReport struct {
+	// Iters is the number of iterations this Run executed.
+	Iters int
+	// Wall is rank 0's barrier-to-barrier wall time.
+	Wall time.Duration
+	// Ranks holds each rank's accumulated compute/comm time and items.
+	Ranks []RankUsage
+	// Checks are the load-balance checks in iteration order (empty
+	// without a balancer).
+	Checks []CheckEvent
+	// Msgs and Bytes count the messages and payload bytes sent by all
+	// ranks during the run.
+	Msgs, Bytes int64
+}
+
+// Remaps returns the subset of checks that actually remapped.
+func (r *RunReport) Remaps() []CheckEvent {
+	var out []CheckEvent
+	for _, ev := range r.Checks {
+		if ev.Decision.Remapped {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Efficiency derives the paper's Section 4 nonuniform-environment
+// efficiency from the measured per-rank rates: a rank computing rate
+// seconds/item alone would need rate * vertices * iters for the whole
+// run. It fails if some rank measured no items.
+func (r *RunReport) Efficiency(vertices int) (float64, error) {
+	seq := make([]float64, 0, len(r.Ranks))
+	for rank, u := range r.Ranks {
+		if u.Items == 0 {
+			return 0, fmt.Errorf("session: rank %d measured no items", rank)
+		}
+		seq = append(seq, u.RatePerItem()*float64(vertices)*float64(r.Iters))
+	}
+	return metrics.EfficiencyStatic(r.Wall.Seconds(), seq)
+}
+
+// Run executes iters iterations of the parallel loop on every rank,
+// owning the paper's per-phase protocol: iterate, accumulate
+// measurements, check the balancer every CheckEvery iterations, and
+// remap when the controller says it is profitable. A check falling on
+// the run's final iteration is deferred — its remap could not pay off
+// within this Run — and performed at the start of the next Run if the
+// session continues, so repeated short Runs still balance. It returns
+// the consolidated report. Run may be called repeatedly; iteration
+// counts and data continue from the previous call. A Run that fails
+// partway leaves ranks at divergent iterations, so it marks the
+// session unusable: further Run/Result calls fail and only Close
+// remains.
+func (s *Session) Run(iters int) (*RunReport, error) {
+	if err := s.usable(); err != nil {
+		return nil, err
+	}
+	if iters < 0 {
+		return nil, fmt.Errorf("session: negative iteration count %d", iters)
+	}
+	rep := &RunReport{Iters: iters, Ranks: make([]RankUsage, s.cfg.Procs)}
+	if iters == 0 {
+		return rep, nil
+	}
+	msgs0, bytes0 := s.world.Stats()
+	// The solvers' own counters are the source of truth for the global
+	// iteration count (they advance even on a Run that errors partway).
+	first := s.Iter()
+	last := first + iters
+	pending := s.pendingCheck
+	s.pendingCheck = false
+	var wall time.Duration
+	check := func(c *comm.Comm, iter int, tm solver.Timings) error {
+		rk := s.ranks[c.Rank()]
+		d, err := rk.bal.Check(loadbal.Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			ev := CheckEvent{Iter: iter, Decision: d}
+			rep.Checks = append(rep.Checks, ev)
+			if s.cfg.OnCheck != nil {
+				s.cfg.OnCheck(ev)
+			}
+		}
+		return nil
+	}
+	err := s.world.SPMD(s.ctx, func(c *comm.Comm) error {
+		rk := s.ranks[c.Rank()]
+		usage := &rep.Ranks[c.Rank()]
+		if err := c.Barrier(tagRunStart); err != nil {
+			return err
+		}
+		start := time.Now()
+		if pending && rk.bal != nil {
+			if err := check(c, first, rk.window); err != nil {
+				return err
+			}
+		}
+		err := rk.sol.Run(iters, func(iter int) error {
+			if rk.bal == nil || iter%s.cfg.CheckEvery != 0 || iter == last {
+				return nil
+			}
+			tm := rk.sol.TakeTimings()
+			usage.Add(tm)
+			rk.window = tm
+			return check(c, iter, tm)
+		})
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(tagRunEnd); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			wall = time.Since(start)
+		}
+		tm := rk.sol.TakeTimings()
+		usage.Add(tm)
+		rk.window = tm
+		return nil
+	})
+	if err != nil {
+		s.broken = true
+		return nil, err
+	}
+	s.pendingCheck = s.ranks[0].bal != nil && last%s.cfg.CheckEvery == 0
+	rep.Wall = wall
+	msgs1, bytes1 := s.world.Stats()
+	rep.Msgs, rep.Bytes = msgs1-msgs0, bytes1-bytes0
+	return rep, nil
+}
+
+// World returns the underlying world.
+func (s *Session) World() *comm.World { return s.world }
+
+// Graph returns the computational graph the session was built on.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Iter returns the number of completed iterations across all Runs
+// (rank 0's count; ranks only diverge after a mid-run error).
+func (s *Session) Iter() int {
+	if s.ranks == nil {
+		return 0
+	}
+	return s.ranks[0].sol.Iter()
+}
+
+// usable reports whether collective operations may still run.
+func (s *Session) usable() error {
+	if s.ranks == nil {
+		return fmt.Errorf("session: closed")
+	}
+	if s.broken {
+		return fmt.Errorf("session: unusable after a failed Run (ranks may have diverged); Close it")
+	}
+	return nil
+}
+
+// Runtime returns rank's runtime — the escape hatch for callers that
+// need the low-level API alongside the driver. It returns nil on a
+// closed session and panics on an out-of-range rank.
+func (s *Session) Runtime(rank int) *core.Runtime {
+	if s.ranks == nil {
+		return nil
+	}
+	if rank < 0 || rank >= len(s.ranks) {
+		panic(fmt.Sprintf("session: rank %d of %d", rank, len(s.ranks)))
+	}
+	return s.ranks[rank].rt
+}
+
+// Solver returns rank's solver, or nil on a closed session. It panics
+// on an out-of-range rank.
+func (s *Session) Solver(rank int) *solver.Solver {
+	if s.ranks == nil {
+		return nil
+	}
+	if rank < 0 || rank >= len(s.ranks) {
+		panic(fmt.Sprintf("session: rank %d of %d", rank, len(s.ranks)))
+	}
+	return s.ranks[rank].sol
+}
+
+// Result gathers the solution vector on rank 0 in transformed-global
+// order (the order the runtime partitions). Collective.
+func (s *Session) Result() ([]float64, error) {
+	if err := s.usable(); err != nil {
+		return nil, err
+	}
+	var out []float64
+	err := s.world.SPMD(s.ctx, func(c *comm.Comm) error {
+		y, err := s.ranks[c.Rank()].sol.GatherResult(0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = y
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ResultByVertex is Result mapped back to the original vertex
+// numbering: out[v] is vertex v's value.
+func (s *Session) ResultByVertex() ([]float64, error) {
+	vals, err := s.Result()
+	if err != nil {
+		return nil, err
+	}
+	return s.ranks[0].rt.Unpermute(vals)
+}
+
+// Close shuts the session's world down. Pending operations fail;
+// repeated Close calls are safe and return the first call's error.
+func (s *Session) Close() error {
+	if s.world == nil {
+		return nil
+	}
+	err := s.world.Close()
+	s.ranks = nil
+	return err
+}

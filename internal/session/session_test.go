@@ -1,0 +1,376 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/mesh"
+	"stance/internal/order"
+	"stance/internal/solver"
+)
+
+// handWired runs iters iterations of the Figure 8 loop the way callers
+// used to before the session API existed — NewWorld → SPMD → core.New
+// → solver.New (→ loadbal.New) with a manual check loop — and returns
+// the gathered result.
+func handWired(t *testing.T, p, iters, checkEvery int, env *hetero.Env, balance bool) []float64 {
+	t.Helper()
+	ws, err := comm.NewWorld(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := core.New(c, g, core.Config{Order: order.RCB})
+		if err != nil {
+			return err
+		}
+		s, err := solver.New(rt, env, 2)
+		if err != nil {
+			return err
+		}
+		var bal *loadbal.Balancer
+		if balance {
+			bal, err = loadbal.New(rt, loadbal.Config{Horizon: checkEvery})
+			if err != nil {
+				return err
+			}
+		}
+		err = s.Run(iters, func(iter int) error {
+			if bal == nil || iter%checkEvery != 0 || iter == iters {
+				return nil
+			}
+			tm := s.TakeTimings()
+			_, err := bal.Check(loadbal.Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		y, err := s.GatherResult(0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = y
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunMatchesHandWiredLoop is the acceptance test for the Session
+// driver: Run must reproduce, bit for bit, the final vector of the
+// hand-wired world/runtime/solver loop it replaced — with and without
+// load balancing (remaps move data without changing values).
+func TestRunMatchesHandWiredLoop(t *testing.T) {
+	const p, iters, checkEvery = 3, 12, 5
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := hetero.PaperAdaptive(p, 2)
+
+	for _, balance := range []bool{false, true} {
+		name := "static"
+		var balCfg *loadbal.Config
+		if balance {
+			name = "balanced"
+			balCfg = &loadbal.Config{}
+		}
+		t.Run(name, func(t *testing.T) {
+			want := handWired(t, p, iters, checkEvery, env, balance)
+
+			s, err := New(context.Background(), g, Config{
+				Procs:      p,
+				Order:      order.RCB,
+				Env:        env,
+				WorkRep:    2,
+				Balancer:   balCfg,
+				CheckEvery: checkEvery,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			rep, err := s.Run(iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Result() has %d values, hand-wired loop %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("value %d: session %v != hand-wired %v", i, got[i], want[i])
+				}
+			}
+			if rep.Iters != iters || len(rep.Ranks) != p {
+				t.Errorf("report: %d iters, %d ranks", rep.Iters, len(rep.Ranks))
+			}
+			var items int64
+			for _, u := range rep.Ranks {
+				items += u.Items
+			}
+			if want := int64(g.N) * int64(iters); items != want {
+				t.Errorf("report items = %d, want %d", items, want)
+			}
+			if rep.Msgs <= 0 || rep.Bytes <= 0 {
+				t.Errorf("report msgs/bytes = %d/%d, want > 0", rep.Msgs, rep.Bytes)
+			}
+			if balance {
+				if len(rep.Checks) == 0 {
+					t.Error("balanced run recorded no checks")
+				}
+				for _, ev := range rep.Checks {
+					if ev.Iter%checkEvery != 0 {
+						t.Errorf("check at iteration %d, want multiples of %d", ev.Iter, checkEvery)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunResumes: consecutive Run calls continue the same computation,
+// matching one long hand-wired run.
+func TestRunResumes(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := handWired(t, 2, 10, 100, nil, false)
+
+	s, err := New(context.Background(), g, Config{Procs: 2, Order: order.RCB, WorkRep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, n := range []int{4, 6} {
+		if _, err := s.Run(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Iter() != 10 {
+		t.Errorf("Iter() = %d, want 10", s.Iter())
+	}
+	got, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: split runs %v != single run %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunDeferredCheck: a session driven by repeated short Runs whose
+// length equals the check interval must still balance — the check
+// that falls on each Run's final iteration is deferred to the start
+// of the next Run, not dropped.
+func TestRunDeferredCheck(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), g, Config{
+		Procs:      3,
+		Order:      order.RCB,
+		Env:        hetero.PaperAdaptive(3, 3),
+		WorkRep:    5,
+		Balancer:   &loadbal.Config{},
+		CheckEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var checks []CheckEvent
+	for i := 0; i < 3; i++ {
+		rep, err := s.Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checks = append(checks, rep.Checks...)
+	}
+	// Runs 2 and 3 must each open with the check deferred from the
+	// previous Run's final iteration (at global iters 5 and 10).
+	if len(checks) != 2 {
+		t.Fatalf("3x Run(5) performed %d checks, want 2 deferred ones: %+v", len(checks), checks)
+	}
+	for i, want := range []int{5, 10} {
+		if checks[i].Iter != want {
+			t.Errorf("check %d at iter %d, want %d", i, checks[i].Iter, want)
+		}
+	}
+	if !checks[0].Decision.Remapped {
+		t.Error("3x imbalance not remapped by the deferred check")
+	}
+}
+
+// TestSessionCancellation: cancelling the session context mid-run must
+// terminate Run with context.Canceled instead of deadlocking.
+func TestSessionCancellation(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := New(ctx, g, Config{Procs: 2, WorkRep: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run(1_000_000)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run error = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled Run did not terminate")
+	}
+	// Ranks may have stopped at different iterations: the session must
+	// refuse further collectives instead of deadlocking them.
+	if _, err := s.Run(1); err == nil {
+		t.Error("Run succeeded on a session whose previous Run failed")
+	}
+	if _, err := s.Result(); err == nil {
+		t.Error("Result succeeded on a session whose previous Run failed")
+	}
+}
+
+// TestSessionClose: double Close is safe and a closed session refuses
+// to run; the escape hatches degrade to nil instead of panicking.
+func TestSessionClose(t *testing.T) {
+	g, err := mesh.Honeycomb(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), g, Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if _, err := s.Run(1); err == nil {
+		t.Error("Run on a closed session succeeded")
+	}
+	if s.Runtime(0) != nil || s.Solver(0) != nil || s.Iter() != 0 {
+		t.Error("closed session still hands out per-rank state")
+	}
+	if _, err := s.Result(); err == nil {
+		t.Error("Result on a closed session succeeded")
+	}
+}
+
+// TestSessionClonesEstimator: the configured estimator is a prototype;
+// each rank's balancer must get its own copy or decentralized checks
+// race on the shared history (caught by -race) and can diverge.
+func TestSessionClonesEstimator(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := loadbal.NewEstimator(loadbal.EstimateEWMA, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), g, Config{
+		Procs:      3,
+		Order:      order.RCB,
+		Env:        hetero.PaperAdaptive(3, 2),
+		WorkRep:    2,
+		Balancer:   &loadbal.Config{Estimator: est, Decentralized: true},
+		CheckEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Predict()) != 0 {
+		t.Error("session mutated the prototype estimator")
+	}
+}
+
+// TestSessionConfigValidation: bad configurations fail fast.
+func TestSessionConfigValidation(t *testing.T) {
+	g, err := mesh.Honeycomb(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Config{
+		"zero procs":      {},
+		"bad transport":   {Procs: 2, Transport: "bogus"},
+		"bad order":       {Procs: 2, OrderName: "bogus"},
+		"env mismatch":    {Procs: 2, Env: hetero.Uniform(3)},
+		"weight mismatch": {Procs: 2, Weights: []float64{1, 2, 3}},
+	}
+	for name, cfg := range cases {
+		if _, err := New(context.Background(), g, cfg); err == nil {
+			t.Errorf("%s: New succeeded", name)
+		}
+	}
+	if _, err := New(context.Background(), nil, Config{Procs: 1}); err == nil {
+		t.Error("nil graph: New succeeded")
+	}
+}
+
+// TestSessionEfficiencyReport: the report's Section 4 efficiency is a
+// sane fraction on a uniform world.
+func TestSessionEfficiencyReport(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), g, Config{Procs: 2, Order: order.RCB, WorkRep: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := rep.Efficiency(g.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0 || eff > 1.5 {
+		t.Errorf("Efficiency = %v, want a sane fraction", eff)
+	}
+}

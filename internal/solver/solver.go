@@ -164,6 +164,13 @@ func (t Timings) RatePerItem() float64 {
 	return t.Compute.Seconds() / float64(t.Items)
 }
 
+// Add accumulates another measurement window into t.
+func (t *Timings) Add(o Timings) {
+	t.Compute += o.Compute
+	t.Comm += o.Comm
+	t.Items += o.Items
+}
+
 // TakeTimings returns the accumulated measurements and resets them.
 func (s *Solver) TakeTimings() Timings {
 	t := Timings{Compute: s.computeTime, Comm: s.commTime, Items: s.items}

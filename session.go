@@ -1,0 +1,170 @@
+package stance
+
+import (
+	"context"
+
+	"stance/internal/comm"
+	"stance/internal/session"
+)
+
+// Session-layer types, re-exported from the internal orchestration
+// package. A Session owns a World plus the per-rank runtime, solver and
+// balancer stack, and its Run method drives the paper's per-phase
+// iterate → measure → balance-check → remap protocol.
+type (
+	// Session is the one-call orchestration handle; see NewSession.
+	Session = session.Session
+	// SessionConfig is the resolved configuration functional options
+	// build. Most callers never touch it directly.
+	SessionConfig = session.Config
+	// RunReport is the consolidated result of one Session.Run.
+	RunReport = session.RunReport
+	// CheckEvent is one load-balance check recorded in a RunReport.
+	CheckEvent = session.CheckEvent
+	// RankUsage is one rank's accumulated timings in a RunReport.
+	RankUsage = session.RankUsage
+	// World is a first-class SPMD world: endpoints plus shared
+	// lifecycle, built from a registered transport.
+	World = comm.World
+	// TransportConfig parameterizes transport factories.
+	TransportConfig = comm.TransportConfig
+	// TransportFactory builds the endpoints of a world; register one
+	// with RegisterTransport to plug in a new backend by name.
+	TransportFactory = comm.TransportFactory
+)
+
+// Option configures NewSession.
+type Option func(*session.Config)
+
+// WithTransport selects a registered comm transport by name ("inproc"
+// or "tcp" are built in; see RegisterTransport). The default is
+// "inproc".
+func WithTransport(name string) Option {
+	return func(c *session.Config) { c.Transport = name }
+}
+
+// WithNetworkModel sets the network cost model for modeled transports
+// (the in-process transport; the TCP transport runs over real sockets
+// and ignores it). The default is a free network; Ethernet(scale)
+// reproduces the paper's 10 Mbit shared medium.
+func WithNetworkModel(m *NetworkModel) Option {
+	return func(c *session.Config) { c.Model = m }
+}
+
+// WithOrdering selects the Phase A locality transformation by name:
+// "identity", "random", "rcb", "rib", "morton", "hilbert", "rcm" or
+// "spectral". The default is identity.
+func WithOrdering(name string) Option {
+	return func(c *session.Config) { c.OrderName = name; c.Order = nil }
+}
+
+// WithOrderFunc sets the locality transformation directly (for example
+// stance.RCB, or a custom order.Func).
+func WithOrderFunc(f OrderFunc) Option {
+	return func(c *session.Config) { c.Order = f; c.OrderName = "" }
+}
+
+// WithWeights sets the initial relative processor capabilities; the
+// length must equal the world size. The default is uniform.
+func WithWeights(w ...float64) Option {
+	return func(c *session.Config) { c.Weights = w }
+}
+
+// WithVertexWeights sets per-vertex computational weights in original
+// vertex numbering, so intervals balance total weight instead of
+// vertex counts. A common choice is the vertex degree.
+func WithVertexWeights(w []float64) Option {
+	return func(c *session.Config) { c.VertexWeights = w }
+}
+
+// WithStrategy selects the Phase B inspector variant (StrategySort2,
+// StrategySort1 or StrategySimple).
+func WithStrategy(s Strategy) Option {
+	return func(c *session.Config) { c.Strategy = s }
+}
+
+// WithRemapPolicy selects the arrangement search used on remaps
+// (RemapMCRIterated, RemapMCR or RemapKeepArrangement).
+func WithRemapPolicy(p RemapPolicy) Option {
+	return func(c *session.Config) { c.RemapPolicy = p }
+}
+
+// WithBalancer enables Phase D adaptive load balancing with the given
+// configuration; Session.Run then checks every CheckEvery iterations
+// and remaps when profitable. A zero Horizon defaults to the check
+// interval.
+func WithBalancer(cfg BalancerConfig) Option {
+	return func(c *session.Config) { c.Balancer = &cfg }
+}
+
+// WithEnv simulates a nonuniform/adaptive cluster: per-rank speeds and
+// competing loads shape the solver's effective work. The default is
+// uniform and unloaded.
+func WithEnv(env *Env) Option {
+	return func(c *session.Config) { c.Env = env }
+}
+
+// WithWorkRep sets the kernel work amplification per element, keeping
+// the compute-to-communication ratio of the paper's SUN4 + Ethernet
+// setting reproducible on modern hardware. The default is 1.
+func WithWorkRep(n int) Option {
+	return func(c *session.Config) { c.WorkRep = n }
+}
+
+// WithCheckEvery sets the number of iterations between load-balance
+// checks (default 10, the paper's protocol).
+func WithCheckEvery(n int) Option {
+	return func(c *session.Config) { c.CheckEvery = n }
+}
+
+// WithRootComputesOrder makes rank 0 compute the locality ordering and
+// broadcast it instead of every rank computing it independently.
+func WithRootComputesOrder() Option {
+	return func(c *session.Config) { c.RootComputesOrder = true }
+}
+
+// WithOnCheck registers a callback invoked on rank 0 immediately after
+// each balance check, for live progress output during long runs (the
+// consolidated RunReport still records every check). The callback runs
+// inside the SPMD section; keep it cheap and do not call back into the
+// session.
+func WithOnCheck(f func(CheckEvent)) Option {
+	return func(c *session.Config) { c.OnCheck = f }
+}
+
+// NewSession builds a ready-to-run session on procs ranks: it opens
+// the world on the configured transport, transforms and partitions g,
+// and constructs the solver (and balancer, if configured) on every
+// rank. ctx governs the whole session — cancelling it unblocks any
+// pending communication with context.Canceled instead of deadlocking.
+// Close the session when done.
+//
+//	s, err := stance.NewSession(ctx, g, 4,
+//	    stance.WithOrdering("rcb"),
+//	    stance.WithNetworkModel(stance.Ethernet(0.1)),
+//	    stance.WithBalancer(stance.BalancerConfig{}))
+//	report, err := s.Run(100)
+func NewSession(ctx context.Context, g *Graph, procs int, opts ...Option) (*Session, error) {
+	cfg := session.Config{Procs: procs}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return session.New(ctx, g, cfg)
+}
+
+// OpenWorld builds a World of p ranks on a registered transport (""
+// selects "inproc"); model prices messages on modeled transports (nil
+// means free). Most callers want NewSession instead and never touch
+// the world directly.
+func OpenWorld(transport string, p int, model *NetworkModel) (*World, error) {
+	return comm.Open(transport, p, comm.TransportConfig{Model: model})
+}
+
+// RegisterTransport makes a message-passing backend available to
+// OpenWorld and WithTransport under the given name.
+func RegisterTransport(name string, factory TransportFactory) {
+	comm.RegisterTransport(name, factory)
+}
+
+// Transports lists the registered transport names.
+func Transports() []string { return comm.Transports() }

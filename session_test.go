@@ -1,0 +1,147 @@
+package stance_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stance"
+)
+
+// TestSessionFacade drives the one-call API end to end the way the
+// quickstart does: options in, report and result out.
+func TestSessionFacade(t *testing.T) {
+	g, err := stance.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stance.NewSession(context.Background(), g, 3,
+		stance.WithOrdering("rcb"),
+		stance.WithStrategy(stance.StrategySort2),
+		stance.WithEnv(stance.LoadedEnv(3, 2.5)),
+		stance.WithWorkRep(2),
+		stance.WithCheckEvery(4),
+		stance.WithBalancer(stance.BalancerConfig{Horizon: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rep, err := s.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ranks) != 3 || rep.Wall <= 0 {
+		t.Errorf("report: %d ranks, wall %v", len(rep.Ranks), rep.Wall)
+	}
+	if len(rep.Remaps()) == 0 {
+		t.Error("2.5x imbalance not rebalanced")
+	}
+	y, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != g.N {
+		t.Errorf("gathered %d values for %d vertices", len(y), g.N)
+	}
+	byVertex, err := s.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byVertex) != g.N {
+		t.Errorf("unpermuted %d values for %d vertices", len(byVertex), g.N)
+	}
+}
+
+// TestSessionFacadeTCP runs a session over the TCP transport selected
+// by name through the registry.
+func TestSessionFacadeTCP(t *testing.T) {
+	g, err := stance.Honeycomb(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stance.NewSession(context.Background(), g, 2,
+		stance.WithTransport("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.World().Transport(); got != "tcp" {
+		t.Errorf("Transport() = %q", got)
+	}
+	if _, err := s.Run(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionFacadeWeights exercises the remaining options: explicit
+// capabilities, vertex weights and a custom order function.
+func TestSessionFacadeWeights(t *testing.T) {
+	g, err := stance.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw := make([]float64, g.N)
+	for v := range vw {
+		vw[v] = float64(g.Degree(v)) + 1
+	}
+	s, err := stance.NewSession(context.Background(), g, 2,
+		stance.WithOrderFunc(stance.RCB),
+		stance.WithWeights(1, 3),
+		stance.WithVertexWeights(vw),
+		stance.WithRemapPolicy(stance.RemapMCR),
+		stance.WithNetworkModel(stance.Ethernet(0.01)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	// A 1:3 capability split must give rank 1 roughly three times the
+	// items of rank 0 under degree weighting.
+	n0 := s.Runtime(0).LocalN()
+	n1 := s.Runtime(1).LocalN()
+	if n0 >= n1 {
+		t.Errorf("weights 1:3 gave rank 0 %d items, rank 1 %d", n0, n1)
+	}
+}
+
+// TestOpenWorldFacade checks the World layer through the facade.
+func TestOpenWorldFacade(t *testing.T) {
+	w, err := stance.OpenWorld("inproc", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err = w.SPMD(ctx, func(c *stance.Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Recv(1, 3) // no sender: must unblock on cancel
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SPMD = %v, want context.Canceled", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	found := false
+	for _, name := range stance.Transports() {
+		if name == "tcp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Transports() = %v, want tcp listed", stance.Transports())
+	}
+}

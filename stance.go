@@ -25,11 +25,20 @@
 //     beats the redistribution cost, choosing the new arrangement with
 //     the MinimizeCostRedistribution heuristic.
 //
-// The facade re-exports the internal packages a downstream user needs:
-// message-passing worlds (in-process with a modeled Ethernet, or TCP),
-// mesh generators, locality orderings, the runtime, the solver and the
-// balancer. See examples/ for runnable programs and DESIGN.md for the
-// full architecture.
+// The shortest path into the library is the session API: NewSession
+// builds a world on a named transport, partitions the mesh and wires
+// the solver and balancer on every rank; Session.Run drives the
+// iterate → measure → balance-check → remap protocol and returns a
+// consolidated RunReport. See examples/quickstart.
+//
+//	s, err := stance.NewSession(ctx, g, 4, stance.WithOrdering("rcb"))
+//	report, err := s.Run(100)
+//
+// Below that sits the World/transport layer (OpenWorld,
+// RegisterTransport) and the low-level collective API (New, NewSolver,
+// NewBalancer) for callers that need to own the SPMD loop themselves.
+// See examples/ for runnable programs and DESIGN.md for the full
+// architecture.
 package stance
 
 import (
@@ -129,12 +138,18 @@ const (
 
 // NewWorld creates an in-process SPMD world of p ranks whose messages
 // cost according to model (nil = free network).
+//
+// Legacy constructor: it returns raw endpoints without the shared
+// lifecycle. Prefer OpenWorld("inproc", p, model), which returns a
+// *World with context-aware SPMD and idempotent Close.
 func NewWorld(p int, model *NetworkModel) ([]*Comm, error) {
 	return comm.NewWorld(p, model)
 }
 
 // NewTCPWorld creates a world connected by loopback TCP sockets; the
 // returned closer shuts the mesh down.
+//
+// Legacy constructor: prefer OpenWorld("tcp", p, nil).
 func NewTCPWorld(p int) ([]*Comm, func() error, error) {
 	return comm.NewTCPWorld(p)
 }
@@ -146,12 +161,14 @@ func Ethernet(scale float64) *NetworkModel {
 }
 
 // SPMD runs f once per rank, each in its own goroutine, and joins all
-// errors.
+// errors. Legacy entry point: World.SPMD additionally threads a
+// context through every rank's blocking operations.
 func SPMD(comms []*Comm, f func(c *Comm) error) error {
 	return comm.SPMD(comms, f)
 }
 
-// CloseWorld closes every endpoint in a world.
+// CloseWorld closes every endpoint in a world. Legacy: World.Close
+// also releases transport-shared resources and is idempotent.
 func CloseWorld(comms []*Comm) error {
 	return comm.CloseWorld(comms)
 }
