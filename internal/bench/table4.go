@@ -3,7 +3,6 @@ package bench
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"stance/internal/comm"
 	"stance/internal/graph"
@@ -33,15 +32,12 @@ func staticScale(opts Options) (iters, workRep int) {
 	return 20, 2500
 }
 
-// MeasureStaticRun times iters solver iterations on p equally fast,
-// unloaded workstations over the modeled Ethernet, returning the wall
-// time (max over ranks).
-func MeasureStaticRun(g *graph.Graph, p, iters, workRep int, netScale float64) (time.Duration, error) {
-	rep, err := measureRun(g, hetero.Uniform(p), p, iters, workRep, netScale, nil)
-	if err != nil {
-		return 0, err
-	}
-	return rep.Wall, nil
+// MeasureStaticRun runs iters solver iterations on p equally fast,
+// unloaded workstations over the modeled Ethernet, returning the
+// session report (Wall is rank 0's barrier-to-barrier time; Exec the
+// executor's own traffic counters).
+func MeasureStaticRun(g *graph.Graph, p, iters, workRep int, netScale float64) (*session.RunReport, error) {
+	return measureRun(g, hetero.Uniform(p), p, iters, workRep, netScale, nil)
 }
 
 // measureRun executes an iterative solve through the session driver
@@ -88,11 +84,11 @@ func Table4(opts Options) (*Table, error) {
 	}
 	var t1 float64
 	for _, p := range []int{1, 2, 3, 4, 5} {
-		d, err := MeasureStaticRun(g, p, iters, workRep, opts.netScale())
+		rep, err := MeasureStaticRun(g, p, iters, workRep, opts.netScale())
 		if err != nil {
 			return nil, err
 		}
-		tp := d.Seconds()
+		tp := rep.Wall.Seconds()
 		if p == 1 {
 			t1 = tp
 		}

@@ -32,6 +32,13 @@ type AdaptiveResult struct {
 	CheckCost time.Duration
 	LBCost    time.Duration
 	Remapped  bool
+	// Checks and Remaps count the LB run's balance checks and actual
+	// remaps; ExecMsgs counts the executor messages it sent. These are
+	// the structural fields tests assert on — unlike the wall-clock
+	// ratios above they do not depend on how loaded the machine is.
+	Checks   int
+	Remaps   int
+	ExecMsgs int64
 }
 
 // MeasureAdaptiveRun reproduces the paper's Table 5 protocol on p
@@ -73,6 +80,9 @@ func MeasureAdaptiveRun(opts Options, p, iters, workRep int) (AdaptiveResult, er
 		return AdaptiveResult{}, err
 	}
 	res.WithLB = with.Wall
+	res.Checks = len(with.Checks)
+	res.Remaps = len(with.Remaps())
+	res.ExecMsgs = with.Exec.Msgs
 	if checks := with.Checks; len(checks) > 0 {
 		// CheckTime covers report/decide/broadcast only; the remap is
 		// timed separately, taken from the first check that remapped

@@ -13,10 +13,64 @@ import (
 // F64sToBytes encodes a float64 slice.
 func F64sToBytes(vals []float64) []byte {
 	out := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
-	}
+	PutF64s(out, vals)
 	return out
+}
+
+// PutF64s encodes vals into dst in the wire format, writing exactly
+// 8*len(vals) bytes — the in-place counterpart of F64sToBytes for
+// callers that own a persistent wire buffer.
+func PutF64s(dst []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+// GetF64s decodes src into dst — the in-place counterpart of
+// BytesToF64s. len(src) must be exactly 8*len(dst).
+func GetF64s(dst []float64, src []byte) error {
+	if len(src) != 8*len(dst) {
+		return fmt.Errorf("comm: float64 payload is %d bytes, want %d", len(src), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return nil
+}
+
+// PackF64s gathers vals[idx[i]] into dst in the wire format — the
+// executor's pack primitive: values travel straight from the vector
+// into the wire buffer with no intermediate []float64. dst must be at
+// least 8*len(idx) bytes.
+func PackF64s(dst []byte, vals []float64, idx []int32) {
+	for i, j := range idx {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(vals[j]))
+	}
+}
+
+// UnpackF64s decodes src and scatters value i into vals[idx[i]] — the
+// executor's unpack primitive: wire bytes land straight in the ghost
+// section. len(src) must be exactly 8*len(idx).
+func UnpackF64s(vals []float64, idx []int32, src []byte) error {
+	if len(src) != 8*len(idx) {
+		return fmt.Errorf("comm: float64 payload is %d bytes, want %d", len(src), 8*len(idx))
+	}
+	for i, j := range idx {
+		vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return nil
+}
+
+// AddF64s decodes src and accumulates value i into vals[idx[i]] — the
+// scatter-add unpack. len(src) must be exactly 8*len(idx).
+func AddF64s(vals []float64, idx []int32, src []byte) error {
+	if len(src) != 8*len(idx) {
+		return fmt.Errorf("comm: float64 payload is %d bytes, want %d", len(src), 8*len(idx))
+	}
+	for i, j := range idx {
+		vals[j] += math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return nil
 }
 
 // BytesToF64s decodes a float64 slice.
@@ -96,6 +150,12 @@ func DecodeSections(data []byte) ([][]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(data)
 	data = data[4:]
+	// Each section costs at least its 4-byte length prefix, so a valid
+	// payload bounds the count; checking before allocating keeps a
+	// corrupt or truncated header from demanding gigabytes up front.
+	if uint64(n) > uint64(len(data)/4) {
+		return nil, fmt.Errorf("comm: sections payload promises %d sections in %d bytes", n, len(data))
+	}
 	out := make([][]byte, 0, n)
 	for i := uint32(0); i < n; i++ {
 		if len(data) < 4 {

@@ -148,6 +148,73 @@ func TestDecodeSectionsErrors(t *testing.T) {
 	}
 }
 
+func TestDecodeSectionsBoundsCount(t *testing.T) {
+	// A corrupt header promising 4 billion sections must be rejected
+	// before the preallocation, not by an out-of-memory crash: each
+	// section costs at least 4 bytes, so the payload length bounds the
+	// plausible count.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeSections(huge); err == nil {
+		t.Fatal("4-billion-section header accepted")
+	}
+	// Still permissive where the count is physically possible.
+	ok := EncodeSections([][]byte{nil, nil, nil})
+	if _, err := DecodeSections(ok); err != nil {
+		t.Fatalf("valid empty sections rejected: %v", err)
+	}
+}
+
+func TestInPlaceF64Codecs(t *testing.T) {
+	vals := []float64{1.5, -2.25, math.Pi, 0}
+	buf := make([]byte, 8*len(vals))
+	PutF64s(buf, vals)
+	if string(buf) != string(F64sToBytes(vals)) {
+		t.Fatal("PutF64s disagrees with F64sToBytes")
+	}
+	dst := make([]float64, len(vals))
+	if err := GetF64s(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dst[i] != vals[i] {
+			t.Fatalf("GetF64s[%d] = %v, want %v", i, dst[i], vals[i])
+		}
+	}
+	if err := GetF64s(dst[:2], buf); err == nil {
+		t.Error("length mismatch accepted by GetF64s")
+	}
+}
+
+func TestIndexedF64Codecs(t *testing.T) {
+	vals := []float64{10, 20, 30, 40, 50}
+	idx := []int32{4, 0, 2}
+	buf := make([]byte, 8*len(idx))
+	PackF64s(buf, vals, idx)
+
+	// Unpack scatters the gathered values into new positions.
+	out := make([]float64, 5)
+	if err := UnpackF64s(out, idx, buf); err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != 50 || out[0] != 10 || out[2] != 30 {
+		t.Fatalf("UnpackF64s = %v", out)
+	}
+	// Add accumulates on top.
+	if err := AddF64s(out, idx, buf); err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != 100 || out[0] != 20 || out[2] != 60 {
+		t.Fatalf("AddF64s = %v", out)
+	}
+	// Length mismatches are rejected.
+	if err := UnpackF64s(out, idx, buf[:8]); err == nil {
+		t.Error("short payload accepted by UnpackF64s")
+	}
+	if err := AddF64s(out, idx[:1], buf); err == nil {
+		t.Error("long payload accepted by AddF64s")
+	}
+}
+
 func TestSectionsDoNotAlias(t *testing.T) {
 	// Decoded sections must not allow appends to clobber siblings.
 	enc := EncodeSections([][]byte{[]byte("ab"), []byte("cd")})

@@ -51,6 +51,30 @@ type ContextTransport interface {
 	RecvAnyContext(ctx context.Context, tag int) (src int, data []byte, err error)
 }
 
+// MaskedTransport is implemented by transports that can complete
+// receives in arrival order among a restricted set of sources — the
+// executor's drain primitive: mark the peers still missing and unpack
+// whichever delivers first, while messages from already-served peers
+// (which belong to a later collective operation) stay queued. Both
+// built-in transports implement it.
+type MaskedTransport interface {
+	// RecvAnyOf blocks until a message with the tag arrives from a
+	// source the mask admits (nil mask admits all).
+	RecvAnyOf(ctx context.Context, tag int, mask []bool) (src int, data []byte, err error)
+	// PollAnyOf is the non-blocking variant: ok=false when nothing
+	// admissible has arrived yet.
+	PollAnyOf(tag int, mask []bool) (src int, data []byte, ok bool, err error)
+}
+
+// Recycler is implemented by transports that reuse receive buffers.
+// Release hands a payload returned by a receive back to the transport;
+// the caller must not touch the buffer afterwards. Both built-in
+// transports implement it, which is what makes the executor's
+// steady-state data path allocation-free.
+type Recycler interface {
+	Release(buf []byte)
+}
+
 // Comm is one rank's endpoint in a world of size ranks.
 type Comm struct {
 	rank, size int
@@ -155,6 +179,68 @@ func (c *Comm) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error)
 		}
 	}
 	return c.tr.RecvAny(tag)
+}
+
+// RecvAnyOf blocks until a message with the tag arrives from a source
+// the mask admits (mask[src] true; nil admits every source) — the
+// arrival-order receive the executor drains with. On a transport
+// without masked-receive support it degrades to a blocking Recv from
+// the lowest admitted rank, which is correct (collective operations
+// deliver exactly one message per admitted peer) but loses the
+// arrival-order overlap.
+func (c *Comm) RecvAnyOf(tag int, mask []bool) (int, []byte, error) {
+	if mt, ok := c.tr.(MaskedTransport); ok {
+		return mt.RecvAnyOf(c.ctx, tag, mask)
+	}
+	if mask == nil {
+		return c.RecvAny(tag)
+	}
+	for src := 0; src < c.size && src < len(mask); src++ {
+		if mask[src] {
+			data, err := c.Recv(src, tag)
+			return src, data, err
+		}
+	}
+	return 0, nil, fmt.Errorf("comm: RecvAnyOf with no admitted source")
+}
+
+// PollAnyOf returns an already-arrived message from a source the mask
+// admits without blocking; ok=false means nothing admissible has
+// arrived yet (always the case on transports without masked-receive
+// support).
+func (c *Comm) PollAnyOf(tag int, mask []bool) (src int, data []byte, ok bool, err error) {
+	if mt, k := c.tr.(MaskedTransport); k {
+		return mt.PollAnyOf(tag, mask)
+	}
+	return 0, nil, false, nil
+}
+
+// Release hands a payload returned by a receive back to the transport
+// for reuse. The buffer must not be used afterwards. It is a no-op on
+// transports without buffer recycling, so callers can Release
+// unconditionally.
+func (c *Comm) Release(buf []byte) {
+	if r, ok := c.tr.(Recycler); ok {
+		r.Release(buf)
+	}
+}
+
+// RecvInto receives from src into the caller's buffer, returning the
+// payload length; it fails (consuming the message) if the payload does
+// not fit. The transport's buffer is recycled, so a receive into a
+// persistent buffer allocates nothing in the steady state.
+func (c *Comm) RecvInto(src, tag int, buf []byte) (int, error) {
+	data, err := c.Recv(src, tag)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) > len(buf) {
+		c.Release(data)
+		return 0, fmt.Errorf("comm: %d-byte payload exceeds %d-byte receive buffer", len(data), len(buf))
+	}
+	n := copy(buf, data)
+	c.Release(data)
+	return n, nil
 }
 
 // Multicast sends data to every rank in dsts. If the transport

@@ -58,8 +58,17 @@ func (t *inprocTransport) transmit(n int) {
 
 func (t *inprocTransport) Send(dst, tag int, data []byte) error {
 	t.transmit(len(data))
-	buf := append([]byte(nil), data...)
-	return t.boxes[dst].deliver(t.rank, tag, buf)
+	// The payload copy goes into a buffer recycled from the receiver's
+	// pool, so a steady-state send/receive/Release loop allocates
+	// nothing.
+	box := t.boxes[dst]
+	buf := box.getBuf(len(data))
+	copy(buf, data)
+	if err := box.deliver(t.rank, tag, buf); err != nil {
+		box.putBuf(buf)
+		return err
+	}
+	return nil
 }
 
 // Multicast delivers to all destinations for a single network charge
@@ -74,8 +83,11 @@ func (t *inprocTransport) Multicast(dsts []int, tag int, data []byte) error {
 		}
 	}
 	for _, d := range dsts {
-		buf := append([]byte(nil), data...)
-		if err := t.boxes[d].deliver(t.rank, tag, buf); err != nil {
+		box := t.boxes[d]
+		buf := box.getBuf(len(data))
+		copy(buf, data)
+		if err := box.deliver(t.rank, tag, buf); err != nil {
+			box.putBuf(buf)
 			return err
 		}
 	}
@@ -96,6 +108,20 @@ func (t *inprocTransport) RecvContext(ctx context.Context, src, tag int) ([]byte
 
 func (t *inprocTransport) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error) {
 	return t.boxes[t.rank].recvAny(ctx, tag)
+}
+
+func (t *inprocTransport) RecvAnyOf(ctx context.Context, tag int, mask []bool) (int, []byte, error) {
+	return t.boxes[t.rank].recvAnyOf(ctx, tag, mask)
+}
+
+func (t *inprocTransport) PollAnyOf(tag int, mask []bool) (int, []byte, bool, error) {
+	return t.boxes[t.rank].pollAnyOf(tag, mask)
+}
+
+// Release returns a received payload buffer to this rank's pool for
+// reuse by future senders.
+func (t *inprocTransport) Release(buf []byte) {
+	t.boxes[t.rank].putBuf(buf)
 }
 
 func (t *inprocTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {

@@ -11,19 +11,89 @@ type msgKey struct {
 	src, tag int
 }
 
+// msgq is one (source, tag) stream's FIFO. It is a slice drained by a
+// head index instead of re-slicing, so the backing array is reused once
+// the queue empties: a steady-state deliver/recv ping-pong touches no
+// allocator at all.
+type msgq struct {
+	frames [][]byte
+	head   int
+}
+
+func (q *msgq) empty() bool { return q.head == len(q.frames) }
+
+func (q *msgq) push(b []byte) { q.frames = append(q.frames, b) }
+
+func (q *msgq) pop() []byte {
+	b := q.frames[q.head]
+	q.frames[q.head] = nil // drop the reference for the pool/GC
+	q.head++
+	if q.head == len(q.frames) {
+		q.frames = q.frames[:0]
+		q.head = 0
+	}
+	return b
+}
+
+// maxPooled bounds the number of idle payload buffers a mailbox keeps
+// for reuse; beyond that, returned buffers fall to the GC.
+const maxPooled = 64
+
 // mailbox is a rank's incoming-message store: per-(src, tag) FIFO
-// queues with blocking receive. Both transports deliver into it.
+// queues with blocking receive. Both transports deliver into it. It
+// also owns the rank's receive-buffer pool: delivery paths take
+// payload buffers from getBuf and receivers hand them back through
+// putBuf (via Comm.Release), so the steady-state executor data path
+// recycles buffers instead of allocating per message.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[msgKey][][]byte
+	queues map[msgKey]*msgq
+	free   [][]byte
 	closed bool
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{queues: make(map[msgKey][][]byte)}
+	m := &mailbox{queues: make(map[msgKey]*msgq)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
+}
+
+// getBuf returns a payload buffer of length n, reusing a pooled one
+// when possible. One pool serves all message sizes on a rank, so the
+// newest-first scan skips entries too small for this request instead
+// of discarding them — small control-frame buffers stay pooled for
+// small requests, and in the homogeneous steady state the newest entry
+// fits immediately.
+func (m *mailbox) getBuf(n int) []byte {
+	m.mu.Lock()
+	for i := len(m.free) - 1; i >= 0; i-- {
+		if cap(m.free[i]) < n {
+			continue
+		}
+		b := m.free[i]
+		last := len(m.free) - 1
+		m.free[i] = m.free[last]
+		m.free[last] = nil
+		m.free = m.free[:last]
+		m.mu.Unlock()
+		return b[:n]
+	}
+	m.mu.Unlock()
+	return make([]byte, n)
+}
+
+// putBuf returns a delivered payload buffer to the pool. The caller
+// must not touch the buffer afterwards.
+func (m *mailbox) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if len(m.free) < maxPooled {
+		m.free = append(m.free, b[:0])
+	}
+	m.mu.Unlock()
 }
 
 // deliver appends a message; the payload must already be owned by the
@@ -35,7 +105,12 @@ func (m *mailbox) deliver(src, tag int, data []byte) error {
 		return ErrClosed
 	}
 	k := msgKey{src, tag}
-	m.queues[k] = append(m.queues[k], data)
+	q := m.queues[k]
+	if q == nil {
+		q = &msgq{}
+		m.queues[k] = q
+	}
+	q.push(data)
 	m.cond.Broadcast()
 	return nil
 }
@@ -70,14 +145,8 @@ func (m *mailbox) recv(ctx context.Context, src, tag int) ([]byte, error) {
 	defer m.mu.Unlock()
 	k := msgKey{src, tag}
 	for {
-		if q := m.queues[k]; len(q) > 0 {
-			data := q[0]
-			if len(q) == 1 {
-				delete(m.queues, k)
-			} else {
-				m.queues[k] = q[1:]
-			}
-			return data, nil
+		if q := m.queues[k]; q != nil && !q.empty() {
+			return q.pop(), nil
 		}
 		if m.closed {
 			return nil, ErrClosed
@@ -108,14 +177,8 @@ func (m *mailbox) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
 	defer m.mu.Unlock()
 	k := msgKey{src, tag}
 	for {
-		if q := m.queues[k]; len(q) > 0 {
-			data := q[0]
-			if len(q) == 1 {
-				delete(m.queues, k)
-			} else {
-				m.queues[k] = q[1:]
-			}
-			return data, nil
+		if q := m.queues[k]; q != nil && !q.empty() {
+			return q.pop(), nil
 		}
 		if m.closed {
 			return nil, ErrClosed
@@ -127,10 +190,37 @@ func (m *mailbox) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
 	}
 }
 
+// match returns the lowest source with a queued message for tag that
+// the mask admits (nil mask admits every source), or -1.
+func (m *mailbox) match(tag int, mask []bool) int {
+	bestSrc := -1
+	for k, q := range m.queues {
+		if k.tag != tag || q.empty() {
+			continue
+		}
+		if mask != nil && (k.src < 0 || k.src >= len(mask) || !mask[k.src]) {
+			continue
+		}
+		if bestSrc < 0 || k.src < bestSrc {
+			bestSrc = k.src
+		}
+	}
+	return bestSrc
+}
+
 // recvAny blocks until any message with the tag is available,
 // preferring the lowest source rank for determinism. It unblocks with
 // an error when the mailbox closes or ctx is cancelled.
 func (m *mailbox) recvAny(ctx context.Context, tag int) (int, []byte, error) {
+	return m.recvAnyOf(ctx, tag, nil)
+}
+
+// recvAnyOf is recvAny restricted to sources the mask admits — the
+// arrival-order receive primitive: the executor marks the peers it is
+// still missing and unpacks whichever of them delivers first, while
+// messages from already-served peers (which belong to a later
+// operation) stay queued.
+func (m *mailbox) recvAnyOf(ctx context.Context, tag int, mask []bool) (int, []byte, error) {
 	cancellable := ctx != nil && ctx.Done() != nil
 	var stop func() bool
 	defer func() {
@@ -141,22 +231,8 @@ func (m *mailbox) recvAny(ctx context.Context, tag int) (int, []byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		bestSrc := -1
-		for k, q := range m.queues {
-			if k.tag == tag && len(q) > 0 && (bestSrc < 0 || k.src < bestSrc) {
-				bestSrc = k.src
-			}
-		}
-		if bestSrc >= 0 {
-			k := msgKey{bestSrc, tag}
-			q := m.queues[k]
-			data := q[0]
-			if len(q) == 1 {
-				delete(m.queues, k)
-			} else {
-				m.queues[k] = q[1:]
-			}
-			return bestSrc, data, nil
+		if src := m.match(tag, mask); src >= 0 {
+			return src, m.queues[msgKey{src, tag}].pop(), nil
 		}
 		if m.closed {
 			return 0, nil, ErrClosed
@@ -171,6 +247,21 @@ func (m *mailbox) recvAny(ctx context.Context, tag int) (int, []byte, error) {
 		}
 		m.cond.Wait()
 	}
+}
+
+// pollAnyOf is the non-blocking recvAnyOf: it returns ok=false when no
+// admissible message has arrived yet, letting a send loop drain ready
+// receives without stalling.
+func (m *mailbox) pollAnyOf(tag int, mask []bool) (src int, data []byte, ok bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if src := m.match(tag, mask); src >= 0 {
+		return src, m.queues[msgKey{src, tag}].pop(), true, nil
+	}
+	if m.closed {
+		return 0, nil, false, ErrClosed
+	}
+	return 0, nil, false, nil
 }
 
 // close fails all pending and future receives.

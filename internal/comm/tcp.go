@@ -218,11 +218,15 @@ func (t *tcpTransport) attach(peer int, conn net.Conn) {
 			if n > maxFrame {
 				return
 			}
-			payload := make([]byte, n)
+			// Payloads come from the mailbox pool so released receive
+			// buffers cycle back to the socket reader.
+			payload := t.box.getBuf(int(n))
 			if _, err := io.ReadFull(conn, payload); err != nil {
+				t.box.putBuf(payload)
 				return
 			}
 			if err := t.box.deliver(peer, tag, payload); err != nil {
+				t.box.putBuf(payload)
 				return
 			}
 		}
@@ -234,7 +238,13 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 		return fmt.Errorf("comm: message of %d bytes exceeds frame limit", len(data))
 	}
 	if dst == t.rank {
-		return t.box.deliver(t.rank, tag, append([]byte(nil), data...))
+		buf := t.box.getBuf(len(data))
+		copy(buf, data)
+		if err := t.box.deliver(t.rank, tag, buf); err != nil {
+			t.box.putBuf(buf)
+			return err
+		}
+		return nil
 	}
 	t.mu.Lock()
 	out := t.outs[dst]
@@ -264,6 +274,20 @@ func (t *tcpTransport) RecvContext(ctx context.Context, src, tag int) ([]byte, e
 
 func (t *tcpTransport) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error) {
 	return t.box.recvAny(ctx, tag)
+}
+
+func (t *tcpTransport) RecvAnyOf(ctx context.Context, tag int, mask []bool) (int, []byte, error) {
+	return t.box.recvAnyOf(ctx, tag, mask)
+}
+
+func (t *tcpTransport) PollAnyOf(tag int, mask []bool) (int, []byte, bool, error) {
+	return t.box.pollAnyOf(tag, mask)
+}
+
+// Release returns a received payload buffer to the mailbox pool for
+// reuse by the socket readers.
+func (t *tcpTransport) Release(buf []byte) {
+	t.box.putBuf(buf)
 }
 
 func (t *tcpTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {

@@ -2,68 +2,47 @@ package core
 
 import (
 	"fmt"
-
-	"stance/internal/comm"
 )
 
 // ExchangeAll gathers the ghost sections of several vectors in one
 // round, coalescing all vectors' values for a peer into a single
 // message — the "message coalescing" optimization of paper Section 2.
 // On a latency-dominated network this divides the per-iteration setup
-// cost by the number of vectors (see BenchmarkCoalescing).
+// cost by the number of vectors (see BenchmarkCoalescing). Each
+// message carries the vectors' segments back to back, vector-major.
 func (rt *Runtime) ExchangeAll(vecs ...*Vector) error {
 	if len(vecs) == 0 {
 		return nil
 	}
-	if len(vecs) == 1 {
-		return rt.Exchange(vecs[0])
+	if err := rt.collect(vecs); err != nil {
+		return err
 	}
+	return rt.gather(rt.vecScratch)
+}
+
+// ScatterAddAll is the coalesced transpose of ExchangeAll: every
+// vector's ghost contributions travel home in one message per peer and
+// are added into the owned elements, in the same deterministic peer
+// order as repeated ScatterAdd calls.
+func (rt *Runtime) ScatterAddAll(vecs ...*Vector) error {
+	if len(vecs) == 0 {
+		return nil
+	}
+	if err := rt.collect(vecs); err != nil {
+		return err
+	}
+	return rt.scatter(rt.vecScratch)
+}
+
+// collect validates ownership and refreshes the reused [][]float64
+// view of the vectors' data.
+func (rt *Runtime) collect(vecs []*Vector) error {
+	rt.vecScratch = rt.vecScratch[:0]
 	for _, v := range vecs {
 		if v.rt != rt {
 			return fmt.Errorf("core: vector belongs to a different runtime")
 		}
-	}
-	s := rt.sch
-	nLocal := rt.LocalN()
-	for q := 0; q < s.NProcs; q++ {
-		idx := s.SendIdx[q]
-		if len(idx) == 0 {
-			continue
-		}
-		// One frame carries every vector's segment, back to back.
-		buf := make([]float64, 0, len(idx)*len(vecs))
-		for _, v := range vecs {
-			for _, li := range idx {
-				buf = append(buf, v.Data[li])
-			}
-		}
-		if err := rt.c.Send(q, tagExchange, comm.F64sToBytes(buf)); err != nil {
-			return err
-		}
-	}
-	for q := 0; q < s.NProcs; q++ {
-		slots := s.RecvSlot[q]
-		if len(slots) == 0 {
-			continue
-		}
-		data, err := rt.c.Recv(q, tagExchange)
-		if err != nil {
-			return err
-		}
-		vals, err := comm.BytesToF64s(data)
-		if err != nil {
-			return err
-		}
-		if len(vals) != len(slots)*len(vecs) {
-			return fmt.Errorf("core: peer %d sent %d values, coalesced schedule expects %d",
-				q, len(vals), len(slots)*len(vecs))
-		}
-		for vi, v := range vecs {
-			seg := vals[vi*len(slots) : (vi+1)*len(slots)]
-			for i, slot := range slots {
-				v.Data[nLocal+int(slot)] = seg[i]
-			}
-		}
+		rt.vecScratch = append(rt.vecScratch, v.Data)
 	}
 	return nil
 }

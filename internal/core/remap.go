@@ -117,19 +117,22 @@ func (rt *Runtime) moveVectors(plan *redist.Plan) error {
 			}
 		}
 		for _, r := range plan.Recvs {
-			data, err := rt.c.Recv(r.Peer, tagRedist)
+			want := int(r.Global.Len())
+			if cap(rt.wireScratch) < 8*want {
+				rt.wireScratch = make([]byte, 8*want)
+			}
+			n, err := rt.c.RecvInto(r.Peer, tagRedist, rt.wireScratch[:8*want])
 			if err != nil {
 				return err
 			}
-			vals, err := comm.BytesToF64s(data)
-			if err != nil {
-				return err
-			}
-			if int64(len(vals)) != r.Global.Len() {
+			if n != 8*want {
 				return fmt.Errorf("core: redistribution from %d carried %d values, want %d",
-					r.Peer, len(vals), r.Global.Len())
+					r.Peer, n/8, want)
 			}
-			copy(newLocal[r.Global.Lo-plan.New.Lo:], vals)
+			dst := newLocal[r.Global.Lo-plan.New.Lo:][:want]
+			if err := comm.GetF64s(dst, rt.wireScratch[:n]); err != nil {
+				return err
+			}
 		}
 		// Park the new local section; ghost space is re-attached by
 		// Remap once the new schedule is known.

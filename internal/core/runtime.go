@@ -101,14 +101,50 @@ type Runtime struct {
 	// for unit weights.
 	itemWeights []float64
 
+	// plan is the compiled replay form of sch: per-peer pack/unpack
+	// index tables plus persistent wire buffers. rebuild discards and
+	// recompiles it whenever the schedule changes.
+	plan *sched.Plan
+
 	// Localized CSR: references < LocalN() are local indices,
 	// references >= LocalN() are LocalN()+ghost slot.
 	lxadj []int32
 	ladj  []int32
 
 	vecs []*Vector
+	// vecScratch is the reused [][]float64 view handed to the plan's
+	// pack/unpack calls, so Exchange/ScatterAdd stay allocation-free.
+	vecScratch [][]float64
+	// wireScratch is a reused receive buffer for non-replay transfers
+	// (redistribution).
+	wireScratch []byte
+
+	// Executor traffic counters (see ExecStats).
+	execOps, execMsgs, execBytes int64
 
 	lastInspector time.Duration
+}
+
+// ExecStats counts the executor data path's traffic: schedule-replay
+// operations (Exchange/ScatterAdd and their coalesced variants), the
+// messages they sent and the payload bytes those messages carried.
+// Unlike comm's transport counters it excludes collectives, inspector
+// and remap traffic, so it is exactly the per-iteration replay cost
+// the paper's Phase C measures.
+type ExecStats struct {
+	Ops, Msgs, Bytes int64
+}
+
+// Add accumulates o into s.
+func (s *ExecStats) Add(o ExecStats) {
+	s.Ops += o.Ops
+	s.Msgs += o.Msgs
+	s.Bytes += o.Bytes
+}
+
+// Sub returns s - o, for windowed deltas.
+func (s ExecStats) Sub(o ExecStats) ExecStats {
+	return ExecStats{Ops: s.Ops - o.Ops, Msgs: s.Msgs - o.Msgs, Bytes: s.Bytes - o.Bytes}
 }
 
 // New builds the runtime collectively: transforms the graph into the
@@ -208,6 +244,7 @@ func (rt *Runtime) rebuild() error {
 	}
 	rt.lastInspector = time.Since(start)
 	rt.sch = s
+	rt.plan = sched.Compile(s)
 	return rt.localize(refs)
 }
 
@@ -255,6 +292,17 @@ func (rt *Runtime) Layout() *partition.Layout { return rt.layout }
 
 // Schedule returns the current communication schedule.
 func (rt *Runtime) Schedule() *sched.Schedule { return rt.sch }
+
+// Plan returns the compiled exchange plan the executor replays; it is
+// discarded and recompiled whenever the schedule is rebuilt (Remap,
+// SetGraph).
+func (rt *Runtime) Plan() *sched.Plan { return rt.plan }
+
+// ExecStats returns the executor traffic counters accumulated since
+// the runtime was built.
+func (rt *Runtime) ExecStats() ExecStats {
+	return ExecStats{Ops: rt.execOps, Msgs: rt.execMsgs, Bytes: rt.execBytes}
+}
 
 // Perm returns the locality transformation (original vertex ->
 // transformed index). The returned slice must not be modified.

@@ -44,47 +44,17 @@ func (v *Vector) SetByGlobal(f func(global int64) float64) {
 
 // Exchange fills v's ghost section with the owning ranks' current
 // values — the executor's gather primitive (paper Section 3.3),
-// replaying the inspector's schedule.
+// replaying the compiled plan: owned values are packed per peer
+// straight into persistent wire buffers, sends overlap with draining
+// whatever has already arrived, and the remaining receives complete in
+// arrival order, so one slow peer no longer stalls the unpacking of
+// the others.
 func (rt *Runtime) Exchange(v *Vector) error {
 	if v.rt != rt {
 		return fmt.Errorf("core: vector belongs to a different runtime")
 	}
-	s := rt.sch
-	for q := 0; q < s.NProcs; q++ {
-		idx := s.SendIdx[q]
-		if len(idx) == 0 {
-			continue
-		}
-		buf := make([]float64, len(idx))
-		for i, li := range idx {
-			buf[i] = v.Data[li]
-		}
-		if err := rt.c.Send(q, tagExchange, comm.F64sToBytes(buf)); err != nil {
-			return err
-		}
-	}
-	nLocal := rt.LocalN()
-	for q := 0; q < s.NProcs; q++ {
-		slots := s.RecvSlot[q]
-		if len(slots) == 0 {
-			continue
-		}
-		data, err := rt.c.Recv(q, tagExchange)
-		if err != nil {
-			return err
-		}
-		vals, err := comm.BytesToF64s(data)
-		if err != nil {
-			return err
-		}
-		if len(vals) != len(slots) {
-			return fmt.Errorf("core: peer %d sent %d values, schedule expects %d", q, len(vals), len(slots))
-		}
-		for i, slot := range slots {
-			v.Data[nLocal+int(slot)] = vals[i]
-		}
-	}
-	return nil
+	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
+	return rt.gather(rt.vecScratch)
 }
 
 // ScatterAdd is the executor's scatter primitive: each ghost value is
@@ -95,42 +65,157 @@ func (rt *Runtime) ScatterAdd(v *Vector) error {
 	if v.rt != rt {
 		return fmt.Errorf("core: vector belongs to a different runtime")
 	}
-	s := rt.sch
-	nLocal := rt.LocalN()
-	for q := 0; q < s.NProcs; q++ {
-		slots := s.RecvSlot[q]
-		if len(slots) == 0 {
-			continue
+	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
+	return rt.scatter(rt.vecScratch)
+}
+
+// gather replays the Exchange direction of the plan for one or more
+// vectors coalesced onto the same wire messages.
+func (rt *Runtime) gather(vecs [][]float64) error {
+	p := rt.plan
+	rt.execOps++
+	pending := p.Pending()
+	nPending := 0
+	for _, q := range p.RecvPeers() {
+		pending[q] = true
+		nPending++
+	}
+	for _, q := range p.SendPeers() {
+		buf := p.PackLocal(q, vecs)
+		if err := rt.c.Send(q, tagExchange, buf); err != nil {
+			return err
 		}
-		buf := make([]float64, len(slots))
-		for i, slot := range slots {
-			buf[i] = v.Data[nLocal+int(slot)]
-		}
-		if err := rt.c.Send(q, tagScatter, comm.F64sToBytes(buf)); err != nil {
+		rt.execMsgs++
+		rt.execBytes += int64(len(buf))
+		// Overlap: unpack whatever has already arrived before packing
+		// the next message.
+		var err error
+		nPending, err = rt.drainGather(pending, nPending, vecs, false)
+		if err != nil {
 			return err
 		}
 	}
-	for q := 0; q < s.NProcs; q++ {
-		idx := s.SendIdx[q]
-		if len(idx) == 0 {
-			continue
+	_, err := rt.drainGather(pending, nPending, vecs, true)
+	return err
+}
+
+// drainGather consumes Exchange payloads in arrival order, unpacking
+// each straight into the ghost sections (safe out of order: ghost
+// slots are disjoint assignments). With block unset it only takes
+// messages that are already in the mailbox.
+func (rt *Runtime) drainGather(pending []bool, nPending int, vecs [][]float64, block bool) (int, error) {
+	p := rt.plan
+	for nPending > 0 {
+		var src int
+		var data []byte
+		var err error
+		if block {
+			src, data, err = rt.c.RecvAnyOf(tagExchange, pending)
+			if err != nil {
+				return nPending, err
+			}
+		} else {
+			var ok bool
+			src, data, ok, err = rt.c.PollAnyOf(tagExchange, pending)
+			if err != nil {
+				return nPending, err
+			}
+			if !ok {
+				return nPending, nil
+			}
 		}
-		data, err := rt.c.Recv(q, tagScatter)
+		err = p.UnpackGhost(src, data, vecs)
+		rt.c.Release(data)
+		if err != nil {
+			return nPending, fmt.Errorf("core: %w", err)
+		}
+		pending[src] = false
+		nPending--
+	}
+	return nPending, nil
+}
+
+// scatter replays the ScatterAdd direction of the plan. Receives
+// complete in arrival order (parked per peer), but the accumulation is
+// applied in ascending peer order afterwards: several peers may
+// contribute to the same owned element, and floating-point addition is
+// not associative, so apply order must not depend on network timing.
+func (rt *Runtime) scatter(vecs [][]float64) error {
+	p := rt.plan
+	rt.execOps++
+	pending := p.Pending()
+	nPending := 0
+	for _, q := range p.SendPeers() {
+		pending[q] = true
+		nPending++
+	}
+	defer rt.releaseHeld()
+	for _, q := range p.RecvPeers() {
+		buf := p.PackGhost(q, vecs)
+		if err := rt.c.Send(q, tagScatter, buf); err != nil {
+			return err
+		}
+		rt.execMsgs++
+		rt.execBytes += int64(len(buf))
+		var err error
+		nPending, err = rt.drainScatter(pending, nPending, false)
 		if err != nil {
 			return err
 		}
-		vals, err := comm.BytesToF64s(data)
+	}
+	if _, err := rt.drainScatter(pending, nPending, true); err != nil {
+		return err
+	}
+	for _, q := range p.SendPeers() {
+		data := p.TakeHeld(q)
+		err := p.AddLocal(q, data, vecs)
+		rt.c.Release(data)
 		if err != nil {
-			return err
-		}
-		if len(vals) != len(idx) {
-			return fmt.Errorf("core: peer %d scattered %d values, schedule expects %d", q, len(vals), len(idx))
-		}
-		for i, li := range idx {
-			v.Data[li] += vals[i]
+			return fmt.Errorf("core: %w", err)
 		}
 	}
 	return nil
+}
+
+// drainScatter completes ScatterAdd receives in arrival order, parking
+// each payload on the plan until the deterministic apply pass.
+func (rt *Runtime) drainScatter(pending []bool, nPending int, block bool) (int, error) {
+	p := rt.plan
+	for nPending > 0 {
+		var src int
+		var data []byte
+		var err error
+		if block {
+			src, data, err = rt.c.RecvAnyOf(tagScatter, pending)
+			if err != nil {
+				return nPending, err
+			}
+		} else {
+			var ok bool
+			src, data, ok, err = rt.c.PollAnyOf(tagScatter, pending)
+			if err != nil {
+				return nPending, err
+			}
+			if !ok {
+				return nPending, nil
+			}
+		}
+		p.Hold(src, data)
+		pending[src] = false
+		nPending--
+	}
+	return nPending, nil
+}
+
+// releaseHeld returns any payloads still parked on the plan (after an
+// error cut an operation short) to the transport.
+func (rt *Runtime) releaseHeld() {
+	p := rt.plan
+	for _, q := range p.SendPeers() {
+		if data := p.TakeHeld(q); data != nil {
+			rt.c.Release(data)
+		}
+	}
 }
 
 // GatherGlobal assembles the full vector (transformed-global order) on

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"fmt"
+
+	"stance/internal/comm"
+)
+
+// Plan is a Schedule compiled for replay. The executor re-runs the
+// inspector's schedule every iteration (Phase C), so its constant
+// factors dominate end-to-end runtime; Compile flattens the schedule
+// into per-peer pack/unpack index tables plus persistent wire buffers,
+// so a steady-state Exchange or ScatterAdd allocates nothing: values
+// are packed straight from the vector into the wire buffer and
+// unpacked straight into the ghost section, with no intermediate
+// []float64 and no per-call buffer churn.
+//
+// A Plan is bound to the Schedule it was compiled from. Whenever the
+// layout or structure changes (Remap, SetGraph) the runtime discards
+// it and compiles a fresh one from the rebuilt schedule.
+type Plan struct {
+	rank   int
+	nprocs int
+	nlocal int
+
+	// sendPeers/recvPeers list the ranks with non-empty send lists and
+	// ghost segments respectively, ascending.
+	sendPeers []int
+	recvPeers []int
+
+	// local[q] lists the owned-element indices exchanged with peer q —
+	// the pack source for Exchange, the accumulate target for
+	// ScatterAdd. It aliases the schedule's send lists.
+	local [][]int32
+	// ghost[q] lists the absolute vector indices (NLocal + slot) of the
+	// ghosts received from peer q — the unpack target for Exchange, the
+	// pack source for ScatterAdd. Resolving NLocal+slot at compile time
+	// removes the per-element offset add from the replay loop.
+	ghost [][]int32
+
+	// wire[q] is the persistent send-side wire buffer for messages to
+	// peer q, sized at compile time for single-vector operations and
+	// grown (then retained) by coalesced multi-vector ones. The receive
+	// side needs no counterpart: payloads are unpacked straight from
+	// the transport's pooled buffers and Released.
+	wire [][]byte
+
+	// pending is the scratch mask handed to comm.RecvAnyOf during the
+	// arrival-order drain; held parks payloads that completed out of
+	// order until they are applied in deterministic peer order.
+	pending []bool
+	held    [][]byte
+}
+
+// Compile builds the replay plan for a schedule.
+func Compile(s *Schedule) *Plan {
+	p := &Plan{
+		rank:    s.Rank,
+		nprocs:  s.NProcs,
+		nlocal:  s.NLocal,
+		local:   make([][]int32, s.NProcs),
+		ghost:   make([][]int32, s.NProcs),
+		wire:    make([][]byte, s.NProcs),
+		pending: make([]bool, s.NProcs),
+		held:    make([][]byte, s.NProcs),
+	}
+	for q := 0; q < s.NProcs; q++ {
+		if idx := s.SendIdx[q]; len(idx) > 0 {
+			p.local[q] = idx
+			p.sendPeers = append(p.sendPeers, q)
+		}
+		if slots := s.RecvSlot[q]; len(slots) > 0 {
+			g := make([]int32, len(slots))
+			for i, slot := range slots {
+				g[i] = int32(s.NLocal) + slot
+			}
+			p.ghost[q] = g
+			p.recvPeers = append(p.recvPeers, q)
+		}
+		// Size the wire buffer once for single-vector replay; the max
+		// covers both directions (Exchange packs local, ScatterAdd
+		// packs ghost).
+		if n := 8 * max(len(p.local[q]), len(p.ghost[q])); n > 0 {
+			p.wire[q] = make([]byte, n)
+		}
+	}
+	return p
+}
+
+// Rank returns the rank the plan was compiled for.
+func (p *Plan) Rank() int { return p.rank }
+
+// NProcs returns the world size.
+func (p *Plan) NProcs() int { return p.nprocs }
+
+// NLocal returns the number of locally owned elements.
+func (p *Plan) NLocal() int { return p.nlocal }
+
+// SendPeers returns the ranks this plan sends owned values to (and
+// receives scatter contributions from), ascending. Not to be modified.
+func (p *Plan) SendPeers() []int { return p.sendPeers }
+
+// RecvPeers returns the ranks this plan receives ghost values from
+// (and sends scatter contributions to), ascending. Not to be modified.
+func (p *Plan) RecvPeers() []int { return p.recvPeers }
+
+// LocalIdx returns peer q's owned-element index table.
+func (p *Plan) LocalIdx(q int) []int32 { return p.local[q] }
+
+// GhostIdx returns peer q's absolute ghost index table.
+func (p *Plan) GhostIdx(q int) []int32 { return p.ghost[q] }
+
+// Pending resets and returns the plan's scratch peer mask for an
+// arrival-order drain. The executor owns it until the operation ends.
+func (p *Plan) Pending() []bool {
+	for i := range p.pending {
+		p.pending[i] = false
+	}
+	return p.pending
+}
+
+// Hold parks a payload that completed out of order until TakeHeld
+// applies it in deterministic peer order. The plan takes ownership of
+// data until it is taken back.
+func (p *Plan) Hold(q int, data []byte) { p.held[q] = data }
+
+// TakeHeld returns and clears peer q's parked payload (nil if none).
+func (p *Plan) TakeHeld(q int) []byte {
+	d := p.held[q]
+	p.held[q] = nil
+	return d
+}
+
+// wireFor returns peer q's send wire buffer resized to n bytes,
+// growing (and retaining) it only when a coalesced operation needs
+// more than the compiled single-vector size.
+func (p *Plan) wireFor(q, n int) []byte {
+	buf := p.wire[q]
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	p.wire[q] = buf
+	return buf
+}
+
+// PackLocal packs the owned values bound for peer q — every vector's
+// segment back to back, vector-major — into the persistent wire buffer
+// and returns it (valid until the next pack for q). The Exchange send
+// side.
+func (p *Plan) PackLocal(q int, vecs [][]float64) []byte {
+	return p.pack(q, p.local[q], vecs)
+}
+
+// PackGhost packs the ghost-section values bound for peer q (the
+// ScatterAdd send side).
+func (p *Plan) PackGhost(q int, vecs [][]float64) []byte {
+	return p.pack(q, p.ghost[q], vecs)
+}
+
+func (p *Plan) pack(q int, idx []int32, vecs [][]float64) []byte {
+	seg := 8 * len(idx)
+	buf := p.wireFor(q, seg*len(vecs))
+	off := 0
+	for _, v := range vecs {
+		comm.PackF64s(buf[off:off+seg], v, idx)
+		off += seg
+	}
+	return buf
+}
+
+// UnpackGhost scatters peer q's Exchange payload into the vectors'
+// ghost sections. Safe to apply in arrival order: ghost slots are
+// disjoint assignments.
+func (p *Plan) UnpackGhost(q int, data []byte, vecs [][]float64) error {
+	return p.unpack(q, p.ghost[q], data, vecs, false)
+}
+
+// AddLocal accumulates peer q's ScatterAdd payload into the vectors'
+// owned elements. Callers must apply peers in a deterministic order:
+// several peers may contribute to the same element, and floating-point
+// addition is not associative.
+func (p *Plan) AddLocal(q int, data []byte, vecs [][]float64) error {
+	return p.unpack(q, p.local[q], data, vecs, true)
+}
+
+func (p *Plan) unpack(q int, idx []int32, data []byte, vecs [][]float64, add bool) error {
+	seg := 8 * len(idx)
+	if len(data) != seg*len(vecs) {
+		return fmt.Errorf("sched: peer %d sent %d values, plan expects %d",
+			q, len(data)/8, len(idx)*len(vecs))
+	}
+	off := 0
+	for _, v := range vecs {
+		var err error
+		if add {
+			err = comm.AddF64s(v, idx, data[off:off+seg])
+		} else {
+			err = comm.UnpackF64s(v, idx, data[off:off+seg])
+		}
+		if err != nil {
+			return err
+		}
+		off += seg
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// planSchedule is a small hand-built schedule for rank 1 of 3:
+// sends locals {0,2} to rank 0 and {1} to rank 2; receives 2 ghosts
+// from rank 0 (slots 0,1) and 1 from rank 2 (slot 2).
+func planSchedule() *Schedule {
+	return &Schedule{
+		Rank:     1,
+		NProcs:   3,
+		NLocal:   4,
+		Ghosts:   []int64{0, 1, 9},
+		SendIdx:  [][]int32{{0, 2}, nil, {1}},
+		RecvSlot: [][]int32{{0, 1}, nil, {2}},
+	}
+}
+
+func TestCompileTables(t *testing.T) {
+	p := Compile(planSchedule())
+	if got := p.SendPeers(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("SendPeers = %v", got)
+	}
+	if got := p.RecvPeers(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("RecvPeers = %v", got)
+	}
+	if got := p.LocalIdx(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("LocalIdx(0) = %v", got)
+	}
+	// Ghost indices are absolute: NLocal + slot.
+	if got := p.GhostIdx(0); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("GhostIdx(0) = %v", got)
+	}
+	if got := p.GhostIdx(2); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("GhostIdx(2) = %v", got)
+	}
+	if p.Rank() != 1 || p.NProcs() != 3 || p.NLocal() != 4 {
+		t.Fatalf("identity = %d/%d/%d", p.Rank(), p.NProcs(), p.NLocal())
+	}
+}
+
+func TestPlanPackUnpackRoundTrip(t *testing.T) {
+	p := Compile(planSchedule())
+	// Vector layout: 4 owned + 3 ghosts.
+	v := []float64{10, 11, 12, 13, 0, 0, 0}
+	buf := p.PackLocal(0, [][]float64{v})
+	if len(buf) != 16 {
+		t.Fatalf("packed %d bytes, want 16", len(buf))
+	}
+	// Unpacking the same payload as if it were ghost data from peer 0
+	// must land values 10, 12 in slots 0, 1.
+	w := make([]float64, 7)
+	if err := p.UnpackGhost(0, buf, [][]float64{w}); err != nil {
+		t.Fatal(err)
+	}
+	if w[4] != 10 || w[5] != 12 {
+		t.Fatalf("ghost section = %v", w[4:])
+	}
+	// AddLocal accumulates into the owned elements.
+	if err := p.AddLocal(0, buf, [][]float64{w}); err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 10 || w[2] != 12 {
+		t.Fatalf("owned section after add = %v", w[:4])
+	}
+	// PackGhost reads the ghost section back out.
+	g := p.PackGhost(2, [][]float64{w})
+	if len(g) != 8 {
+		t.Fatalf("ghost pack = %d bytes", len(g))
+	}
+}
+
+func TestPlanCoalescedLayoutIsVectorMajor(t *testing.T) {
+	p := Compile(planSchedule())
+	a := []float64{1, 2, 3, 4, 0, 0, 0}
+	b := []float64{5, 6, 7, 8, 0, 0, 0}
+	buf := p.PackLocal(0, [][]float64{a, b})
+	if len(buf) != 32 {
+		t.Fatalf("coalesced pack = %d bytes, want 32", len(buf))
+	}
+	want := []float64{1, 3, 5, 7} // a's segment, then b's
+	for i, x := range want {
+		bits := uint64(0)
+		for j := 0; j < 8; j++ {
+			bits |= uint64(buf[8*i+j]) << (8 * j)
+		}
+		if math.Float64frombits(bits) != x {
+			t.Fatalf("wire element %d = %v, want %v", i, math.Float64frombits(bits), x)
+		}
+	}
+}
+
+func TestPlanWireBufferReused(t *testing.T) {
+	p := Compile(planSchedule())
+	v := make([]float64, 7)
+	b1 := p.PackLocal(0, [][]float64{v})
+	b2 := p.PackLocal(0, [][]float64{v})
+	if &b1[0] != &b2[0] {
+		t.Error("single-vector pack did not reuse the wire buffer")
+	}
+	// A coalesced pack grows the buffer once, then reuses it.
+	b3 := p.PackLocal(0, [][]float64{v, v, v})
+	b4 := p.PackLocal(0, [][]float64{v, v, v})
+	if &b3[0] != &b4[0] {
+		t.Error("coalesced pack did not retain the grown buffer")
+	}
+}
+
+func TestPlanUnpackLengthMismatch(t *testing.T) {
+	p := Compile(planSchedule())
+	v := make([]float64, 7)
+	if err := p.UnpackGhost(0, make([]byte, 8), [][]float64{v}); err == nil {
+		t.Error("short payload accepted by UnpackGhost")
+	}
+	if err := p.AddLocal(0, make([]byte, 24), [][]float64{v}); err == nil {
+		t.Error("long payload accepted by AddLocal")
+	}
+}
+
+func TestPlanPendingAndHold(t *testing.T) {
+	p := Compile(planSchedule())
+	mask := p.Pending()
+	if len(mask) != 3 {
+		t.Fatalf("mask length %d", len(mask))
+	}
+	mask[2] = true
+	if got := p.Pending(); got[2] {
+		t.Error("Pending did not reset the mask")
+	}
+	p.Hold(0, []byte{1})
+	if d := p.TakeHeld(0); len(d) != 1 {
+		t.Fatalf("TakeHeld = %v", d)
+	}
+	if d := p.TakeHeld(0); d != nil {
+		t.Error("TakeHeld did not clear the slot")
+	}
+}

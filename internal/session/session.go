@@ -227,6 +227,12 @@ type RunReport struct {
 	// Msgs and Bytes count the messages and payload bytes sent by all
 	// ranks during the run.
 	Msgs, Bytes int64
+	// Exec is the traffic the executor data path itself generated
+	// during the run (Exchange/ScatterAdd operations, messages and
+	// bytes summed over ranks), counted per operation by the runtimes.
+	// Unlike Msgs/Bytes it excludes barrier, balancer and remap
+	// traffic, so it is the pure schedule-replay cost.
+	Exec core.ExecStats
 }
 
 // Remaps returns the subset of checks that actually remapped.
@@ -279,6 +285,10 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 		return rep, nil
 	}
 	msgs0, bytes0 := s.world.Stats()
+	execBefore := make([]core.ExecStats, len(s.ranks))
+	for i, rk := range s.ranks {
+		execBefore[i] = rk.rt.ExecStats()
+	}
 	// The solvers' own counters are the source of truth for the global
 	// iteration count (they advance even on a Run that errors partway).
 	first := s.Iter()
@@ -344,6 +354,9 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 	rep.Wall = wall
 	msgs1, bytes1 := s.world.Stats()
 	rep.Msgs, rep.Bytes = msgs1-msgs0, bytes1-bytes0
+	for i, rk := range s.ranks {
+		rep.Exec.Add(rk.rt.ExecStats().Sub(execBefore[i]))
+	}
 	return rep, nil
 }
 

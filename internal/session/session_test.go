@@ -374,3 +374,46 @@ func TestSessionEfficiencyReport(t *testing.T) {
 		t.Errorf("Efficiency = %v, want a sane fraction", eff)
 	}
 }
+
+// TestRunReportsExecutorTraffic: the report's Exec stats come from the
+// executor's own per-operation counters — one Exchange per rank per
+// iteration, the same messages every iteration on a static layout, and
+// always a subset of the world-level totals. Repeated Runs report
+// deltas, not cumulative counts.
+func TestRunReportsExecutorTraffic(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p, iters = 3, 4
+	s, err := New(context.Background(), g, Config{Procs: p, Order: order.RCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exec.Ops != p*iters {
+		t.Errorf("Exec.Ops = %d, want %d", rep.Exec.Ops, p*iters)
+	}
+	if rep.Exec.Msgs <= 0 || rep.Exec.Msgs%iters != 0 {
+		t.Errorf("Exec.Msgs = %d, want a positive multiple of %d", rep.Exec.Msgs, iters)
+	}
+	if rep.Exec.Bytes <= 0 || rep.Exec.Bytes%8 != 0 {
+		t.Errorf("Exec.Bytes = %d, want a positive multiple of 8", rep.Exec.Bytes)
+	}
+	if rep.Exec.Msgs > rep.Msgs || rep.Exec.Bytes > rep.Bytes {
+		t.Errorf("executor traffic (%d msgs/%d bytes) exceeds world totals (%d/%d)",
+			rep.Exec.Msgs, rep.Exec.Bytes, rep.Msgs, rep.Bytes)
+	}
+	// A second Run reports its own window.
+	rep2, err := s.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Exec != rep.Exec {
+		t.Errorf("static layout: second Run's Exec %+v != first %+v", rep2.Exec, rep.Exec)
+	}
+}
