@@ -9,6 +9,15 @@
 //	stance-run -p 4 -iters 50 -mesh honeycomb:60x80 -order rcb
 //	stance-run -p 3 -load 0:3 -lb -check-every 10
 //	stance-run -p 2 -transport tcp -mesh grid:40x40
+//	stance-run -scenario cluster.json -iters 100 -lb
+//
+// A scenario file describes the whole simulated cluster as JSON —
+// per-workstation speeds, competing loads and availability outages
+// (which enable elastic membership):
+//
+//	{"speeds": [1, 1, 0.5, 1],
+//	 "loads": [{"rank": 1, "factor": 3, "fromIter": 20}],
+//	 "outages": [{"rank": 2, "fromIter": 30, "untilIter": 70}]}
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -83,20 +93,41 @@ func main() {
 	weighted := flag.Bool("weighted", false, "balance vertex weight (degree) instead of vertex counts")
 	decentralized := flag.Bool("decentralized", false, "decide load balancing on every rank (no controller)")
 	ewma := flag.Float64("ewma", 0, "EWMA smoothing for rate estimates (0 = paper's last-window)")
+	scenario := flag.String("scenario", "", "JSON file with the full simulated environment (speeds, loads, outages); conflicts with -load and fixes -p")
 	var loads loadFlags
 	flag.Var(&loads, "load", "competing load rank:factor[:from[:until]] (repeatable)")
 	flag.Parse()
+	explicitFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicitFlags[f.Name] = true })
 	if *tcp {
-		explicit := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "transport" {
-				explicit = true
-			}
-		})
-		if explicit && *transport != "tcp" {
+		if explicitFlags["transport"] && *transport != "tcp" {
 			log.Fatalf("-tcp conflicts with -transport %s", *transport)
 		}
 		*transport = "tcp"
+	}
+
+	// A scenario file owns the whole environment description: flags
+	// that would edit it piecemeal conflict rather than silently merge.
+	var env *hetero.Env
+	if *scenario != "" {
+		if len(loads) > 0 {
+			log.Fatalf("-scenario conflicts with -load: put the competing loads in %s", *scenario)
+		}
+		data, err := os.ReadFile(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		env, err = hetero.FromJSON(data)
+		if err != nil {
+			log.Fatalf("%s: %v", *scenario, err)
+		}
+		if explicitFlags["p"] && *p != env.P() {
+			log.Fatalf("-p %d conflicts with -scenario %s, which describes %d workstations", *p, *scenario, env.P())
+		}
+		*p = env.P()
+	} else {
+		env = hetero.Uniform(*p)
+		env.Loads = append(env.Loads, loads...)
 	}
 
 	// Ctrl-C cancels the session context: every blocked receive
@@ -128,9 +159,14 @@ func main() {
 	default:
 		log.Fatalf("unknown strategy %q", *strategy)
 	}
-	env := hetero.Uniform(*p)
-	env.Loads = append(env.Loads, loads...)
 	cfg.Env = env
+	if env.Elastic() {
+		// Narrate membership transitions live, like remaps.
+		cfg.OnMembership = func(ev session.MembershipEvent) {
+			fmt.Printf("  iter %d: epoch %d, active %v (retired %v, admitted %v, moved %d bytes)\n",
+				ev.Iter, ev.Epoch, ev.Active, ev.Retired, ev.Admitted, ev.MovedBytes)
+		}
+	}
 	if *weighted {
 		vw := make([]float64, g.N)
 		for v := 0; v < g.N; v++ {
@@ -165,8 +201,20 @@ func main() {
 	st := mesh.Describe(g)
 	fmt.Printf("mesh: %d vertices, %d edges (degree %d..%d), order %s, %d workstations, transport %s\n",
 		st.Vertices, st.Edges, st.MinDegree, st.MaxDegree, *ordName, *p, *transport)
-	if len(loads) > 0 {
-		fmt.Printf("competing loads: %v\n", []hetero.Load(loads))
+	if len(env.Loads) > 0 {
+		fmt.Printf("competing loads: %v\n", env.Loads)
+	}
+	if len(env.Outages) > 0 {
+		fmt.Printf("availability outages: %v (elastic membership enabled)\n", env.Outages)
+		// Membership is evaluated at check boundaries, so an outage
+		// shorter than the check interval can pass entirely unnoticed.
+		for _, o := range env.Outages {
+			if o.UntilIter > 0 && o.UntilIter-o.FromIter < *checkEvery {
+				fmt.Printf("  warning: outage %v spans %d iterations, shorter than -check-every %d; "+
+					"it may fall between membership boundaries and be ignored\n",
+					o, o.UntilIter-o.FromIter, *checkEvery)
+			}
+		}
 	}
 
 	s, err := session.New(ctx, g, cfg)
@@ -197,5 +245,12 @@ func main() {
 	}
 	if *lb {
 		fmt.Printf("load-balance checks: %d, remaps: %d\n", len(rep.Checks), len(rep.Remaps()))
+	}
+	if len(rep.Members) > 0 {
+		var moved int64
+		for _, ev := range rep.Members {
+			moved += ev.MovedBytes
+		}
+		fmt.Printf("membership transitions: %d (migrated %d bytes)\n", len(rep.Members), moved)
 	}
 }

@@ -85,6 +85,14 @@ type Comm struct {
 	// it tears the section down instead of deadlocking. Never nil.
 	ctx context.Context
 
+	// root is the world endpoint a sub-communicator was derived from
+	// (nil for world endpoints). Blocking operations observe the root's
+	// bound context, so World.SPMD cancellation reaches operations on
+	// sub-worlds created inside the section; worldRank is this
+	// endpoint's rank in the root world.
+	root      *Comm
+	worldRank int
+
 	sentMsgs  atomic.Int64
 	sentBytes atomic.Int64
 }
@@ -108,15 +116,53 @@ func (c *Comm) setContext(ctx context.Context) {
 	c.ctx = ctx
 }
 
+// boundCtx resolves the context governing blocking operations: a
+// sub-communicator follows its root world's binding, so World.SPMD
+// cancellation reaches sub-world operations too.
+func (c *Comm) boundCtx() context.Context {
+	if c.root != nil {
+		return c.root.boundCtx()
+	}
+	return c.ctx
+}
+
 // Context returns the context governing the endpoint's blocking
 // operations (context.Background unless bound by World.SPMD).
-func (c *Comm) Context() context.Context { return c.ctx }
+func (c *Comm) Context() context.Context { return c.boundCtx() }
 
 // Rank returns this endpoint's rank in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.size }
+
+// WorldRank returns this endpoint's rank in the root world it was
+// derived from — the stable "workstation identity" that survives
+// membership changes. For a world endpoint it equals Rank.
+func (c *Comm) WorldRank() int {
+	if c.root != nil {
+		return c.worldRank
+	}
+	return c.rank
+}
+
+// WorldSize returns the size of the root world (Size for a world
+// endpoint).
+func (c *Comm) WorldSize() int {
+	if c.root != nil {
+		return c.root.size
+	}
+	return c.size
+}
+
+// Root returns the root world endpoint this sub-communicator was
+// derived from, or the endpoint itself for world endpoints.
+func (c *Comm) Root() *Comm {
+	if c.root != nil {
+		return c.root
+	}
+	return c
+}
 
 // Send delivers data to dst with the given tag. A cancelled bound
 // context fails the send immediately, so send loops terminate promptly
@@ -125,7 +171,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("comm: send to rank %d of %d", dst, c.size)
 	}
-	if err := c.ctx.Err(); err != nil {
+	if err := c.boundCtx().Err(); err != nil {
 		return err
 	}
 	if err := c.tr.Send(dst, tag, data); err != nil {
@@ -139,7 +185,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // Recv blocks until a message from src with the given tag arrives, the
 // endpoint closes, or the bound context is cancelled.
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
-	return c.RecvContext(c.ctx, src, tag)
+	return c.RecvContext(c.boundCtx(), src, tag)
 }
 
 // RecvContext is Recv under an explicit context: a cancelled ctx
@@ -165,7 +211,7 @@ func (c *Comm) RecvContext(ctx context.Context, src, tag int) ([]byte, error) {
 // RecvAny blocks until a message with the given tag arrives from any
 // source, the endpoint closes, or the bound context is cancelled.
 func (c *Comm) RecvAny(tag int) (int, []byte, error) {
-	return c.RecvAnyContext(c.ctx, tag)
+	return c.RecvAnyContext(c.boundCtx(), tag)
 }
 
 // RecvAnyContext is RecvAny under an explicit context.
@@ -190,7 +236,7 @@ func (c *Comm) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error)
 // arrival-order overlap.
 func (c *Comm) RecvAnyOf(tag int, mask []bool) (int, []byte, error) {
 	if mt, ok := c.tr.(MaskedTransport); ok {
-		return mt.RecvAnyOf(c.ctx, tag, mask)
+		return mt.RecvAnyOf(c.boundCtx(), tag, mask)
 	}
 	if mask == nil {
 		return c.RecvAny(tag)
@@ -252,7 +298,7 @@ func (c *Comm) Multicast(dsts []int, tag int, data []byte) error {
 			return fmt.Errorf("comm: multicast to rank %d of %d", d, c.size)
 		}
 	}
-	if err := c.ctx.Err(); err != nil {
+	if err := c.boundCtx().Err(); err != nil {
 		return err
 	}
 	if m, ok := c.tr.(Multicaster); ok {

@@ -1,0 +1,199 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+)
+
+// Sub-communicators are the active-set mechanism of the elastic
+// membership subsystem: a sub-world renumbers a subset of a world's
+// ranks as 0..k-1 and translates every operation onto the parent
+// endpoints, so the collectives, the masked arrival-order receives and
+// the executor's compiled plans all work unchanged over the active set
+// while parked ranks are simply absent. Construction is purely local —
+// each member calls Sub with the identical member list and no
+// communication happens — which is what makes epoch transitions cheap.
+
+// Sub returns this rank's endpoint in the sub-world formed by the
+// given ranks of c's world. members lists the participating ranks in
+// the order that defines the sub-world numbering (members[i] becomes
+// sub-rank i); it must contain c.Rank() exactly once and no
+// duplicates. Every member must call Sub with the same list.
+//
+// The sub-endpoint shares the parent's transport, mailboxes and tag
+// space: per-(source, tag) FIFO pairing spans epochs, messages count
+// toward the parent world's Stats, and cancelling the context bound by
+// World.SPMD on the root world unblocks sub-world operations too.
+// Closing a sub-endpoint is a no-op — the root world owns the
+// transport. Like any Comm, a sub-endpoint is driven by one rank
+// goroutine at a time.
+func (c *Comm) Sub(members []int) (*Comm, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("comm: sub-world with no members")
+	}
+	root := c.Root()
+	toWorld := make([]int, len(members))
+	fromWorld := make([]int, root.size)
+	for i := range fromWorld {
+		fromWorld[i] = -1
+	}
+	me := -1
+	for i, r := range members {
+		if r < 0 || r >= c.size {
+			return nil, fmt.Errorf("comm: sub-world member %d of %d", r, c.size)
+		}
+		w := c.worldRankOf(r)
+		if fromWorld[w] != -1 {
+			return nil, fmt.Errorf("comm: rank %d appears twice in sub-world", r)
+		}
+		fromWorld[w] = i
+		toWorld[i] = w
+		if r == c.rank {
+			me = i
+		}
+	}
+	if me == -1 {
+		return nil, fmt.Errorf("comm: rank %d is not a member of its own sub-world", c.rank)
+	}
+	mask := make([]bool, root.size)
+	for _, w := range toWorld {
+		mask[w] = true
+	}
+	st := &subTransport{
+		parent:     root,
+		toWorld:    toWorld,
+		fromWorld:  fromWorld,
+		memberMask: mask,
+		scratch:    make([]bool, root.size),
+	}
+	sc, err := NewComm(me, len(members), st)
+	if err != nil {
+		return nil, err
+	}
+	sc.root = root
+	sc.worldRank = c.WorldRank()
+	return sc, nil
+}
+
+// worldRankOf translates one of c's ranks into a root-world rank.
+func (c *Comm) worldRankOf(rank int) int {
+	if st, ok := c.tr.(*subTransport); ok {
+		return st.toWorld[rank]
+	}
+	return rank
+}
+
+// subTransport translates a sub-world's operations onto the parent
+// world's endpoint. It delegates through the parent *Comm* (not its
+// raw transport), so sends count into the parent's statistics and
+// observe the bound context exactly like direct parent traffic.
+type subTransport struct {
+	parent    *Comm
+	toWorld   []int // sub rank -> world rank
+	fromWorld []int // world rank -> sub rank, -1 for non-members
+
+	// memberMask admits exactly the members in world numbering — the
+	// receive-side filter that keeps a sub-world's RecvAny from
+	// consuming a non-member's message destined for a later epoch.
+	memberMask []bool
+	// scratch is the reused world-sized mask for translated masked
+	// receives, so the executor's arrival-order drain stays
+	// allocation-free through a sub-world.
+	scratch []bool
+	// dstScratch is the reused destination list for multicasts.
+	dstScratch []int
+}
+
+func (t *subTransport) Send(dst, tag int, data []byte) error {
+	return t.parent.Send(t.toWorld[dst], tag, data)
+}
+
+func (t *subTransport) Recv(src, tag int) ([]byte, error) {
+	return t.parent.Recv(t.toWorld[src], tag)
+}
+
+func (t *subTransport) RecvContext(ctx context.Context, src, tag int) ([]byte, error) {
+	return t.parent.RecvContext(ctx, t.toWorld[src], tag)
+}
+
+// RecvAny admits only members: a non-member's message with the same
+// tag (from an earlier or later epoch) stays queued for whichever
+// sub-world it belongs to. On a parent transport without masked
+// receives this degrades to arrival order over everyone, failing
+// loudly if a non-member's message arrives first.
+func (t *subTransport) RecvAny(tag int) (int, []byte, error) {
+	return t.RecvAnyContext(t.parent.boundCtx(), tag)
+}
+
+func (t *subTransport) RecvAnyContext(ctx context.Context, tag int) (int, []byte, error) {
+	if mt, ok := t.parent.tr.(MaskedTransport); ok {
+		w, data, err := mt.RecvAnyOf(ctx, tag, t.memberMask)
+		if err != nil {
+			return 0, nil, err
+		}
+		return t.fromWorld[w], data, nil
+	}
+	w, data, err := t.parent.RecvAnyContext(ctx, tag)
+	if err != nil {
+		return 0, nil, err
+	}
+	if s := t.fromWorld[w]; s >= 0 {
+		return s, data, nil
+	}
+	return 0, nil, fmt.Errorf("comm: sub-world received tag %#x from non-member world rank %d "+
+		"(parent transport has no masked receives)", tag, w)
+}
+
+func (t *subTransport) RecvAnyOf(ctx context.Context, tag int, mask []bool) (int, []byte, error) {
+	mt, ok := t.parent.tr.(MaskedTransport)
+	if !ok {
+		return 0, nil, fmt.Errorf("comm: sub-world masked receive needs a masked parent transport")
+	}
+	w, data, err := mt.RecvAnyOf(ctx, tag, t.translateMask(mask))
+	if err != nil {
+		return 0, nil, err
+	}
+	return t.fromWorld[w], data, nil
+}
+
+func (t *subTransport) PollAnyOf(tag int, mask []bool) (int, []byte, bool, error) {
+	mt, ok := t.parent.tr.(MaskedTransport)
+	if !ok {
+		return 0, nil, false, nil
+	}
+	w, data, ok, err := mt.PollAnyOf(tag, t.translateMask(mask))
+	if err != nil || !ok {
+		return 0, nil, false, err
+	}
+	return t.fromWorld[w], data, true, nil
+}
+
+// translateMask maps a sub-world mask onto world numbering in the
+// reused scratch mask; nil admits every member.
+func (t *subTransport) translateMask(mask []bool) []bool {
+	if mask == nil {
+		return t.memberMask
+	}
+	for i := range t.scratch {
+		t.scratch[i] = false
+	}
+	for i, on := range mask {
+		if on && i < len(t.toWorld) {
+			t.scratch[t.toWorld[i]] = true
+		}
+	}
+	return t.scratch
+}
+
+func (t *subTransport) Multicast(dsts []int, tag int, data []byte) error {
+	t.dstScratch = t.dstScratch[:0]
+	for _, d := range dsts {
+		t.dstScratch = append(t.dstScratch, t.toWorld[d])
+	}
+	return t.parent.Multicast(t.dstScratch, tag, data)
+}
+
+func (t *subTransport) Release(buf []byte) { t.parent.Release(buf) }
+
+// Close is a no-op: the root world owns the transport and closes it.
+func (t *subTransport) Close() error { return nil }

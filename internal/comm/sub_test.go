@@ -1,0 +1,197 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubCollectives: collectives over a sub-world must renumber and
+// pair correctly while a non-member rank stays idle — on both built-in
+// transports.
+func TestSubCollectives(t *testing.T) {
+	for _, transport := range []string{"inproc", "tcp"} {
+		t.Run(transport, func(t *testing.T) { testSubCollectives(t, transport) })
+	}
+}
+
+func testSubCollectives(t *testing.T, transport string) {
+	world, err := Open(transport, 4, TransportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	members := []int{0, 1, 3} // rank 2 parked
+	err = world.SPMD(nil, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return nil
+		}
+		sub, err := c.Sub(members)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 || sub.WorldSize() != 4 || sub.WorldRank() != c.Rank() {
+			t.Errorf("rank %d: sub size %d, world size %d, world rank %d",
+				c.Rank(), sub.Size(), sub.WorldSize(), sub.WorldRank())
+		}
+		if err := sub.Barrier(0x91); err != nil {
+			return err
+		}
+		parts, err := sub.AllGather(0x92, []byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		for i, m := range members {
+			if len(parts[i]) != 1 || parts[i][0] != byte(m) {
+				t.Errorf("rank %d: allgather[%d] = %v, want [%d]", c.Rank(), i, parts[i], m)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubMaskedRecv: masked receives through a sub-world must
+// translate the mask and the returned source, and leave non-member
+// traffic queued.
+func TestSubMaskedRecv(t *testing.T) {
+	world, err := Open("inproc", 4, TransportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	const tag = 0x93
+	members := []int{0, 2, 3}
+	err = world.SPMD(nil, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			// Non-member noise on the same tag: must not be consumed by
+			// the sub-world's receives.
+			return c.Send(0, tag, []byte{0xee})
+		case 2, 3:
+			sub, err := c.Sub(members)
+			if err != nil {
+				return err
+			}
+			return sub.Send(0, tag, []byte{byte(c.Rank())})
+		case 0:
+			sub, err := c.Sub(members)
+			if err != nil {
+				return err
+			}
+			got := map[int]byte{}
+			mask := []bool{false, true, true} // sub ranks 1 (world 2) and 2 (world 3)
+			for i := 0; i < 2; i++ {
+				src, data, err := sub.RecvAnyOf(tag, mask)
+				if err != nil {
+					return err
+				}
+				got[src] = data[0]
+				sub.Release(data)
+				mask[src] = false
+			}
+			if got[1] != 2 || got[2] != 3 {
+				t.Errorf("masked receives got %v, want sub rank 1 -> 2, sub rank 2 -> 3", got)
+			}
+			// The non-member message is still queued on the world comm.
+			data, err := c.Recv(1, tag)
+			if err != nil {
+				return err
+			}
+			if len(data) != 1 || data[0] != 0xee {
+				t.Errorf("non-member payload %v, want [0xee]", data)
+			}
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubContextCancellation: cancelling the context bound by
+// World.SPMD must unblock receives issued through a sub-world created
+// inside the section.
+func TestSubContextCancellation(t *testing.T) {
+	world, err := Open("inproc", 3, TransportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	err = world.SPMD(ctx, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return nil
+		}
+		sub, err := c.Sub([]int{0, 1})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			once.Do(func() {
+				time.AfterFunc(10*time.Millisecond, cancel)
+			})
+		}
+		// Nobody sends: only cancellation can unblock this.
+		_, err = sub.Recv((sub.Rank()+1)%2, 0x94)
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SPMD over blocked sub-world receives returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSubValidation: malformed member lists must be rejected.
+func TestSubValidation(t *testing.T) {
+	world, err := Open("inproc", 3, TransportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	c := world.Comm(0)
+	for _, members := range [][]int{nil, {1, 2}, {0, 0}, {0, 5}} {
+		if _, err := c.Sub(members); err == nil {
+			t.Errorf("Sub(%v) on rank 0 succeeded, want error", members)
+		}
+	}
+	if _, err := c.Sub([]int{0, 2}); err != nil {
+		t.Errorf("Sub([0 2]) on rank 0: %v", err)
+	}
+}
+
+// TestSubStatsCountOnWorld: traffic through a sub-world must count
+// into the root world's statistics.
+func TestSubStatsCountOnWorld(t *testing.T) {
+	world, err := Open("inproc", 2, TransportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	err = world.SPMD(nil, func(c *Comm) error {
+		sub, err := c.Sub([]int{0, 1})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return sub.Send(1, 0x95, make([]byte, 16))
+		}
+		data, err := sub.Recv(0, 0x95)
+		if err == nil {
+			sub.Release(data)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes := world.Stats()
+	if msgs != 1 || bytes != 16 {
+		t.Errorf("world stats after sub-world send: %d msgs, %d bytes; want 1, 16", msgs, bytes)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/partition"
+	"stance/internal/redist"
+)
+
+// tagRebind carries cross-world migration data during membership
+// transitions. It is distinct from tagRedist (in-world remaps) so the
+// two kinds of data movement pair independently in the per-(source,
+// tag) FIFO queues.
+const tagRebind = 0x206
+
+// Rebind describes one rank's side of a membership transition: data
+// migrates from the Old layout (distributed over OldProcs) to the New
+// layout (over NewProcs) across the Carrier world, and the runtime
+// comes back bound to Sub — its endpoint in the incoming active
+// sub-world — or parks when Sub is nil.
+type Rebind struct {
+	// Carrier is this rank's endpoint in the world the migration data
+	// travels over (the full parent world: it is the only communicator
+	// spanning both the outgoing and the incoming active sets).
+	Carrier *comm.Comm
+	// Sub is this rank's endpoint in the incoming active sub-world, or
+	// nil when the rank is retiring: it then sends its interval away
+	// and parks.
+	Sub *comm.Comm
+	// Old and New are the outgoing and incoming layouts. Old is passed
+	// explicitly rather than read from the runtime because an admitted
+	// rank was parked when Old was cut and only learns it from the
+	// coordinator's proposal.
+	Old, New *partition.Layout
+	// OldProcs and NewProcs map layout processor indices to carrier
+	// ranks.
+	OldProcs, NewProcs []int
+}
+
+// RebindStats reports one rank's local share of a membership
+// transition.
+type RebindStats struct {
+	// MovedBytes and Msgs count the migration payload this rank sent.
+	MovedBytes int64
+	Msgs       int
+	// Total is the wall time of the whole rebind on this rank;
+	// Inspector is the schedule-rebuild portion (zero when parking).
+	Total, Inspector time.Duration
+}
+
+// Rebind migrates the runtime across a membership transition: every
+// registered vector's owned section moves to the incoming layout over
+// the carrier world, then the runtime either rebuilds its schedule on
+// the new sub-world or parks. All ranks of the union of the outgoing
+// and incoming active sets must call Rebind with the same layouts and
+// mappings; parked ranks that stay parked do not participate.
+func (rt *Runtime) Rebind(rb Rebind) (RebindStats, error) {
+	start := time.Now()
+	stats := RebindStats{}
+	if rb.Carrier == nil {
+		return stats, fmt.Errorf("core: rebind without a carrier")
+	}
+	if rb.Old == nil || rb.New == nil {
+		return stats, fmt.Errorf("core: rebind without layouts")
+	}
+	if rb.New.N() != rt.n {
+		return stats, fmt.Errorf("core: rebind layout covers %d elements, want %d", rb.New.N(), rt.n)
+	}
+	if !rt.Parked() && !rt.layout.Equal(rb.Old) {
+		return stats, fmt.Errorf("core: rebind old layout does not match the runtime's")
+	}
+	plan, err := redist.NewCrossPlan(rb.Old, rb.New, rb.OldProcs, rb.NewProcs, rb.Carrier.Rank())
+	if err != nil {
+		return stats, err
+	}
+	if rt.Parked() && plan.Old.Len() > 0 {
+		return stats, fmt.Errorf("core: parked rank %d owns %d elements in the outgoing layout",
+			rb.Carrier.Rank(), plan.Old.Len())
+	}
+	if rb.Sub == nil && plan.New.Len() > 0 {
+		return stats, fmt.Errorf("core: retiring rank %d owns %d elements in the incoming layout",
+			rb.Carrier.Rank(), plan.New.Len())
+	}
+	if err := rt.moveVectorsOn(rb.Carrier, tagRebind, plan); err != nil {
+		return stats, err
+	}
+	stats.MovedBytes = plan.MovedBytes() * int64(len(rt.vecs))
+	stats.Msgs = len(plan.Sends) * len(rt.vecs)
+
+	if rb.Sub == nil {
+		// Retire: the vectors were emptied by the move (New is empty);
+		// drop the schedule and go dormant on the carrier until a
+		// future Rebind re-admits the rank.
+		rt.c = rb.Carrier
+		rt.layout, rt.sch, rt.plan = nil, nil, nil
+		rt.lxadj, rt.ladj = nil, nil
+		stats.Total = time.Since(start)
+		return stats, nil
+	}
+	rt.c = rb.Sub
+	rt.layout = rb.New
+	if err := rt.rebuild(); err != nil {
+		return stats, err
+	}
+	// Re-extend the vectors' ghost sections for the new schedule.
+	for _, v := range rt.vecs {
+		local := v.Data[:plan.New.Len()]
+		v.Data = make([]float64, int(plan.New.Len())+rt.sch.NGhosts())
+		copy(v.Data, local)
+	}
+	stats.Inspector = rt.lastInspector
+	stats.Total = time.Since(start)
+	return stats, nil
+}

@@ -99,10 +99,18 @@ func (rt *Runtime) chooseLayout(newWeights []float64) (*partition.Layout, error)
 	}
 }
 
-// moveVectors executes the transfer plan for every registered vector.
-// Vectors move in registration order on all ranks, so same-tag
-// transfers pair up FIFO.
+// moveVectors executes the transfer plan for every registered vector
+// within the runtime's own world.
 func (rt *Runtime) moveVectors(plan *redist.Plan) error {
+	return rt.moveVectorsOn(rt.c, tagRedist, plan)
+}
+
+// moveVectorsOn executes the transfer plan for every registered vector
+// over an explicit carrier communicator — the runtime's own world for
+// a Remap, the full parent world for a cross-world Rebind (whose
+// transfer peers are carrier ranks). Vectors move in registration
+// order on all ranks, so same-tag transfers pair up FIFO.
+func (rt *Runtime) moveVectorsOn(c *comm.Comm, tag int, plan *redist.Plan) error {
 	for _, v := range rt.vecs {
 		oldLocal := v.Data[:plan.Old.Len()]
 		newLocal := make([]float64, plan.New.Len())
@@ -112,7 +120,7 @@ func (rt *Runtime) moveVectors(plan *redist.Plan) error {
 		for _, s := range plan.Sends {
 			off := s.Global.Lo - plan.Old.Lo
 			seg := oldLocal[off : off+s.Global.Len()]
-			if err := rt.c.Send(s.Peer, tagRedist, comm.F64sToBytes(seg)); err != nil {
+			if err := c.Send(s.Peer, tag, comm.F64sToBytes(seg)); err != nil {
 				return err
 			}
 		}
@@ -121,7 +129,7 @@ func (rt *Runtime) moveVectors(plan *redist.Plan) error {
 			if cap(rt.wireScratch) < 8*want {
 				rt.wireScratch = make([]byte, 8*want)
 			}
-			n, err := rt.c.RecvInto(r.Peer, tagRedist, rt.wireScratch[:8*want])
+			n, err := c.RecvInto(r.Peer, tag, rt.wireScratch[:8*want])
 			if err != nil {
 				return err
 			}
@@ -134,8 +142,8 @@ func (rt *Runtime) moveVectors(plan *redist.Plan) error {
 				return err
 			}
 		}
-		// Park the new local section; ghost space is re-attached by
-		// Remap once the new schedule is known.
+		// Park the new local section; ghost space is re-attached once
+		// the new schedule is known.
 		v.Data = newLocal
 	}
 	return nil

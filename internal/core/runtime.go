@@ -153,20 +153,41 @@ func (s ExecStats) Sub(o ExecStats) ExecStats {
 // communication schedule. Every rank must call New with the same graph
 // and configuration.
 func New(c *comm.Comm, g *graph.Graph, cfg Config) (*Runtime, error) {
-	if c == nil || g == nil {
-		return nil, fmt.Errorf("core: nil communicator or graph")
-	}
-	if cfg.Order == nil {
-		cfg.Order = order.Identity
-	}
-	if cfg.Weights == nil {
+	if cfg.Weights == nil && c != nil {
 		cfg.Weights = make([]float64, c.Size())
 		for i := range cfg.Weights {
 			cfg.Weights[i] = 1
 		}
 	}
+	rt, err := NewParked(c, g, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if len(cfg.Weights) != c.Size() {
 		return nil, fmt.Errorf("core: %d weights for %d ranks", len(cfg.Weights), c.Size())
+	}
+	layout, err := rt.CutLayout(cfg.Weights)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Bind(c, layout); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// NewParked builds a dormant runtime: the Phase A locality transform
+// runs (over c when RootComputesOrder is set, so every rank of an
+// elastic world learns the ordering while it is still fully
+// assembled), but the rank owns no data and holds no schedule until
+// Bind or Rebind admits it into an active sub-world. Vectors may be
+// created on a parked runtime; they are empty until admission.
+func NewParked(c *comm.Comm, g *graph.Graph, cfg Config) (*Runtime, error) {
+	if c == nil || g == nil {
+		return nil, fmt.Errorf("core: nil communicator or graph")
+	}
+	if cfg.Order == nil {
+		cfg.Order = order.Identity
 	}
 	rt := &Runtime{c: c, cfg: cfg, n: int64(g.N)}
 
@@ -211,17 +232,55 @@ func New(c *comm.Comm, g *graph.Graph, cfg Config) (*Runtime, error) {
 		for orig, nw := range perm {
 			rt.itemWeights[nw] = cfg.VertexWeights[orig]
 		}
-		rt.layout, err = partition.NewWeighted(rt.itemWeights, cfg.Weights, identityArrangement(c.Size()))
-	} else {
-		rt.layout, err = partition.NewBlock(rt.n, cfg.Weights)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if err := rt.rebuild(); err != nil {
-		return nil, err
 	}
 	return rt, nil
+}
+
+// CutLayout cuts the transformed list into len(weights) contiguous
+// intervals in proportion to the weights — by total vertex weight when
+// the runtime carries vertex weights — under the identity arrangement.
+// The number of intervals is independent of the runtime's current
+// world size, which is what membership transitions need: the
+// coordinator cuts the list for the incoming active set before the
+// sub-world exists.
+func (rt *Runtime) CutLayout(weights []float64) (*partition.Layout, error) {
+	if rt.itemWeights != nil {
+		return partition.NewWeighted(rt.itemWeights, weights, identityArrangement(len(weights)))
+	}
+	return partition.NewBlock(rt.n, weights)
+}
+
+// Bind attaches a prepared (parked) runtime to a communicator and
+// layout and runs the inspector — the activation half of New, called
+// directly by the elastic layer when the initial active set is a
+// sub-world. The layout must have c.Size() processors and this rank's
+// interval must match the vectors' current contents (for a freshly
+// parked runtime: any layout, since no vectors hold data yet).
+func (rt *Runtime) Bind(c *comm.Comm, layout *partition.Layout) error {
+	if c == nil || layout == nil {
+		return fmt.Errorf("core: nil communicator or layout")
+	}
+	if layout.P() != c.Size() {
+		return fmt.Errorf("core: layout has %d processors for %d ranks", layout.P(), c.Size())
+	}
+	if layout.N() != rt.n {
+		return fmt.Errorf("core: layout covers %d elements, want %d", layout.N(), rt.n)
+	}
+	rt.c = c
+	rt.layout = layout
+	if err := rt.rebuild(); err != nil {
+		return err
+	}
+	for _, v := range rt.vecs {
+		local := v.Data
+		if int64(len(local)) > layout.Interval(c.Rank()).Len() {
+			local = local[:layout.Interval(c.Rank()).Len()]
+		}
+		data := make([]float64, int(layout.Interval(c.Rank()).Len())+rt.sch.NGhosts())
+		copy(data, local)
+		v.Data = data
+	}
+	return nil
 }
 
 // rebuild runs the inspector for the current layout: builds the
@@ -308,12 +367,38 @@ func (rt *Runtime) ExecStats() ExecStats {
 // transformed index). The returned slice must not be modified.
 func (rt *Runtime) Perm() []int32 { return rt.perm }
 
-// LocalN returns the number of locally owned elements.
-func (rt *Runtime) LocalN() int { return rt.sch.NLocal }
+// Parked reports whether the runtime is dormant: outside the active
+// set, owning no data and holding no schedule. Executor and collective
+// operations are invalid on a parked runtime; Rebind re-activates it.
+func (rt *Runtime) Parked() bool { return rt.layout == nil }
+
+// NumVectors returns the number of vectors registered with the
+// runtime.
+func (rt *Runtime) NumVectors() int { return len(rt.vecs) }
+
+// LocalN returns the number of locally owned elements (zero while
+// parked).
+func (rt *Runtime) LocalN() int {
+	if rt.sch == nil {
+		return 0
+	}
+	return rt.sch.NLocal
+}
+
+// nGhosts returns the ghost-section size (zero while parked).
+func (rt *Runtime) nGhosts() int {
+	if rt.sch == nil {
+		return 0
+	}
+	return rt.sch.NGhosts()
+}
 
 // GlobalInterval returns the contiguous range of transformed indices
-// this rank owns.
+// this rank owns (empty while parked).
 func (rt *Runtime) GlobalInterval() partition.Interval {
+	if rt.layout == nil {
+		return partition.Interval{}
+	}
 	return rt.layout.Interval(rt.c.Rank())
 }
 

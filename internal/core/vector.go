@@ -17,11 +17,12 @@ type Vector struct {
 
 // NewVector allocates and registers a zero vector. All ranks must
 // create their vectors in the same order (vector creation pairs them
-// across ranks during redistribution).
+// across ranks during redistribution). On a parked runtime the vector
+// is empty until the rank is admitted.
 func (rt *Runtime) NewVector() *Vector {
 	v := &Vector{
 		rt:   rt,
-		Data: make([]float64, rt.LocalN()+rt.sch.NGhosts()),
+		Data: make([]float64, rt.LocalN()+rt.nGhosts()),
 	}
 	rt.vecs = append(rt.vecs, v)
 	return v
@@ -53,6 +54,9 @@ func (rt *Runtime) Exchange(v *Vector) error {
 	if v.rt != rt {
 		return fmt.Errorf("core: vector belongs to a different runtime")
 	}
+	if rt.Parked() {
+		return fmt.Errorf("core: Exchange on a parked runtime")
+	}
 	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
 	return rt.gather(rt.vecScratch)
 }
@@ -64,6 +68,9 @@ func (rt *Runtime) Exchange(v *Vector) error {
 func (rt *Runtime) ScatterAdd(v *Vector) error {
 	if v.rt != rt {
 		return fmt.Errorf("core: vector belongs to a different runtime")
+	}
+	if rt.Parked() {
+		return fmt.Errorf("core: ScatterAdd on a parked runtime")
 	}
 	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
 	return rt.scatter(rt.vecScratch)
@@ -223,6 +230,9 @@ func (rt *Runtime) releaseHeld() {
 func (rt *Runtime) GatherGlobal(root int, v *Vector) ([]float64, error) {
 	if v.rt != rt {
 		return nil, fmt.Errorf("core: vector belongs to a different runtime")
+	}
+	if rt.Parked() {
+		return nil, fmt.Errorf("core: GatherGlobal on a parked runtime")
 	}
 	parts, err := rt.c.Gather(root, tagGatherV, comm.F64sToBytes(v.Local()))
 	if err != nil {

@@ -1,0 +1,413 @@
+// Package elastic implements elastic membership: the active rank set
+// of a running computation shrinks and grows between iterations as
+// workstations are taken away and given back — the half of the paper's
+// "adaptive environment" that load remapping alone cannot absorb.
+//
+// The protocol is coordinator-led (world rank 0, which therefore can
+// never retire) and piggybacks on the existing balance-check
+// boundaries, in three steps per epoch transition:
+//
+//   - propose: at a boundary, the coordinator compares the current
+//     active set against the desired one (availability windows in
+//     hetero.Env, or an explicit resize request) and multicasts a
+//     verdict to the active members — either "continue" or a Proposal
+//     carrying the next membership, the outgoing layout (admitted
+//     ranks were parked when it was cut and cannot know it) and the
+//     incoming layout. Parked ranks being admitted receive the same
+//     proposal as their wake-up message.
+//   - drain: the outgoing sub-world barriers, so every member has
+//     fully completed the epoch's final iteration before data moves.
+//   - commit: every participant migrates its vectors onto the
+//     incoming layout over the parent world (core.Runtime.Rebind with
+//     a cross-world redist plan), survivors and admitted ranks rebuild
+//     schedules on a fresh sub-world of the new active set, and
+//     retiring ranks park.
+//
+// Parked ranks block in a single receive on the control tag — no
+// polling, no barrier participation — until the coordinator either
+// admits them (a Proposal) or ends the run. A rank failing mid-epoch
+// cancels the SPMD section's shared context, which unblocks parked
+// receives with a wrapped context.Canceled instead of deadlocking the
+// world.
+package elastic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/partition"
+	"stance/internal/redist"
+)
+
+// Control-protocol tags (distinct from the runtime's, the balancer's
+// and the session driver's).
+const (
+	// tagCtl carries coordinator verdicts: continue, epoch proposal,
+	// or run end. Parked ranks block on it.
+	tagCtl = 0x601
+	// TagDrain is the drain barrier over the outgoing sub-world.
+	TagDrain = 0x602
+)
+
+// Verdict opcodes on tagCtl.
+const (
+	opContinue = iota // membership unchanged, keep iterating
+	opEpoch           // epoch transition: payload is a Proposal
+	opRunEnd          // run over (sent to parked ranks so they return)
+)
+
+// Membership is one epoch's active set.
+type Membership struct {
+	// Epoch counts transitions since the session started (the initial
+	// active set is epoch 0).
+	Epoch int
+	// Active lists the active world ranks in ascending order. It
+	// always contains rank 0, the coordinator, so sub-world rank 0 is
+	// world rank 0 in every epoch.
+	Active []int
+}
+
+// Contains reports whether a world rank is active.
+func (m Membership) Contains(rank int) bool { return m.SubRank(rank) >= 0 }
+
+// SubRank returns the rank's position in the active set (its rank in
+// the epoch's sub-world), or -1 if parked.
+func (m Membership) SubRank(rank int) int {
+	for i, r := range m.Active {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// Proposal is an agreed epoch transition: everything a participant —
+// including a rank that has been parked since before the outgoing
+// layout existed — needs to commit it deterministically.
+type Proposal struct {
+	// Iter is the global iteration count at the boundary.
+	Iter int
+	// Next is the incoming membership.
+	Next Membership
+	// OldActive is the outgoing active set (the carrier ranks of Old).
+	OldActive []int
+	// Old and New are the outgoing and incoming layouts.
+	Old, New *partition.Layout
+}
+
+// Event records one committed membership transition.
+type Event struct {
+	// Iter is the global iteration count at which the epoch changed.
+	Iter int
+	// Epoch is the new epoch number.
+	Epoch int
+	// Active is the new active set; Retired and Admitted are the world
+	// ranks that left and joined relative to the previous epoch.
+	Active, Retired, Admitted []int
+	// MovedBytes and Msgs are the total migration payload and transfer
+	// count across all ranks and registered vectors — identical on
+	// every participant, computed without communication from the two
+	// layouts.
+	MovedBytes int64
+	Msgs       int
+	// Local is this rank's own share of the migration.
+	Local core.RebindStats
+	// Duration is the transition's wall time on this rank.
+	Duration time.Duration
+}
+
+// Controller is one world rank's handle on the epoch protocol. Every
+// rank of the world holds one; world rank 0 is the coordinator.
+type Controller struct {
+	c *comm.Comm // world endpoint
+
+	// mu guards cur and resize against cross-goroutine access: the run
+	// loop advances cur on its own SPMD goroutine while monitoring
+	// callers read Membership and Session.Resize writes resize.
+	mu     sync.Mutex
+	cur    Membership
+	resize []int
+}
+
+// NewController builds a rank's controller with the initial active
+// set, which must be ascending, duplicate-free, within the world and
+// contain the coordinator (world rank 0).
+func NewController(c *comm.Comm, initial []int) (*Controller, error) {
+	if c == nil {
+		return nil, fmt.Errorf("elastic: nil communicator")
+	}
+	if err := ValidActive(initial, c.Size()); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		c:   c,
+		cur: Membership{Epoch: 0, Active: append([]int(nil), initial...)},
+	}, nil
+}
+
+// ValidActive checks an active set: ascending, duplicate-free, within
+// [0, worldSize) and containing the coordinator.
+func ValidActive(active []int, worldSize int) error {
+	if len(active) == 0 {
+		return fmt.Errorf("elastic: empty active set")
+	}
+	if active[0] != 0 {
+		return fmt.Errorf("elastic: active set %v does not contain the coordinator (world rank 0)", active)
+	}
+	for i, r := range active {
+		if r < 0 || r >= worldSize {
+			return fmt.Errorf("elastic: active rank %d of %d", r, worldSize)
+		}
+		if i > 0 && r <= active[i-1] {
+			return fmt.Errorf("elastic: active set %v is not strictly ascending", active)
+		}
+	}
+	return nil
+}
+
+// Membership returns the rank's current view of the active set. Safe
+// to call from any goroutine.
+func (ct *Controller) Membership() Membership {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return Membership{Epoch: ct.cur.Epoch, Active: append([]int(nil), ct.cur.Active...)}
+}
+
+// ActiveHere reports whether this rank is in the current active set.
+func (ct *Controller) ActiveHere() bool {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.cur.Contains(ct.c.Rank())
+}
+
+// RequestResize records an explicit active-set request; the
+// coordinator applies it at the next membership boundary. Only the
+// coordinator's controller consults it. Safe to call from any
+// goroutine. With availability windows also configured, the
+// environment re-asserts its own active set at the following boundary.
+func (ct *Controller) RequestResize(active []int) error {
+	if err := ValidActive(active, ct.c.Size()); err != nil {
+		return err
+	}
+	ct.mu.Lock()
+	ct.resize = append([]int(nil), active...)
+	ct.mu.Unlock()
+	return nil
+}
+
+// TakeResize returns and clears the pending resize request, or nil.
+func (ct *Controller) TakeResize() []int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	r := ct.resize
+	ct.resize = nil
+	return r
+}
+
+// Boundary runs the propose step at an iteration boundary for an
+// active rank. On the coordinator, desired() names the wanted active
+// set (nil means no change) and cut() builds the incoming layout for
+// it; members pass nils and receive the verdict. It returns nil when
+// membership is unchanged, or the agreed Proposal — in which case
+// every returned-to rank must call Transition, and parked ranks being
+// admitted have been sent the same proposal as their wake-up. All
+// active ranks must call Boundary at the same iteration.
+func (ct *Controller) Boundary(iter int, oldLayout *partition.Layout,
+	desired func() []int, cut func(active []int) (*partition.Layout, error)) (*Proposal, error) {
+	if !ct.ActiveHere() {
+		return nil, fmt.Errorf("elastic: Boundary on parked rank %d", ct.c.Rank())
+	}
+	if ct.c.Rank() != 0 {
+		data, err := ct.c.Recv(0, tagCtl)
+		if err != nil {
+			return nil, err
+		}
+		prop, err := decodeVerdict(data)
+		ct.c.Release(data)
+		return prop, err
+	}
+
+	cur := ct.Membership()
+	want := desired()
+	if want == nil || equalInts(want, cur.Active) {
+		if err := ct.multicastActive(cur, encodeOp(opContinue)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	if err := ValidActive(want, ct.c.Size()); err != nil {
+		return nil, err
+	}
+	newLayout, err := cut(want)
+	if err != nil {
+		return nil, err
+	}
+	prop := &Proposal{
+		Iter:      iter,
+		Next:      Membership{Epoch: cur.Epoch + 1, Active: append([]int(nil), want...)},
+		OldActive: cur.Active,
+		Old:       oldLayout,
+		New:       newLayout,
+	}
+	payload := encodeProposal(prop)
+	if err := ct.multicastActive(cur, payload); err != nil {
+		return nil, err
+	}
+	// Wake the parked ranks being admitted with the same proposal.
+	for _, r := range diffInts(want, cur.Active) {
+		if err := ct.c.Send(r, tagCtl, payload); err != nil {
+			return nil, err
+		}
+	}
+	return prop, nil
+}
+
+// multicastActive sends a control payload to every active member but
+// the coordinator.
+func (ct *Controller) multicastActive(cur Membership, payload []byte) error {
+	if len(cur.Active) == 1 {
+		return nil
+	}
+	return ct.c.Multicast(cur.Active[1:], tagCtl, payload)
+}
+
+// Park blocks a parked rank until the coordinator releases it: an
+// admission returns the Proposal to commit with Transition, run end
+// returns nil (the rank stays parked for the next run). A cancelled
+// session context unblocks the receive with its error.
+func (ct *Controller) Park() (*Proposal, error) {
+	if ct.ActiveHere() {
+		return nil, fmt.Errorf("elastic: Park on active rank %d", ct.c.Rank())
+	}
+	data, err := ct.c.Recv(0, tagCtl)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := decodeVerdict(data)
+	ct.c.Release(data)
+	if err != nil {
+		return nil, err
+	}
+	if prop != nil && !prop.Next.Contains(ct.c.Rank()) {
+		return nil, fmt.Errorf("elastic: parked rank %d woken by an epoch that excludes it", ct.c.Rank())
+	}
+	return prop, nil
+}
+
+// ReleaseParked ends the run for every parked rank (coordinator only):
+// each gets a run-end verdict and returns from its Park call. The
+// parked set stays parked across runs.
+func (ct *Controller) ReleaseParked() error {
+	if ct.c.Rank() != 0 {
+		return fmt.Errorf("elastic: ReleaseParked on rank %d", ct.c.Rank())
+	}
+	cur := ct.Membership()
+	payload := encodeOp(opRunEnd)
+	for r := 0; r < ct.c.Size(); r++ {
+		if cur.Contains(r) {
+			continue
+		}
+		if err := ct.c.Send(r, tagCtl, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Transition commits an agreed proposal on one participating rank —
+// an outgoing active member or an admitted rank. It drains the
+// outgoing sub-world (oldSub; nil for admitted ranks, which have
+// nothing to drain), migrates the runtime's vectors and rebinds it
+// onto the incoming sub-world (nil Sub parks a retiring rank), and
+// advances the membership. It returns the transition event and the
+// rank's new sub-world endpoint (nil when retiring).
+func (ct *Controller) Transition(prop *Proposal, oldSub *comm.Comm, rt *core.Runtime) (Event, *comm.Comm, error) {
+	start := time.Now()
+	ev := Event{
+		Iter:     prop.Iter,
+		Epoch:    prop.Next.Epoch,
+		Active:   append([]int(nil), prop.Next.Active...),
+		Retired:  diffInts(prop.OldActive, prop.Next.Active),
+		Admitted: diffInts(prop.Next.Active, prop.OldActive),
+	}
+	var err error
+	ev.MovedBytes, ev.Msgs, err = CrossCost(prop, rt.NumVectors())
+	if err != nil {
+		return ev, nil, err
+	}
+	if oldSub != nil {
+		// Drain: every outgoing member finishes the epoch's last
+		// iteration before any data moves.
+		if err := oldSub.Barrier(TagDrain); err != nil {
+			return ev, nil, err
+		}
+	}
+	var newSub *comm.Comm
+	if prop.Next.Contains(ct.c.Rank()) {
+		newSub, err = ct.c.Sub(prop.Next.Active)
+		if err != nil {
+			return ev, nil, err
+		}
+	}
+	ev.Local, err = rt.Rebind(core.Rebind{
+		Carrier:  ct.c,
+		Sub:      newSub,
+		Old:      prop.Old,
+		New:      prop.New,
+		OldProcs: prop.OldActive,
+		NewProcs: prop.Next.Active,
+	})
+	if err != nil {
+		return ev, nil, err
+	}
+	ct.mu.Lock()
+	ct.cur = prop.Next
+	ct.mu.Unlock()
+	ev.Duration = time.Since(start)
+	return ev, newSub, nil
+}
+
+// CrossCost returns the total migration bytes and transfer count of a
+// proposal for a runtime carrying nVecs registered vectors — the
+// world-wide accounting, identical on every participant.
+func CrossCost(prop *Proposal, nVecs int) (bytes int64, msgs int, err error) {
+	moved, transfers, err := redist.CrossStats(prop.Old, prop.New, prop.OldActive, prop.Next.Active)
+	if err != nil {
+		return 0, 0, err
+	}
+	return moved * 8 * int64(nVecs), transfers * nVecs, nil
+}
+
+// equalInts reports whether two int slices are element-wise equal.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffInts returns the elements of a not present in b (both ascending).
+func diffInts(a, b []int) []int {
+	var out []int
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if y == x {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package hetero
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOutageAvailability(t *testing.T) {
+	env := Uniform(4)
+	env.Outages = []Outage{
+		{Rank: 2, FromIter: 20, UntilIter: 60},
+		{Rank: 3, FromIter: 50, UntilIter: 0}, // forever
+	}
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Elastic() {
+		t.Error("environment with outages is not elastic")
+	}
+	cases := []struct {
+		iter   int
+		active []int
+	}{
+		{0, []int{0, 1, 2, 3}},
+		{19, []int{0, 1, 2, 3}},
+		{20, []int{0, 1, 3}},
+		{49, []int{0, 1, 3}},
+		{59, []int{0, 1}},    // both outages overlap
+		{60, []int{0, 1, 2}}, // 2 back, 3 gone for good
+		{1000, []int{0, 1, 2}},
+	}
+	for _, tc := range cases {
+		got := env.ActiveSet(tc.iter)
+		if len(got) != len(tc.active) {
+			t.Errorf("ActiveSet(%d) = %v, want %v", tc.iter, got, tc.active)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.active[i] {
+				t.Errorf("ActiveSet(%d) = %v, want %v", tc.iter, got, tc.active)
+				break
+			}
+		}
+	}
+	if Uniform(2).Elastic() {
+		t.Error("static environment reports itself elastic")
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Outage
+	}{
+		{"coordinator outage", Outage{Rank: 0, FromIter: 5}},
+		{"rank out of range", Outage{Rank: 9, FromIter: 5}},
+		{"negative rank", Outage{Rank: -1, FromIter: 5}},
+		{"empty span", Outage{Rank: 1, FromIter: 10, UntilIter: 10}},
+		{"inverted span", Outage{Rank: 1, FromIter: 10, UntilIter: 5}},
+	}
+	for _, tc := range cases {
+		env := Uniform(3)
+		env.Outages = []Outage{tc.o}
+		if err := env.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.o)
+		}
+	}
+}
+
+func TestEnvClone(t *testing.T) {
+	env := PaperAdaptive(3, 3)
+	env.Outages = []Outage{{Rank: 1, FromIter: 10, UntilIter: 20}}
+	cl := env.Clone()
+	cl.Speeds[0] = 99
+	cl.Loads[0].Factor = 99
+	cl.Outages[0].Rank = 2
+	if env.Speeds[0] == 99 || env.Loads[0].Factor == 99 || env.Outages[0].Rank == 2 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	env, err := FromJSON([]byte(`{
+		"speeds": [1, 0.5, 1],
+		"loads": [{"rank": 0, "factor": 3, "fromIter": 10, "untilIter": 40}],
+		"outages": [{"rank": 2, "fromIter": 20, "untilIter": 60}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.P() != 3 || env.Speeds[1] != 0.5 {
+		t.Errorf("speeds decoded as %v", env.Speeds)
+	}
+	if len(env.Loads) != 1 || env.Loads[0].Factor != 3 || env.Loads[0].UntilIter != 40 {
+		t.Errorf("loads decoded as %+v", env.Loads)
+	}
+	if len(env.Outages) != 1 || env.Outages[0] != (Outage{Rank: 2, FromIter: 20, UntilIter: 60}) {
+		t.Errorf("outages decoded as %+v", env.Outages)
+	}
+
+	// A typo must fail loudly, not silently run the wrong scenario.
+	if _, err := FromJSON([]byte(`{"speeds": [1], "outagez": []}`)); err == nil ||
+		!strings.Contains(err.Error(), "outagez") {
+		t.Errorf("unknown field error = %v, want mention of the field", err)
+	}
+	// An invalid environment must fail validation after decoding.
+	if _, err := FromJSON([]byte(`{"speeds": [1, 1], "outages": [{"rank": 0, "fromIter": 1}]}`)); err == nil {
+		t.Error("coordinator outage accepted from JSON")
+	}
+	if _, err := FromJSON([]byte(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Trailing content after the environment object must be rejected,
+	// not silently dropped.
+	if _, err := FromJSON([]byte(`{"speeds": [1, 1]}, {"speeds": [1]}`)); err == nil {
+		t.Error("trailing JSON content accepted")
+	}
+}

@@ -9,7 +9,10 @@
 package hetero
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -24,6 +27,19 @@ type Load struct {
 	UntilIter int // last iteration the load is active (exclusive); <=0 means forever
 }
 
+// Outage marks a workstation unavailable — taken away entirely, not
+// merely slowed — for a span of iterations: the adaptive environment
+// of an elastic run. The runtime retires the rank at the first
+// membership boundary at or after FromIter and may re-admit it at the
+// first boundary at or after UntilIter; availability is evaluated at
+// boundary granularity, so a short outage between boundaries goes
+// unnoticed.
+type Outage struct {
+	Rank      int
+	FromIter  int // first iteration the workstation is gone (inclusive)
+	UntilIter int // first iteration it is back (exclusive); <=0 means forever
+}
+
 // Env describes the simulated cluster.
 type Env struct {
 	// Speeds[i] is workstation i's base speed relative to workstation
@@ -32,6 +48,10 @@ type Env struct {
 	Speeds []float64
 	// Loads are competing loads; several may overlap.
 	Loads []Load
+	// Outages are availability windows during which workstations leave
+	// the computation entirely; several may overlap. Workstation 0
+	// hosts the membership coordinator and may not have outages.
+	Outages []Outage
 }
 
 // Uniform returns an environment of p equally fast unloaded
@@ -76,7 +96,80 @@ func (e *Env) Validate() error {
 			return fmt.Errorf("hetero: load %d spans [%d,%d)", i, l.FromIter, l.UntilIter)
 		}
 	}
+	for i, o := range e.Outages {
+		if o.Rank < 0 || o.Rank >= len(e.Speeds) {
+			return fmt.Errorf("hetero: outage %d targets workstation %d of %d", i, o.Rank, len(e.Speeds))
+		}
+		if o.Rank == 0 {
+			return fmt.Errorf("hetero: outage %d targets workstation 0, which hosts the membership coordinator and cannot go away", i)
+		}
+		if o.UntilIter > 0 && o.UntilIter <= o.FromIter {
+			return fmt.Errorf("hetero: outage %d spans [%d,%d)", i, o.FromIter, o.UntilIter)
+		}
+	}
 	return nil
+}
+
+// Clone returns a deep copy of the environment.
+func (e *Env) Clone() *Env {
+	return &Env{
+		Speeds:  append([]float64(nil), e.Speeds...),
+		Loads:   append([]Load(nil), e.Loads...),
+		Outages: append([]Outage(nil), e.Outages...),
+	}
+}
+
+// Elastic reports whether the environment takes workstations away at
+// some point — whether a run over it needs the membership protocol.
+func (e *Env) Elastic() bool { return len(e.Outages) > 0 }
+
+// Available reports whether a workstation is present at an iteration.
+func (e *Env) Available(rank, iter int) bool {
+	for _, o := range e.Outages {
+		if o.Rank != rank || iter < o.FromIter {
+			continue
+		}
+		if o.UntilIter > 0 && iter >= o.UntilIter {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// ActiveSet returns the ascending ranks available at an iteration —
+// the membership the coordinator steers the active world toward.
+func (e *Env) ActiveSet(iter int) []int {
+	out := make([]int, 0, e.P())
+	for r := 0; r < e.P(); r++ {
+		if e.Available(r, iter) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FromJSON decodes a scenario file into a validated environment. The
+// format mirrors Env: {"speeds": [...], "loads": [{"rank", "factor",
+// "fromIter", "untilIter"}], "outages": [{"rank", "fromIter",
+// "untilIter"}]}. Unknown fields are rejected so a typo fails loudly
+// instead of silently running the wrong scenario.
+func FromJSON(data []byte) (*Env, error) {
+	var e Env
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("hetero: scenario: %w", err)
+	}
+	// Decode stops after the first JSON value; trailing content would
+	// otherwise be dropped silently — the opposite of failing loudly.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("hetero: scenario: trailing content after the environment object")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
 }
 
 // P returns the number of workstations.

@@ -63,6 +63,19 @@ func (e *Estimator) Clone() *Estimator {
 	return &Estimator{Kind: e.Kind, Alpha: e.Alpha, WindowCap: e.WindowCap}
 }
 
+// Reset discards the accumulated history. The elastic layer calls it
+// through Balancer.Reset on membership transitions: the history is
+// indexed by active-set rank, and after a shrink or grow those indices
+// name different workstations, so stale windows would feed one rank's
+// past into another rank's prediction.
+func (e *Estimator) Reset() {
+	if e == nil {
+		return
+	}
+	e.history = nil
+	e.ewma = nil
+}
+
 // Observe records one check's gathered rates (indexed by rank; zero
 // entries mean "no measurement this window").
 func (e *Estimator) Observe(rates []float64) {

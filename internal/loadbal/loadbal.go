@@ -97,6 +97,17 @@ func New(rt *core.Runtime, cfg Config) (*Balancer, error) {
 	return &Balancer{rt: rt, cfg: cfg}, nil
 }
 
+// Reset clears the measurement history after a membership transition:
+// the active world the balancer reads through its runtime has been
+// renumbered, a parked workstation contributes zero capability (it is
+// simply absent from the new world), and the transition itself already
+// forced a fresh cut of the list, so the next check starts from a
+// clean slate instead of mixing windows from two different rank
+// numberings.
+func (b *Balancer) Reset() {
+	b.cfg.Estimator.Reset()
+}
+
 // Check is the collective load-balance check. In the paper's
 // centralized mode every rank reports its measured rate to rank 0,
 // which decides and broadcasts; in decentralized mode the rates travel

@@ -171,6 +171,31 @@ func fromSizes(n int64, sizes []int64, arrangement []int) (*Layout, error) {
 	return l, nil
 }
 
+// NewFromStarts rebuilds a layout from its per-position start offsets
+// (length p+1, as returned by Starts) and arrangement — the inverse of
+// (Starts, Arrangement), used to ship a layout across the wire during
+// membership transitions so ranks that were parked when it was cut can
+// reconstruct it.
+func NewFromStarts(starts []int64, arrangement []int) (*Layout, error) {
+	if len(starts) != len(arrangement)+1 {
+		return nil, fmt.Errorf("partition: %d starts for %d arrangement entries", len(starts), len(arrangement))
+	}
+	if starts[0] != 0 {
+		return nil, fmt.Errorf("partition: starts begin at %d, want 0", starts[0])
+	}
+	sizes := make([]int64, len(arrangement))
+	for pos, proc := range arrangement {
+		if proc < 0 || proc >= len(arrangement) {
+			return nil, fmt.Errorf("partition: arrangement[%d] = %d out of range", pos, proc)
+		}
+		if starts[pos+1] < starts[pos] {
+			return nil, fmt.Errorf("partition: starts decrease at position %d", pos)
+		}
+		sizes[proc] = starts[pos+1] - starts[pos]
+	}
+	return fromSizes(starts[len(starts)-1], sizes, arrangement)
+}
+
 // NewFromSizes builds a layout directly from per-processor block sizes
 // (indexed by processor id, not position) and an arrangement.
 func NewFromSizes(sizes []int64, arrangement []int) (*Layout, error) {

@@ -1,0 +1,219 @@
+package redist
+
+import (
+	"testing"
+
+	"stance/internal/partition"
+)
+
+// applyCross simulates a cross-world redistribution globally: element
+// values start distributed per old (over oldProcs), every rank's plan
+// executes, and the result must be the values distributed per new
+// (over newProcs) with every element landing exactly once.
+func applyCross(t *testing.T, old, new *partition.Layout, oldProcs, newProcs []int, ranks []int) (sentBytes int64, msgs int) {
+	t.Helper()
+	n := old.N()
+	// Initial per-rank data per the old layout.
+	oldData := map[int][]float64{}
+	for i, r := range oldProcs {
+		iv := old.Interval(i)
+		vals := make([]float64, iv.Len())
+		for k := range vals {
+			vals[k] = float64(iv.Lo + int64(k))
+		}
+		oldData[r] = vals
+	}
+	// In-flight transfers keyed by (src, dst).
+	type key struct{ src, dst int }
+	wire := map[key][]float64{}
+	newData := map[int][]float64{}
+	landed := make([]int, n)
+
+	for _, self := range ranks {
+		pl, err := NewCrossPlan(old, new, oldProcs, newProcs, self)
+		if err != nil {
+			t.Fatalf("plan for rank %d: %v", self, err)
+		}
+		if pl.Old.Len() != int64(len(oldData[self])) {
+			t.Fatalf("rank %d: plan old interval %v for %d held values", self, pl.Old, len(oldData[self]))
+		}
+		dst := make([]float64, pl.New.Len())
+		if err := pl.ApplyLocal(oldData[self], dst); err != nil {
+			t.Fatalf("rank %d: %v", self, err)
+		}
+		for k := pl.Keep.Lo; k < pl.Keep.Hi; k++ {
+			landed[k]++
+		}
+		for _, s := range pl.Sends {
+			seg := oldData[self][s.Global.Lo-pl.Old.Lo : s.Global.Hi-pl.Old.Lo]
+			wire[key{self, s.Peer}] = append([]float64(nil), seg...)
+			sentBytes += s.Global.Len() * 8
+			msgs++
+		}
+		newData[self] = dst
+	}
+	// Byte accounting per plan must agree with the plans' own view.
+	var fromPlans int64
+	for _, self := range ranks {
+		pl, _ := NewCrossPlan(old, new, oldProcs, newProcs, self)
+		fromPlans += pl.MovedBytes()
+	}
+	if fromPlans != sentBytes {
+		t.Fatalf("MovedBytes sum %d != simulated sent bytes %d", fromPlans, sentBytes)
+	}
+	// Deliver.
+	for _, self := range ranks {
+		pl, _ := NewCrossPlan(old, new, oldProcs, newProcs, self)
+		for _, r := range pl.Recvs {
+			seg, ok := wire[key{r.Peer, self}]
+			if !ok {
+				t.Fatalf("rank %d expects a transfer from %d that was never sent", self, r.Peer)
+			}
+			if int64(len(seg)) != r.Global.Len() {
+				t.Fatalf("rank %d: transfer from %d carries %d values, want %d",
+					self, r.Peer, len(seg), r.Global.Len())
+			}
+			copy(newData[self][r.Global.Lo-pl.New.Lo:], seg)
+			for k := r.Global.Lo; k < r.Global.Hi; k++ {
+				landed[k]++
+			}
+			delete(wire, key{r.Peer, self})
+		}
+	}
+	if len(wire) != 0 {
+		t.Fatalf("%d transfers sent but never received", len(wire))
+	}
+	// Every element lands exactly once and carries its own index.
+	for g, c := range landed {
+		if c != 1 {
+			t.Fatalf("element %d landed %d times, want exactly once", g, c)
+		}
+	}
+	for j, r := range newProcs {
+		iv := new.Interval(j)
+		vals := newData[r]
+		if int64(len(vals)) != iv.Len() {
+			t.Fatalf("rank %d holds %d values for new interval of %d", r, len(vals), iv.Len())
+		}
+		for k, v := range vals {
+			if v != float64(iv.Lo+int64(k)) {
+				t.Fatalf("rank %d: element %d arrived as %g", r, iv.Lo+int64(k), v)
+			}
+		}
+	}
+	return sentBytes, msgs
+}
+
+// TestCrossPlanShrinkGrow: redistribution plans between layouts of
+// different world sizes — a 4-rank layout shrinking onto 3 survivors
+// and growing back — must move every element exactly once, with
+// moved-byte accounting that matches CrossStats on both legs.
+func TestCrossPlanShrinkGrow(t *testing.T) {
+	const n = 103 // deliberately not divisible by 3 or 4
+	full, err := partition.NewUniform(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := partition.NewUniform(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullProcs := []int{0, 1, 2, 3}
+	survivors := []int{0, 1, 3} // rank 2 retires
+
+	// Shrink: rank 2's interval must scatter onto the survivors.
+	bytes, msgs := applyCross(t, full, shrunk, fullProcs, survivors, fullProcs)
+	wantMoved, wantMsgs, err := CrossStats(full, shrunk, fullProcs, survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != wantMoved*8 || msgs != wantMsgs {
+		t.Errorf("shrink moved %d bytes in %d msgs, CrossStats predicts %d bytes in %d",
+			bytes, msgs, wantMoved*8, wantMsgs)
+	}
+	if wantMoved < full.Size(2) {
+		t.Errorf("shrink moved %d elements, must at least evacuate rank 2's %d", wantMoved, full.Size(2))
+	}
+
+	// Grow back: rank 2 re-admitted, starting from the shrunken layout.
+	bytes, msgs = applyCross(t, shrunk, full, survivors, fullProcs, fullProcs)
+	wantMoved, wantMsgs, err = CrossStats(shrunk, full, survivors, fullProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != wantMoved*8 || msgs != wantMsgs {
+		t.Errorf("grow moved %d bytes in %d msgs, CrossStats predicts %d bytes in %d",
+			bytes, msgs, wantMoved*8, wantMsgs)
+	}
+	if wantMoved < full.Size(2) {
+		t.Errorf("grow moved %d elements, must at least repopulate rank 2's %d", wantMoved, full.Size(2))
+	}
+}
+
+// TestCrossPlanWeightedShrink: a shrink onto non-uniform survivors
+// (different capability weights) still lands every element exactly
+// once.
+func TestCrossPlanWeightedShrink(t *testing.T) {
+	const n = 200
+	full, err := partition.NewUniform(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := partition.NewBlock(n, []float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyCross(t, full, shrunk, []int{0, 1, 2, 3, 4}, []int{0, 2, 4}, []int{0, 1, 2, 3, 4})
+}
+
+// TestCrossPlanIdentityMatchesNewPlan: with identity mappings the
+// cross plan must reduce to the in-world plan.
+func TestCrossPlanIdentityMatchesNewPlan(t *testing.T) {
+	old, err := partition.NewBlock(50, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := partition.NewBlock(50, []float64{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proc := 0; proc < 3; proc++ {
+		a, err := NewPlan(old, new, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewCrossPlan(old, new, []int{0, 1, 2}, []int{0, 1, 2}, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Old != b.Old || a.New != b.New || a.Keep != b.Keep ||
+			len(a.Sends) != len(b.Sends) || len(a.Recvs) != len(b.Recvs) {
+			t.Errorf("proc %d: cross plan %+v differs from in-world plan %+v", proc, b, a)
+		}
+	}
+}
+
+// TestCrossPlanValidation: malformed mappings must be rejected.
+func TestCrossPlanValidation(t *testing.T) {
+	a, _ := partition.NewUniform(10, 2)
+	b, _ := partition.NewUniform(10, 3)
+	c, _ := partition.NewUniform(12, 3)
+	cases := []struct {
+		name               string
+		old, new           *partition.Layout
+		oldProcs, newProcs []int
+	}{
+		{"element count mismatch", a, c, []int{0, 1}, []int{0, 1, 2}},
+		{"old mapping too short", a, b, []int{0}, []int{0, 1, 2}},
+		{"duplicate carrier rank", a, b, []int{0, 0}, []int{0, 1, 2}},
+		{"negative carrier rank", a, b, []int{0, -1}, []int{0, 1, 2}},
+	}
+	for _, tc := range cases {
+		if _, err := NewCrossPlan(tc.old, tc.new, tc.oldProcs, tc.newProcs, 0); err == nil {
+			t.Errorf("%s: NewCrossPlan succeeded, want error", tc.name)
+		}
+		if _, _, err := CrossStats(tc.old, tc.new, tc.oldProcs, tc.newProcs); err == nil {
+			t.Errorf("%s: CrossStats succeeded, want error", tc.name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package redist
 
 import (
 	"fmt"
+	"sort"
 
 	"stance/internal/partition"
 )
@@ -37,24 +38,119 @@ func NewPlan(old, new *partition.Layout, proc int) (*Plan, error) {
 	if proc < 0 || proc >= old.P() {
 		return nil, fmt.Errorf("redist: processor %d out of range [0,%d)", proc, old.P())
 	}
-	pl := &Plan{
-		Proc: proc,
-		Old:  old.Interval(proc),
-		New:  new.Interval(proc),
+	procs := identityProcs(old.P())
+	return NewCrossPlan(old, new, procs, procs, proc)
+}
+
+// NewCrossPlan computes one rank's part of a redistribution that may
+// cross world sizes — the data-movement step of an elastic membership
+// transition. The two layouts need not have the same number of
+// processors: oldProcs and newProcs map each layout's processor index
+// to the rank that owns it on the carrier world the transfers travel
+// over, so transfer peers are carrier ranks. A rank absent from
+// oldProcs owned nothing before the move (a parked rank being
+// admitted); a rank absent from newProcs owns nothing after (a
+// retiring rank, which sends its whole interval away). Sends and Recvs
+// are ordered by carrier rank.
+func NewCrossPlan(old, new *partition.Layout, oldProcs, newProcs []int, self int) (*Plan, error) {
+	if old.N() != new.N() {
+		return nil, fmt.Errorf("redist: layouts cover %d and %d elements", old.N(), new.N())
+	}
+	if err := validProcs(old, oldProcs); err != nil {
+		return nil, err
+	}
+	if err := validProcs(new, newProcs); err != nil {
+		return nil, err
+	}
+	if self < 0 {
+		return nil, fmt.Errorf("redist: negative rank %d", self)
+	}
+	pl := &Plan{Proc: self}
+	for i, r := range oldProcs {
+		if r == self {
+			pl.Old = old.Interval(i)
+		}
+	}
+	for j, r := range newProcs {
+		if r == self {
+			pl.New = new.Interval(j)
+		}
 	}
 	pl.Keep = pl.Old.Intersect(pl.New)
-	for peer := 0; peer < old.P(); peer++ {
-		if peer == proc {
+	for j, r := range newProcs {
+		if r == self {
 			continue
 		}
-		if send := pl.Old.Intersect(new.Interval(peer)); send.Len() > 0 {
-			pl.Sends = append(pl.Sends, Transfer{Peer: peer, Global: send})
-		}
-		if recv := pl.New.Intersect(old.Interval(peer)); recv.Len() > 0 {
-			pl.Recvs = append(pl.Recvs, Transfer{Peer: peer, Global: recv})
+		if send := pl.Old.Intersect(new.Interval(j)); send.Len() > 0 {
+			pl.Sends = append(pl.Sends, Transfer{Peer: r, Global: send})
 		}
 	}
+	for i, r := range oldProcs {
+		if r == self {
+			continue
+		}
+		if recv := pl.New.Intersect(old.Interval(i)); recv.Len() > 0 {
+			pl.Recvs = append(pl.Recvs, Transfer{Peer: r, Global: recv})
+		}
+	}
+	sort.Slice(pl.Sends, func(a, b int) bool { return pl.Sends[a].Peer < pl.Sends[b].Peer })
+	sort.Slice(pl.Recvs, func(a, b int) bool { return pl.Recvs[a].Peer < pl.Recvs[b].Peer })
 	return pl, nil
+}
+
+// CrossStats reports the total elements moved between ranks and the
+// number of point-to-point transfers a cross-world redistribution
+// generates. It is a pure function of the layouts and mappings, so
+// every rank (including ones that were parked and saw neither layout
+// being cut) computes the identical accounting without communication.
+func CrossStats(old, new *partition.Layout, oldProcs, newProcs []int) (moved int64, msgs int, err error) {
+	if old.N() != new.N() {
+		return 0, 0, fmt.Errorf("redist: layouts cover %d and %d elements", old.N(), new.N())
+	}
+	if err := validProcs(old, oldProcs); err != nil {
+		return 0, 0, err
+	}
+	if err := validProcs(new, newProcs); err != nil {
+		return 0, 0, err
+	}
+	for i, ri := range oldProcs {
+		iv := old.Interval(i)
+		for j, rj := range newProcs {
+			if ri == rj {
+				continue
+			}
+			if x := iv.Intersect(new.Interval(j)).Len(); x > 0 {
+				moved += x
+				msgs++
+			}
+		}
+	}
+	return moved, msgs, nil
+}
+
+func validProcs(l *partition.Layout, procs []int) error {
+	if len(procs) != l.P() {
+		return fmt.Errorf("redist: %d carrier ranks for %d processors", len(procs), l.P())
+	}
+	seen := map[int]bool{}
+	for i, r := range procs {
+		if r < 0 {
+			return fmt.Errorf("redist: negative carrier rank %d for processor %d", r, i)
+		}
+		if seen[r] {
+			return fmt.Errorf("redist: carrier rank %d mapped twice", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+func identityProcs(p int) []int {
+	procs := make([]int, p)
+	for i := range procs {
+		procs[i] = i
+	}
+	return procs
 }
 
 // MovedBytes returns the number of float64 payload bytes this

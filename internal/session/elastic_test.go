@@ -1,0 +1,399 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/mesh"
+	"stance/internal/order"
+)
+
+// TestElasticShrinkGrowBitExact is the scripted shrink→grow scenario:
+// a 4-rank run retires rank 2 mid-run (outage from iteration 20) and
+// re-admits it later (iteration 60). The deterministic solver kernel
+// must produce the same gathered final vector, bit for bit, as the
+// fixed-world run, and the RunReport must record the two membership
+// epochs with their migration byte counts.
+func TestElasticShrinkGrowBitExact(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 80
+	base := Config{
+		Procs:      4,
+		Order:      order.RCB,
+		WorkRep:    3,
+		CheckEvery: 10,
+	}
+
+	fixed, err := New(context.Background(), g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if _, err := fixed.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	want, err := fixed.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Outages = []hetero.Outage{{Rank: 2, FromIter: 20, UntilIter: 60}}
+	el, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer el.Close()
+	rep, err := el.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Members) != 2 {
+		t.Fatalf("run recorded %d membership transitions, want 2: %+v", len(rep.Members), rep.Members)
+	}
+	shrink, grow := rep.Members[0], rep.Members[1]
+	if shrink.Iter != 20 || shrink.Epoch != 1 ||
+		len(shrink.Retired) != 1 || shrink.Retired[0] != 2 || len(shrink.Active) != 3 {
+		t.Errorf("shrink event %+v, want rank 2 retired at iter 20, epoch 1", shrink)
+	}
+	if grow.Iter != 60 || grow.Epoch != 2 ||
+		len(grow.Admitted) != 1 || grow.Admitted[0] != 2 || len(grow.Active) != 4 {
+		t.Errorf("grow event %+v, want rank 2 admitted at iter 60, epoch 2", grow)
+	}
+	for _, ev := range rep.Members {
+		if ev.MovedBytes <= 0 || ev.Msgs <= 0 {
+			t.Errorf("epoch %d recorded %d migration bytes in %d transfers, want > 0",
+				ev.Epoch, ev.MovedBytes, ev.Msgs)
+		}
+	}
+	// Rank 2 computed nothing during its outage.
+	if epoch, active := el.Membership(); epoch != 2 || len(active) != 4 {
+		t.Errorf("final membership epoch %d with %d active, want 2 with 4", epoch, len(active))
+	}
+
+	got, err := el.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("elastic result has %d values, fixed %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: elastic %v != fixed %v (results must match bit for bit)",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// TestElasticWithBalancer: the membership protocol and the Phase D
+// balancer share the check boundaries; remaps inside a shrunken epoch
+// must not perturb the numerical result either.
+func TestElasticWithBalancer(t *testing.T) {
+	g, err := mesh.Honeycomb(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Procs:      3,
+		Order:      order.RCB,
+		WorkRep:    3,
+		CheckEvery: 5,
+	}
+	fixed, err := New(context.Background(), g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if _, err := fixed.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	want, err := fixed.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Env = hetero.PaperAdaptive(3, 3)
+	cfg.Env.Outages = []hetero.Outage{{Rank: 1, FromIter: 10, UntilIter: 25}}
+	cfg.Balancer = &loadbal.Config{}
+	el, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer el.Close()
+	rep, err := el.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 2 {
+		t.Fatalf("recorded %d membership transitions, want 2", len(rep.Members))
+	}
+	got, err := el.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: elastic+balancer %v != fixed %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestElasticAcrossRuns: membership state persists across Run calls —
+// a rank parked when one Run ends stays parked into the next Run and
+// is re-admitted there.
+func TestElasticAcrossRuns(t *testing.T) {
+	g, err := mesh.Honeycomb(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Procs: 3, Order: order.RCB, CheckEvery: 10}
+	fixed, err := New(context.Background(), g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := fixed.Run(40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := fixed.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Outages = []hetero.Outage{{Rank: 2, FromIter: 20, UntilIter: 50}}
+	el, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer el.Close()
+	rep1, err := el.Run(40) // shrink at 20; run ends with rank 2 parked
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Members) != 1 {
+		t.Fatalf("first Run recorded %d transitions, want 1 (the shrink)", len(rep1.Members))
+	}
+	if _, active := el.Membership(); len(active) != 2 {
+		t.Fatalf("between Runs: %d active ranks, want 2", len(active))
+	}
+	// Mid-outage results gather over the shrunken world.
+	if _, err := el.Result(); err != nil {
+		t.Fatalf("Result over the shrunken world: %v", err)
+	}
+	rep2, err := el.Run(40) // grow back at 50
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Members) != 1 {
+		t.Fatalf("second Run recorded %d transitions, want 1 (the grow)", len(rep2.Members))
+	}
+	got, err := el.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: split elastic runs %v != fixed %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestElasticDeferredBoundary: a membership boundary falling on a
+// Run's final iteration is deferred to the next Run's start, not
+// skipped — split Runs retire a departed rank at the same iteration a
+// single long Run would.
+func TestElasticDeferredBoundary(t *testing.T) {
+	g, err := mesh.Honeycomb(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Procs:      3,
+		Order:      order.RCB,
+		CheckEvery: 10,
+		Outages:    []hetero.Outage{{Rank: 2, FromIter: 20, UntilIter: 40}},
+	}
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(20); err != nil { // ends exactly on the outage boundary
+		t.Fatal(err)
+	}
+	if _, active := s.Membership(); len(active) != 3 {
+		t.Fatalf("transition ran before the deferred boundary: %d active", len(active))
+	}
+	rep, err := s.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 2 {
+		t.Fatalf("second Run recorded %d transitions, want deferred shrink + grow: %+v",
+			len(rep.Members), rep.Members)
+	}
+	if rep.Members[0].Iter != 20 || rep.Members[0].Epoch != 1 {
+		t.Errorf("deferred shrink at iter %d (epoch %d), want iter 20 epoch 1 — same as a single Run(60)",
+			rep.Members[0].Iter, rep.Members[0].Epoch)
+	}
+	if rep.Members[1].Iter != 40 {
+		t.Errorf("grow at iter %d, want 40", rep.Members[1].Iter)
+	}
+}
+
+// TestResize: an explicit Resize shrinks the active set at the next
+// boundary and a second Resize grows it back, without any availability
+// windows configured.
+func TestResize(t *testing.T) {
+	g, err := mesh.Honeycomb(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), g, Config{
+		Procs:      3,
+		Order:      order.RCB,
+		CheckEvery: 10,
+		Elastic:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Resize([]int{1, 2}); err == nil {
+		t.Error("Resize without the coordinator accepted")
+	}
+	if err := s.Resize([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 1 || len(rep.Members[0].Retired) != 1 || rep.Members[0].Retired[0] != 2 {
+		t.Fatalf("after Resize([0 1]): transitions %+v, want rank 2 retired once", rep.Members)
+	}
+	if err := s.Resize([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 1 || len(rep.Members[0].Admitted) != 1 || rep.Members[0].Admitted[0] != 2 {
+		t.Fatalf("after Resize([0 1 2]): transitions %+v, want rank 2 admitted once", rep.Members)
+	}
+
+	// A fixed-membership session rejects Resize.
+	fixed, err := New(context.Background(), g, Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if err := fixed.Resize([]int{0}); err == nil {
+		t.Error("Resize on a fixed-membership session accepted")
+	}
+}
+
+// TestElasticCancellation: cancelling the session context while one
+// rank is parked must fail the Run with context.Canceled — the parked
+// receive unblocks instead of deadlocking the world.
+func TestElasticCancellation(t *testing.T) {
+	g, err := mesh.Honeycomb(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Procs:      3,
+		Order:      order.RCB,
+		CheckEvery: 5,
+		Outages:    []hetero.Outage{{Rank: 2, FromIter: 5}}, // gone forever
+		Balancer:   &loadbal.Config{},
+	}
+	// Cancel from inside the run, at a check after the shrink: rank 2
+	// is parked in its control receive at that point.
+	cfg.OnCheck = func(ev CheckEvent) {
+		if ev.Iter >= 10 {
+			cancel()
+		}
+	}
+	s, err := New(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.Run(1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under mid-epoch cancellation returned %v, want context.Canceled", err)
+	}
+	if _, err := s.Run(1); err == nil {
+		t.Error("session usable after a failed Run")
+	}
+}
+
+// TestElasticInitialOutage: an outage active from iteration 0 parks
+// the rank from the very start; it joins at its first boundary after
+// the outage ends.
+func TestElasticInitialOutage(t *testing.T) {
+	g, err := mesh.Honeycomb(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Procs: 3, Order: order.RCB, CheckEvery: 10}
+	fixed, err := New(context.Background(), g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if _, err := fixed.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	want, err := fixed.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Outages = []hetero.Outage{{Rank: 1, FromIter: 0, UntilIter: 15}}
+	el, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer el.Close()
+	if _, active := el.Membership(); len(active) != 2 {
+		t.Fatalf("initial active set has %d ranks, want 2", len(active))
+	}
+	rep, err := el.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 1 || len(rep.Members[0].Admitted) != 1 || rep.Members[0].Admitted[0] != 1 {
+		t.Fatalf("transitions %+v, want rank 1 admitted once", rep.Members)
+	}
+	if rep.Members[0].Iter != 20 {
+		t.Errorf("admission at iter %d, want the first boundary after the outage (20)", rep.Members[0].Iter)
+	}
+	got, err := el.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: initially-shrunken run %v != fixed %v", i, got[i], want[i])
+		}
+	}
+}

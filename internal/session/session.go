@@ -6,6 +6,13 @@
 // so callers go from a mesh to a finished run in two calls instead of
 // hand-wiring world, runtime, solver and balancer on every rank.
 //
+// When the environment takes workstations away and gives them back
+// (availability outages, or an explicit Resize), the session also runs
+// the elastic membership protocol (Phase E, internal/elastic): at
+// check boundaries the coordinator shrinks or grows the active rank
+// set, data migrates onto the survivors, and parked ranks block
+// cheaply until re-admitted.
+//
 // The facade package re-exports this as stance.NewSession with
 // functional options; internal callers (the bench harness) use the
 // Config struct directly.
@@ -18,16 +25,18 @@ import (
 
 	"stance/internal/comm"
 	"stance/internal/core"
+	"stance/internal/elastic"
 	"stance/internal/graph"
 	"stance/internal/hetero"
 	"stance/internal/loadbal"
 	"stance/internal/metrics"
 	"stance/internal/order"
+	"stance/internal/partition"
 	"stance/internal/solver"
 )
 
-// Barrier tags for the Run driver (distinct from the runtime's and the
-// balancer's).
+// Barrier tags for the Run driver (distinct from the runtime's, the
+// balancer's and the elastic protocol's).
 const (
 	tagRunStart = 0x501
 	tagRunEnd   = 0x502
@@ -64,8 +73,16 @@ type Config struct {
 	// it instead of every rank computing it independently.
 	RootComputesOrder bool
 	// Env simulates a nonuniform/adaptive cluster (nil means uniform,
-	// unloaded).
+	// unloaded). Availability outages in the environment enable the
+	// elastic membership protocol.
 	Env *hetero.Env
+	// Outages are additional availability windows merged into Env (a
+	// uniform environment is synthesized when Env is nil). Any outage
+	// enables elastic membership.
+	Outages []hetero.Outage
+	// Elastic enables the membership protocol even without outages, so
+	// Session.Resize can shrink and grow the active set explicitly.
+	Elastic bool
 	// WorkRep is the kernel work amplification per element (values < 1
 	// are treated as 1).
 	WorkRep int
@@ -73,13 +90,18 @@ type Config struct {
 	// it). A zero Horizon defaults to CheckEvery.
 	Balancer *loadbal.Config
 	// CheckEvery is the number of iterations between balance checks
-	// (default 10, the paper's protocol).
+	// (default 10, the paper's protocol). Membership transitions happen
+	// only at these boundaries, so it is also the granularity at which
+	// availability changes take effect.
 	CheckEvery int
 	// OnCheck, if non-nil, is called on rank 0 immediately after each
 	// balance check, giving long runs live feedback instead of waiting
 	// for the RunReport. It runs inside the SPMD section; keep it
 	// cheap and do not call back into the session.
 	OnCheck func(CheckEvent)
+	// OnMembership, if non-nil, is called on rank 0 immediately after
+	// each committed membership transition. Same rules as OnCheck.
+	OnMembership func(MembershipEvent)
 }
 
 // rankState is one rank's slice of the session.
@@ -101,11 +123,23 @@ type Session struct {
 	g     *graph.Graph
 	world *comm.World
 	ranks []*rankState
+	// elastic marks a session running the membership protocol; ctls
+	// and subs are per-world-rank: the rank's protocol controller and
+	// its endpoint in the current active sub-world (nil while parked).
+	elastic bool
+	ctls    []*elastic.Controller
+	subs    []*comm.Comm
 	// pendingCheck records that the previous Run ended on a check
 	// boundary whose check was skipped (a remap there could not pay
 	// off within that Run); the next Run performs it first, so a
 	// session driven by repeated short Runs still balances.
 	pendingCheck bool
+	// pendingBoundary is the elastic counterpart: the previous Run
+	// ended on a membership boundary whose verdict was skipped, so the
+	// next Run opens with it — a session driven by repeated short Runs
+	// tracks availability at the same iterations a single long Run
+	// would.
+	pendingBoundary bool
 	// broken marks a session whose Run failed partway: ranks may have
 	// stopped at different iterations, so any further collective would
 	// misalign and deadlock. Only Close remains usable.
@@ -136,6 +170,14 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		}
 		cfg.Order = f
 	}
+	if len(cfg.Outages) > 0 {
+		if cfg.Env == nil {
+			cfg.Env = hetero.Uniform(cfg.Procs)
+		} else {
+			cfg.Env = cfg.Env.Clone()
+		}
+		cfg.Env.Outages = append(cfg.Env.Outages, cfg.Outages...)
+	}
 	if cfg.Env != nil {
 		if err := cfg.Env.Validate(); err != nil {
 			return nil, err
@@ -145,55 +187,148 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 				cfg.Env.P(), cfg.Procs)
 		}
 	}
+	if cfg.Weights != nil && len(cfg.Weights) != cfg.Procs {
+		return nil, fmt.Errorf("session: %d weights for %d ranks", len(cfg.Weights), cfg.Procs)
+	}
 	world, err := comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model})
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{
-		cfg:   cfg,
-		ctx:   ctx,
-		g:     g,
-		world: world,
-		ranks: make([]*rankState, cfg.Procs),
+		cfg:     cfg,
+		ctx:     ctx,
+		g:       g,
+		world:   world,
+		ranks:   make([]*rankState, cfg.Procs),
+		elastic: cfg.Elastic || (cfg.Env != nil && cfg.Env.Elastic()),
 	}
-	err = world.SPMD(ctx, func(c *comm.Comm) error {
-		rt, err := core.New(c, g, core.Config{
-			Order:             cfg.Order,
-			Weights:           cfg.Weights,
-			VertexWeights:     cfg.VertexWeights,
-			Strategy:          cfg.Strategy,
-			RemapPolicy:       cfg.RemapPolicy,
-			RootComputesOrder: cfg.RootComputesOrder,
-		})
-		if err != nil {
-			return err
-		}
-		sol, err := solver.New(rt, cfg.Env, cfg.WorkRep)
-		if err != nil {
-			return err
-		}
-		st := &rankState{rt: rt, sol: sol}
-		if cfg.Balancer != nil {
-			bc := *cfg.Balancer
-			if bc.Horizon <= 0 {
-				bc.Horizon = cfg.CheckEvery
-			}
-			// The estimator is stateful and per-rank; the configured one
-			// is only a prototype, or the ranks would race on it.
-			bc.Estimator = bc.Estimator.Clone()
-			st.bal, err = loadbal.New(rt, bc)
-			if err != nil {
-				return err
-			}
-		}
-		s.ranks[c.Rank()] = st
-		return nil
-	})
+	if s.elastic {
+		s.ctls = make([]*elastic.Controller, cfg.Procs)
+		s.subs = make([]*comm.Comm, cfg.Procs)
+		err = world.SPMD(ctx, s.buildElasticRank)
+	} else {
+		err = world.SPMD(ctx, s.buildFixedRank)
+	}
 	if err != nil {
 		world.Close()
 		return nil, err
 	}
 	return s, nil
+}
+
+// coreConfig assembles the runtime configuration shared by both build
+// paths.
+func (s *Session) coreConfig() core.Config {
+	return core.Config{
+		Order:             s.cfg.Order,
+		Weights:           s.cfg.Weights,
+		VertexWeights:     s.cfg.VertexWeights,
+		Strategy:          s.cfg.Strategy,
+		RemapPolicy:       s.cfg.RemapPolicy,
+		RootComputesOrder: s.cfg.RootComputesOrder,
+	}
+}
+
+// buildFixedRank constructs one rank's stack for a fixed-membership
+// session: runtime, solver, balancer, all on the full world.
+func (s *Session) buildFixedRank(c *comm.Comm) error {
+	rt, err := core.New(c, s.g, s.coreConfig())
+	if err != nil {
+		return err
+	}
+	sol, err := solver.New(rt, s.cfg.Env, s.cfg.WorkRep)
+	if err != nil {
+		return err
+	}
+	st := &rankState{rt: rt, sol: sol}
+	if s.cfg.Balancer != nil {
+		if st.bal, err = s.newBalancer(rt); err != nil {
+			return err
+		}
+	}
+	s.ranks[c.Rank()] = st
+	return nil
+}
+
+// buildElasticRank constructs one rank's stack for an elastic session:
+// the locality transform runs on every rank of the full world (so
+// parked ranks can be admitted later), but only the initial active set
+// binds runtimes — onto a sub-world — and everyone else parks.
+func (s *Session) buildElasticRank(c *comm.Comm) error {
+	active := s.initialActive()
+	ctl, err := elastic.NewController(c, active)
+	if err != nil {
+		return err
+	}
+	s.ctls[c.Rank()] = ctl
+	rt, err := core.NewParked(c, s.g, s.coreConfig())
+	if err != nil {
+		return err
+	}
+	if ctl.ActiveHere() {
+		sub, err := c.Sub(active)
+		if err != nil {
+			return err
+		}
+		layout, err := rt.CutLayout(s.activeWeights(active))
+		if err != nil {
+			return err
+		}
+		if err := rt.Bind(sub, layout); err != nil {
+			return err
+		}
+		s.subs[c.Rank()] = sub
+	}
+	sol, err := solver.New(rt, s.cfg.Env, s.cfg.WorkRep)
+	if err != nil {
+		return err
+	}
+	st := &rankState{rt: rt, sol: sol}
+	if s.cfg.Balancer != nil && ctl.ActiveHere() {
+		if st.bal, err = s.newBalancer(rt); err != nil {
+			return err
+		}
+	}
+	s.ranks[c.Rank()] = st
+	return nil
+}
+
+// initialActive returns the active set at iteration 0.
+func (s *Session) initialActive() []int {
+	if s.cfg.Env != nil && s.cfg.Env.Elastic() {
+		return s.cfg.Env.ActiveSet(0)
+	}
+	all := make([]int, s.cfg.Procs)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// activeWeights restricts the configured capability weights to an
+// active set (uniform when none are configured).
+func (s *Session) activeWeights(active []int) []float64 {
+	w := make([]float64, len(active))
+	for i, r := range active {
+		if s.cfg.Weights != nil {
+			w[i] = s.cfg.Weights[r]
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// newBalancer builds a rank's balancer from the configured prototype.
+// The estimator is stateful and per-rank; the configured one is only
+// a prototype, or the ranks would race on it.
+func (s *Session) newBalancer(rt *core.Runtime) (*loadbal.Balancer, error) {
+	bc := *s.cfg.Balancer
+	if bc.Horizon <= 0 {
+		bc.Horizon = s.cfg.CheckEvery
+	}
+	bc.Estimator = bc.Estimator.Clone()
+	return loadbal.New(rt, bc)
 }
 
 // RankUsage is one rank's accumulated measurements over a Run: the
@@ -211,19 +346,28 @@ type CheckEvent struct {
 	Decision loadbal.Decision
 }
 
+// MembershipEvent records one committed membership transition: the new
+// epoch, who left and joined, and what the migration moved.
+type MembershipEvent = elastic.Event
+
 // RunReport is the consolidated result of one Run: wall time, per-rank
-// timings, every balance check with its decision, and the messages and
-// bytes the world moved during the run.
+// timings, every balance check and membership transition, and the
+// messages and bytes the world moved during the run.
 type RunReport struct {
 	// Iters is the number of iterations this Run executed.
 	Iters int
 	// Wall is rank 0's barrier-to-barrier wall time.
 	Wall time.Duration
-	// Ranks holds each rank's accumulated compute/comm time and items.
+	// Ranks holds each rank's accumulated compute/comm time and items,
+	// indexed by world rank (parked ranks accumulate nothing).
 	Ranks []RankUsage
 	// Checks are the load-balance checks in iteration order (empty
 	// without a balancer).
 	Checks []CheckEvent
+	// Members are the membership transitions in iteration order (empty
+	// on fixed-membership sessions), each with its migration byte
+	// count.
+	Members []MembershipEvent
 	// Msgs and Bytes count the messages and payload bytes sent by all
 	// ranks during the run.
 	Msgs, Bytes int64
@@ -249,7 +393,8 @@ func (r *RunReport) Remaps() []CheckEvent {
 // Efficiency derives the paper's Section 4 nonuniform-environment
 // efficiency from the measured per-rank rates: a rank computing rate
 // seconds/item alone would need rate * vertices * iters for the whole
-// run. It fails if some rank measured no items.
+// run. It fails if some rank measured no items (in particular, ranks
+// parked for the whole run).
 func (r *RunReport) Efficiency(vertices int) (float64, error) {
 	seq := make([]float64, 0, len(r.Ranks))
 	for rank, u := range r.Ranks {
@@ -264,13 +409,17 @@ func (r *RunReport) Efficiency(vertices int) (float64, error) {
 // Run executes iters iterations of the parallel loop on every rank,
 // owning the paper's per-phase protocol: iterate, accumulate
 // measurements, check the balancer every CheckEvery iterations, and
-// remap when the controller says it is profitable. A check falling on
-// the run's final iteration is deferred — its remap could not pay off
-// within this Run — and performed at the start of the next Run if the
-// session continues, so repeated short Runs still balance. It returns
-// the consolidated report. Run may be called repeatedly; iteration
-// counts and data continue from the previous call. A Run that fails
-// partway leaves ranks at divergent iterations, so it marks the
+// remap when the controller says it is profitable. On an elastic
+// session the check boundaries double as membership boundaries: the
+// coordinator compares the active set against the environment's
+// availability (or a pending Resize request) and drives the epoch
+// transition when they differ. A check falling on the run's final
+// iteration is deferred — its remap could not pay off within this Run
+// — and performed at the start of the next Run if the session
+// continues, so repeated short Runs still balance. It returns the
+// consolidated report. Run may be called repeatedly; iteration counts,
+// membership and data continue from the previous call. A Run that
+// fails partway leaves ranks at divergent iterations, so it marks the
 // session unusable: further Run/Result calls fail and only Close
 // remains.
 func (s *Session) Run(iters int) (*RunReport, error) {
@@ -294,63 +443,21 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 	first := s.Iter()
 	last := first + iters
 	pending := s.pendingCheck
-	s.pendingCheck = false
+	pendingB := s.pendingBoundary
+	s.pendingCheck, s.pendingBoundary = false, false
 	var wall time.Duration
-	check := func(c *comm.Comm, iter int, tm solver.Timings) error {
-		rk := s.ranks[c.Rank()]
-		d, err := rk.bal.Check(loadbal.Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			ev := CheckEvent{Iter: iter, Decision: d}
-			rep.Checks = append(rep.Checks, ev)
-			if s.cfg.OnCheck != nil {
-				s.cfg.OnCheck(ev)
-			}
-		}
-		return nil
-	}
 	err := s.world.SPMD(s.ctx, func(c *comm.Comm) error {
-		rk := s.ranks[c.Rank()]
-		usage := &rep.Ranks[c.Rank()]
-		if err := c.Barrier(tagRunStart); err != nil {
-			return err
+		if s.elastic {
+			return s.runElastic(c, rep, last, pending, pendingB, &wall)
 		}
-		start := time.Now()
-		if pending && rk.bal != nil {
-			if err := check(c, first, rk.window); err != nil {
-				return err
-			}
-		}
-		err := rk.sol.Run(iters, func(iter int) error {
-			if rk.bal == nil || iter%s.cfg.CheckEvery != 0 || iter == last {
-				return nil
-			}
-			tm := rk.sol.TakeTimings()
-			usage.Add(tm)
-			rk.window = tm
-			return check(c, iter, tm)
-		})
-		if err != nil {
-			return err
-		}
-		if err := c.Barrier(tagRunEnd); err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			wall = time.Since(start)
-		}
-		tm := rk.sol.TakeTimings()
-		usage.Add(tm)
-		rk.window = tm
-		return nil
+		return s.runFixed(c, rep, first, last, pending, &wall)
 	})
 	if err != nil {
 		s.broken = true
 		return nil, err
 	}
 	s.pendingCheck = s.ranks[0].bal != nil && last%s.cfg.CheckEvery == 0
+	s.pendingBoundary = s.elastic && last%s.cfg.CheckEvery == 0
 	rep.Wall = wall
 	msgs1, bytes1 := s.world.Stats()
 	rep.Msgs, rep.Bytes = msgs1-msgs0, bytes1-bytes0
@@ -358,6 +465,260 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 		rep.Exec.Add(rk.rt.ExecStats().Sub(execBefore[i]))
 	}
 	return rep, nil
+}
+
+// check runs one collective balance check on a rank and records the
+// event on rank 0.
+func (s *Session) check(me int, rep *RunReport, iter int, tm solver.Timings) error {
+	rk := s.ranks[me]
+	d, err := rk.bal.Check(loadbal.Report{RatePerItem: tm.RatePerItem(), Items: tm.Items})
+	if err != nil {
+		return err
+	}
+	if me == 0 {
+		ev := CheckEvent{Iter: iter, Decision: d}
+		rep.Checks = append(rep.Checks, ev)
+		if s.cfg.OnCheck != nil {
+			s.cfg.OnCheck(ev)
+		}
+	}
+	return nil
+}
+
+// runFixed is one rank's Run body on a fixed-membership session.
+func (s *Session) runFixed(c *comm.Comm, rep *RunReport, first, last int, pending bool, wall *time.Duration) error {
+	me := c.Rank()
+	rk := s.ranks[me]
+	usage := &rep.Ranks[me]
+	if err := c.Barrier(tagRunStart); err != nil {
+		return err
+	}
+	start := time.Now()
+	if pending && rk.bal != nil {
+		if err := s.check(me, rep, first, rk.window); err != nil {
+			return err
+		}
+	}
+	err := rk.sol.Run(last-first, func(iter int) error {
+		if rk.bal == nil || iter%s.cfg.CheckEvery != 0 || iter == last {
+			return nil
+		}
+		tm := rk.sol.TakeTimings()
+		usage.Add(tm)
+		rk.window = tm
+		return s.check(me, rep, iter, tm)
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.Barrier(tagRunEnd); err != nil {
+		return err
+	}
+	if me == 0 {
+		*wall = time.Since(start)
+	}
+	tm := rk.sol.TakeTimings()
+	usage.Add(tm)
+	rk.window = tm
+	return nil
+}
+
+// runElastic is one rank's Run body on an elastic session. Active
+// ranks iterate in segments between check boundaries; at each interior
+// boundary the coordinator's membership verdict arrives first (a
+// transition forces a fresh cut and resets the balancer, so the
+// regular balance check is skipped at that boundary), then the regular
+// check runs. Parked ranks block in Park until admitted or the run
+// ends; retiring ranks migrate their data away and join the parked
+// set.
+func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pendingB bool, wall *time.Duration) error {
+	me := c.Rank()
+	rk := s.ranks[me]
+	ctl := s.ctls[me]
+	usage := &rep.Ranks[me]
+
+	var start time.Time
+	if ctl.ActiveHere() {
+		if err := s.subs[me].Barrier(tagRunStart); err != nil {
+			return err
+		}
+		start = time.Now()
+		// A boundary that fell on the previous Run's final iteration
+		// was deferred; perform it now, in boundary order: membership
+		// verdict first, then the deferred balance check unless a
+		// transition already forced a fresh cut. A rank retired here
+		// parks at the top of the loop; an admitted rank wakes inside
+		// its Park call below.
+		if pendingB {
+			iter := rk.sol.Iter()
+			prop, err := ctl.Boundary(iter, rk.rt.Layout(), s.desiredFn(ctl, iter), s.cutFn(rk))
+			if err != nil {
+				return err
+			}
+			if prop != nil {
+				if err := s.commit(me, rep, prop, s.subs[me]); err != nil {
+					return err
+				}
+				pending = false
+			}
+		}
+		if pending && rk.bal != nil {
+			if err := s.check(me, rep, rk.sol.Iter(), rk.window); err != nil {
+				return err
+			}
+		}
+	}
+	for {
+		if !ctl.ActiveHere() {
+			prop, err := ctl.Park()
+			if err != nil {
+				return err
+			}
+			if prop == nil {
+				// Run ended while parked; stay parked for the next Run.
+				return nil
+			}
+			if err := s.commit(me, rep, prop, nil); err != nil {
+				return err
+			}
+			continue
+		}
+		iter := rk.sol.Iter()
+		if iter >= last {
+			break
+		}
+		next := iter + s.cfg.CheckEvery - iter%s.cfg.CheckEvery
+		if next > last {
+			next = last
+		}
+		if err := rk.sol.Run(next-iter, nil); err != nil {
+			return err
+		}
+		if next == last {
+			// A boundary on the final iteration is deferred, exactly
+			// like the fixed path's final check.
+			break
+		}
+		tm := rk.sol.TakeTimings()
+		usage.Add(tm)
+		rk.window = tm
+		prop, err := ctl.Boundary(next, rk.rt.Layout(), s.desiredFn(ctl, next), s.cutFn(rk))
+		if err != nil {
+			return err
+		}
+		if prop != nil {
+			if err := s.commit(me, rep, prop, s.subs[me]); err != nil {
+				return err
+			}
+			continue
+		}
+		if rk.bal != nil {
+			if err := s.check(me, rep, next, tm); err != nil {
+				return err
+			}
+		}
+	}
+	// Run end: only reached by ranks active in the final epoch.
+	tm := rk.sol.TakeTimings()
+	usage.Add(tm)
+	rk.window = tm
+	if err := s.subs[me].Barrier(tagRunEnd); err != nil {
+		return err
+	}
+	if me == 0 {
+		*wall = time.Since(start)
+		if err := ctl.ReleaseParked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// desiredFn is the coordinator's membership policy at a boundary: an
+// explicit Resize request wins, otherwise the environment's
+// availability windows name the set; nil means no change.
+func (s *Session) desiredFn(ctl *elastic.Controller, iter int) func() []int {
+	return func() []int {
+		if req := ctl.TakeResize(); req != nil {
+			return req
+		}
+		if s.cfg.Env != nil && s.cfg.Env.Elastic() {
+			return s.cfg.Env.ActiveSet(iter)
+		}
+		return nil
+	}
+}
+
+// cutFn builds the incoming layout for a proposed active set, cutting
+// by the configured capability weights restricted to its members.
+func (s *Session) cutFn(rk *rankState) func(active []int) (*partition.Layout, error) {
+	return func(active []int) (*partition.Layout, error) {
+		return rk.rt.CutLayout(s.activeWeights(active))
+	}
+}
+
+// commit applies an agreed membership transition on one rank: drain,
+// migrate, rebind (or park), then re-arm the balancer — a transition
+// is a forced remap, so the balancer restarts with a clean measurement
+// history and an admitted rank gets a fresh balancer.
+func (s *Session) commit(me int, rep *RunReport, prop *elastic.Proposal, oldSub *comm.Comm) error {
+	rk := s.ranks[me]
+	ev, sub, err := s.ctls[me].Transition(prop, oldSub, rk.rt)
+	if err != nil {
+		return err
+	}
+	s.subs[me] = sub
+	if sub == nil {
+		// Retired: a parked rank contributes zero capability — it is
+		// simply absent from the active world the balancer sees.
+		rk.bal = nil
+	} else {
+		rk.sol.SetIter(prop.Iter)
+		if s.cfg.Balancer != nil {
+			if rk.bal == nil {
+				if rk.bal, err = s.newBalancer(rk.rt); err != nil {
+					return err
+				}
+			} else {
+				rk.bal.Reset()
+			}
+		}
+	}
+	if me == 0 {
+		rep.Members = append(rep.Members, ev)
+		if s.cfg.OnMembership != nil {
+			s.cfg.OnMembership(ev)
+		}
+	}
+	return nil
+}
+
+// Resize requests an explicit membership change to the given world
+// ranks (ascending, containing rank 0 — the coordinator cannot
+// retire), applied at the next check boundary of a running or future
+// Run. Only valid on elastic sessions (Config.Elastic, or any
+// availability outage). With availability windows also configured, the
+// environment re-asserts its own active set at the following boundary.
+// Safe to call concurrently with Run.
+func (s *Session) Resize(active []int) error {
+	if s.ranks == nil {
+		return fmt.Errorf("session: closed")
+	}
+	if !s.elastic {
+		return fmt.Errorf("session: Resize on a fixed-membership session (enable with Config.Elastic or availability outages)")
+	}
+	return s.ctls[0].RequestResize(active)
+}
+
+// Membership returns the current epoch number and active world ranks
+// (rank 0's view). Fixed-membership sessions are permanently at epoch
+// 0 with every rank active.
+func (s *Session) Membership() (epoch int, active []int) {
+	if !s.elastic {
+		return 0, s.initialActive()
+	}
+	m := s.ctls[0].Membership()
+	return m.Epoch, m.Active
 }
 
 // World returns the underlying world.
@@ -412,13 +773,18 @@ func (s *Session) Solver(rank int) *solver.Solver {
 }
 
 // Result gathers the solution vector on rank 0 in transformed-global
-// order (the order the runtime partitions). Collective.
+// order (the order the runtime partitions). Collective. On an elastic
+// session the active sub-world gathers; parked ranks own nothing and
+// contribute nothing.
 func (s *Session) Result() ([]float64, error) {
 	if err := s.usable(); err != nil {
 		return nil, err
 	}
 	var out []float64
 	err := s.world.SPMD(s.ctx, func(c *comm.Comm) error {
+		if s.elastic && !s.ctls[c.Rank()].ActiveHere() {
+			return nil
+		}
 		y, err := s.ranks[c.Rank()].sol.GatherResult(0)
 		if err != nil {
 			return err

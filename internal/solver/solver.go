@@ -47,9 +47,12 @@ func New(rt *core.Runtime, env *hetero.Env, workRep int) (*Solver, error) {
 		if err := env.Validate(); err != nil {
 			return nil, err
 		}
-		if env.P() != rt.Comm().Size() {
+		// The environment describes physical workstations, so it is
+		// sized to the root world even when the runtime is bound to an
+		// active sub-world.
+		if env.P() != rt.Comm().WorldSize() {
 			return nil, fmt.Errorf("solver: environment has %d workstations, world has %d",
-				env.P(), rt.Comm().Size())
+				env.P(), rt.Comm().WorldSize())
 		}
 	}
 	if workRep < 1 {
@@ -74,6 +77,13 @@ func (s *Solver) Runtime() *core.Runtime { return s.rt }
 // Iter returns the number of completed iterations.
 func (s *Solver) Iter() int { return s.iter }
 
+// SetIter fast-forwards the iteration counter — used when a parked
+// rank is admitted into the active set mid-run: its solver did not
+// step while the others did, and the counter must agree globally for
+// the environment's iteration-indexed schedules and the balancer's
+// check boundaries to line up.
+func (s *Solver) SetIter(iter int) { s.iter = iter }
+
 // InitDefault sets the canonical initial condition y(g) = (g mod 97) + 1.
 func (s *Solver) InitDefault() {
 	s.y.SetByGlobal(func(g int64) float64 { return float64(g%97) + 1 })
@@ -97,7 +107,10 @@ func (s *Solver) Step() error {
 
 	factor := 1.0
 	if s.env != nil {
-		factor = s.env.WorkFactor(c.Rank(), s.iter)
+		// Index the environment by world rank: the workstation identity
+		// survives membership changes that renumber the active
+		// sub-world.
+		factor = s.env.WorkFactor(c.WorldRank(), s.iter)
 	}
 	reps := float64(s.workRep) * factor
 	full := int(reps)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"stance/internal/comm"
+	"stance/internal/hetero"
 	"stance/internal/session"
 )
 
@@ -21,6 +22,13 @@ type (
 	RunReport = session.RunReport
 	// CheckEvent is one load-balance check recorded in a RunReport.
 	CheckEvent = session.CheckEvent
+	// MembershipEvent is one committed membership transition recorded
+	// in a RunReport: the new epoch, who left and joined, and the
+	// migration byte count.
+	MembershipEvent = session.MembershipEvent
+	// Outage is an availability window during which a workstation
+	// leaves the computation entirely; see WithAvailability.
+	Outage = hetero.Outage
 	// RankUsage is one rank's accumulated timings in a RunReport.
 	RankUsage = session.RankUsage
 	// World is a first-class SPMD world: endpoints plus shared
@@ -97,11 +105,41 @@ func WithBalancer(cfg BalancerConfig) Option {
 	return func(c *session.Config) { c.Balancer = &cfg }
 }
 
-// WithEnv simulates a nonuniform/adaptive cluster: per-rank speeds and
-// competing loads shape the solver's effective work. The default is
-// uniform and unloaded.
+// WithEnv simulates a nonuniform/adaptive cluster: per-rank speeds,
+// competing loads and availability outages shape the run. Outages in
+// the environment enable the elastic membership protocol. The default
+// is uniform, unloaded and always available.
 func WithEnv(env *Env) Option {
 	return func(c *session.Config) { c.Env = env }
+}
+
+// WithAvailability adds availability windows during which workstations
+// leave the computation entirely — the adaptive environment's "machine
+// taken away and given back". Any outage enables the elastic
+// membership protocol: at each check boundary the coordinator (rank 0,
+// which cannot have outages) retires the ranks that went away —
+// migrating their intervals onto the survivors and parking them — and
+// re-admits ranks whose outage ended. The outages merge into the
+// configured environment (a uniform one is synthesized if none is
+// set).
+func WithAvailability(outages ...Outage) Option {
+	return func(c *session.Config) { c.Outages = append(c.Outages, outages...) }
+}
+
+// WithElastic enables the elastic membership protocol even without
+// availability outages, so Session.Resize can shrink and grow the
+// active rank set explicitly while the session runs.
+func WithElastic() Option {
+	return func(c *session.Config) { c.Elastic = true }
+}
+
+// WithOnMembership registers a callback invoked on rank 0 immediately
+// after each committed membership transition (the consolidated
+// RunReport still records every transition). The callback runs inside
+// the SPMD section; keep it cheap and do not call back into the
+// session.
+func WithOnMembership(f func(MembershipEvent)) Option {
+	return func(c *session.Config) { c.OnMembership = f }
 }
 
 // WithWorkRep sets the kernel work amplification per element, keeping
