@@ -1,0 +1,28 @@
+// Command benchjson converts a `go test -json -bench` stream on stdin
+// into the bench.json summary on stdout — the format CI uploads as a
+// workflow artifact and BENCH_baseline.json snapshots in the repo:
+//
+//	go test -bench=. -benchtime=1x -run='^$' -json ./... | benchjson > bench.json
+package main
+
+import (
+	"log"
+	"os"
+
+	"stance/internal/benchjson"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	sum, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(sum.Benchmarks) == 0 {
+		log.Fatal("no benchmark results on stdin (pipe `go test -json -bench=...` output in)")
+	}
+	if err := sum.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -25,9 +25,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes and sample counts")
 	netScale := flag.Float64("netscale", 1, "Ethernet model scale (1 = the paper's 10 Mbit shared Ethernet)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	overlap := flag.Bool("overlap", false, "run the solver tables on the split-phase overlapped executor (Phase C′)")
 	flag.Parse()
 
-	opts := bench.Options{Quick: *quick, NetScale: *netScale, Seed: *seed}
+	opts := bench.Options{Quick: *quick, NetScale: *netScale, Seed: *seed, Overlap: *overlap}
 	gens := map[string]func(bench.Options) (*bench.Table, error){
 		"1": bench.Table1, "2": bench.Table2, "3": bench.Table3,
 		"4": bench.Table4, "5": bench.Table5,

@@ -41,6 +41,7 @@ import (
 	"stance/internal/order"
 	"stance/internal/redist"
 	"stance/internal/session"
+	"stance/internal/solver"
 )
 
 type loadFlags []hetero.Load
@@ -86,6 +87,8 @@ func main() {
 	ordName := flag.String("order", "rcb", "locality ordering: "+strings.Join(order.Names(), ", "))
 	strategy := flag.String("strategy", "sort2", "inspector strategy: sort1, sort2, simple")
 	lb := flag.Bool("lb", false, "enable adaptive load balancing")
+	overlap := flag.Bool("overlap", false, "split-phase overlapped executor (interior/boundary pipelining); requires a kernel with a boundary split")
+	kernelName := flag.String("kernel", "figure8", "solver compute body: "+solver.KernelNames())
 	checkEvery := flag.Int("check-every", 10, "iterations between load-balance checks")
 	netScale := flag.Float64("netscale", 0.1, "Ethernet model scale (in-process transport only)")
 	transport := flag.String("transport", "inproc", "comm transport: "+strings.Join(comm.Transports(), ", "))
@@ -141,6 +144,20 @@ func main() {
 	}
 	// Every transport receives the model; ones that run over real
 	// sockets (tcp) ignore it.
+	kern, err := solver.KernelByName(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *overlap {
+		// Overlapped mode needs the kernel cut at the interior/boundary
+		// line. Refuse up front with an actionable message — silently
+		// falling back to the synchronous executor would misreport every
+		// measurement taken from this run.
+		if _, ok := kern.(solver.SubsetKernel); !ok {
+			log.Fatalf("-overlap requires a kernel with a boundary split, but kernel %q has none; "+
+				"drop -overlap or use -kernel figure8", *kernelName)
+		}
+	}
 	cfg := session.Config{
 		Procs:      *p,
 		Transport:  *transport,
@@ -148,6 +165,8 @@ func main() {
 		OrderName:  *ordName,
 		WorkRep:    *workRep,
 		CheckEvery: *checkEvery,
+		Kernel:     kern,
+		Overlap:    *overlap,
 	}
 	switch *strategy {
 	case "sort1":
@@ -230,6 +249,10 @@ func main() {
 	fmt.Printf("\n%d iterations in %v (%.2f ms/iter)\n", *iters, rep.Wall.Round(time.Millisecond),
 		rep.Wall.Seconds()*1e3/float64(*iters))
 	fmt.Printf("messages: %d (%d payload bytes)\n", rep.Msgs, rep.Bytes)
+	if *overlap {
+		fmt.Printf("overlapped executor: %d split-phase ops, %v un-hidden exchange idle\n",
+			rep.Exec.Overlapped, rep.Exec.Idle.Round(time.Microsecond))
+	}
 	fmt.Println("rank  compute     comm        items")
 	for r, u := range rep.Ranks {
 		fmt.Printf("%4d  %-10v  %-10v  %d\n", r, u.Compute.Round(time.Microsecond),

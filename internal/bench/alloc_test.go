@@ -1,0 +1,166 @@
+package bench
+
+// The allocation-regression gate: the executor's steady-state replay
+// path — synchronous and split-phase — must allocate nothing once the
+// plan's wire buffers and the transport's receive pools are warm.
+// PR 2 established the invariant with benchmarks, but benchmarks only
+// report allocs/op without failing on them; this test pins
+// testing.AllocsPerRun == 0 so a regression fails CI instead of
+// rotting silently.
+//
+// testing.AllocsPerRun counts mallocs process-wide and pins
+// GOMAXPROCS to 1, so the SPMD section cannot be spawned inside the
+// measured function (goroutine startup allocates). Instead the ranks
+// run as persistent workers driven over pre-allocated channels: the
+// measured function triggers one collective operation and waits for
+// every rank to finish, which in the steady state costs zero
+// allocations end to end.
+//
+// Deliberately NOT -short-gated: the gate must run in CI. It skips
+// only under the race detector, whose instrumentation perturbs
+// allocation counts; CI runs it in a dedicated no-race step.
+
+import (
+	"testing"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/mesh"
+	"stance/internal/order"
+)
+
+// allocOp is one rank's share of a collective executor operation.
+type allocOp func(rt *core.Runtime, vs []*core.Vector) error
+
+// allocHarness drives a warm world through executor operations with
+// persistent per-rank workers.
+type allocHarness struct {
+	p    int
+	reqs []chan allocOp
+	done []chan error
+}
+
+func newAllocHarness(t *testing.T, p, nvecs int) *allocHarness {
+	t.Helper()
+	g, err := mesh.Honeycomb(30, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := comm.NewWorld(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { comm.CloseWorld(ws) })
+	h := &allocHarness{p: p, reqs: make([]chan allocOp, p), done: make([]chan error, p)}
+	ready := make(chan error, p)
+	for i := 0; i < p; i++ {
+		h.reqs[i] = make(chan allocOp)
+		h.done[i] = make(chan error, 1)
+		go func(c *comm.Comm, req chan allocOp, done chan error) {
+			rt, err := core.New(c, g, core.Config{Order: order.RCB})
+			if err != nil {
+				ready <- err
+				return
+			}
+			vs := make([]*core.Vector, nvecs)
+			for j := range vs {
+				vs[j] = rt.NewVector()
+				off := float64(j)
+				vs[j].SetByGlobal(func(gid int64) float64 { return float64(gid%89) + off })
+			}
+			ready <- nil
+			for op := range req {
+				done <- op(rt, vs)
+			}
+		}(ws[i], h.reqs[i], h.done[i])
+	}
+	for i := 0; i < p; i++ {
+		if err := <-ready; err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, req := range h.reqs {
+			close(req)
+		}
+	})
+	return h
+}
+
+// run triggers op collectively and waits for every rank.
+func (h *allocHarness) run(t *testing.T, op allocOp) {
+	for _, req := range h.reqs {
+		req <- op
+	}
+	for _, done := range h.done {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExecutorZeroAlloc asserts zero steady-state allocations for
+// every executor replay operation, synchronous and split-phase.
+func TestExecutorZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector; CI runs this in a no-race step")
+	}
+	ops := []struct {
+		name string
+		op   allocOp
+	}{
+		{"Exchange", func(rt *core.Runtime, vs []*core.Vector) error {
+			return rt.Exchange(vs[0])
+		}},
+		{"ScatterAdd", func(rt *core.Runtime, vs []*core.Vector) error {
+			return rt.ScatterAdd(vs[0])
+		}},
+		{"ExchangeAll", func(rt *core.Runtime, vs []*core.Vector) error {
+			return rt.ExchangeAll(vs...)
+		}},
+		{"ScatterAddAll", func(rt *core.Runtime, vs []*core.Vector) error {
+			return rt.ScatterAddAll(vs...)
+		}},
+		{"ExchangeStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
+			if err := rt.ExchangeStart(vs[0]); err != nil {
+				return err
+			}
+			return rt.ExchangeFinish()
+		}},
+		{"ScatterAddStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
+			if err := rt.ScatterAddStart(vs[0]); err != nil {
+				return err
+			}
+			return rt.ScatterAddFinish()
+		}},
+		{"ExchangeAllStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
+			if err := rt.ExchangeAllStart(vs...); err != nil {
+				return err
+			}
+			return rt.ExchangeAllFinish()
+		}},
+		{"ScatterAddAllStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
+			if err := rt.ScatterAddAllStart(vs...); err != nil {
+				return err
+			}
+			return rt.ScatterAddAllFinish()
+		}},
+	}
+	for _, p := range []int{2, 4} {
+		h := newAllocHarness(t, p, 3)
+		// Warm every path first: wire buffers grow to the coalesced
+		// size, receive pools fill, split-phase scratch is retained.
+		for _, op := range ops {
+			for i := 0; i < 4; i++ {
+				h.run(t, op.op)
+			}
+		}
+		for _, op := range ops {
+			op := op
+			avg := testing.AllocsPerRun(20, func() { h.run(t, op.op) })
+			if avg != 0 {
+				t.Errorf("p=%d %s: %.1f allocs/run in the steady state, want 0", p, op.name, avg)
+			}
+		}
+	}
+}

@@ -30,6 +30,11 @@ type Options struct {
 	NetScale float64
 	// Seed makes randomized workloads reproducible.
 	Seed int64
+	// Overlap runs the solver tables (4 and 5) on the split-phase
+	// overlapped executor (Phase C′) instead of the synchronous one.
+	// Results are bit-for-bit identical; only the schedule of
+	// communication against computation changes.
+	Overlap bool
 }
 
 // DefaultOptions returns the settings used for EXPERIMENTS.md: the

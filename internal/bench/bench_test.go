@@ -183,7 +183,7 @@ func TestMeasureStaticRunReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	const p, iters = 3, 4
-	rep, err := MeasureStaticRun(g, p, iters, 1, opts.netScale())
+	rep, err := MeasureStaticRun(g, p, iters, 1, opts.netScale(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestMeasureStaticRunReport(t *testing.T) {
 	if rep.Msgs < rep.Exec.Msgs {
 		t.Errorf("world Msgs %d < executor Msgs %d", rep.Msgs, rep.Exec.Msgs)
 	}
-	solo, err := MeasureStaticRun(g, 1, iters, 1, opts.netScale())
+	solo, err := MeasureStaticRun(g, 1, iters, 1, opts.netScale(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

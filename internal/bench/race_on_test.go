@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary was built with -race; the
+// allocation gate skips itself there (instrumentation perturbs
+// allocation counts), and CI runs it in a separate no-race step.
+const raceEnabled = true

@@ -35,9 +35,10 @@ func staticScale(opts Options) (iters, workRep int) {
 // MeasureStaticRun runs iters solver iterations on p equally fast,
 // unloaded workstations over the modeled Ethernet, returning the
 // session report (Wall is rank 0's barrier-to-barrier time; Exec the
-// executor's own traffic counters).
-func MeasureStaticRun(g *graph.Graph, p, iters, workRep int, netScale float64) (*session.RunReport, error) {
-	return measureRun(g, hetero.Uniform(p), p, iters, workRep, netScale, nil)
+// executor's own traffic counters). overlap selects the split-phase
+// executor.
+func MeasureStaticRun(g *graph.Graph, p, iters, workRep int, netScale float64, overlap bool) (*session.RunReport, error) {
+	return measureRun(g, hetero.Uniform(p), p, iters, workRep, netScale, overlap, nil)
 }
 
 // measureRun executes an iterative solve through the session driver
@@ -45,12 +46,13 @@ func MeasureStaticRun(g *graph.Graph, p, iters, workRep int, netScale float64) (
 // bal (if non-nil) enables the paper's periodic load-balance protocol:
 // a check every 10 iterations, remapping when profitable.
 func measureRun(g *graph.Graph, env *hetero.Env, p, iters, workRep int, netScale float64,
-	bal *loadbal.Config) (*session.RunReport, error) {
+	overlap bool, bal *loadbal.Config) (*session.RunReport, error) {
 	s, err := session.New(context.Background(), g, session.Config{
 		Procs:    p,
 		Model:    comm.Ethernet(netScale),
 		Env:      env,
 		WorkRep:  workRep,
+		Overlap:  overlap,
 		Balancer: bal,
 	})
 	if err != nil {
@@ -82,9 +84,12 @@ func Table4(opts Options) (*Table, error) {
 			"paper: 500 iterations on SUN4s; efficiency E = (1/Tpar)/sum(1/Ti)",
 		},
 	}
+	if opts.Overlap {
+		t.Notes = append(t.Notes, "split-phase overlapped executor (Phase C′)")
+	}
 	var t1 float64
 	for _, p := range []int{1, 2, 3, 4, 5} {
-		rep, err := MeasureStaticRun(g, p, iters, workRep, opts.netScale())
+		rep, err := MeasureStaticRun(g, p, iters, workRep, opts.netScale(), opts.Overlap)
 		if err != nil {
 			return nil, err
 		}

@@ -55,7 +55,7 @@ func MeasureAdaptiveRun(opts Options, p, iters, workRep int) (AdaptiveResult, er
 	env := hetero.PaperAdaptive(p, loadFactor)
 	var res AdaptiveResult
 
-	without, err := measureRun(g, env, p, iters, workRep, opts.netScale(), nil)
+	without, err := measureRun(g, env, p, iters, workRep, opts.netScale(), opts.Overlap, nil)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
@@ -75,7 +75,7 @@ func MeasureAdaptiveRun(opts Options, p, iters, workRep int) (AdaptiveResult, er
 			},
 		}
 	}
-	with, err := measureRun(g, env, p, iters, workRep, opts.netScale(), bal)
+	with, err := measureRun(g, env, p, iters, workRep, opts.netScale(), opts.Overlap, bal)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
@@ -135,12 +135,15 @@ func Table5(opts Options) (*Table, error) {
 			"paper: 500 iterations; sequential loaded workstation: 290.93s (vs 97.61s unloaded)",
 		},
 	}
+	if opts.Overlap {
+		t.Notes = append(t.Notes, "split-phase overlapped executor (Phase C′)")
+	}
 	// The single loaded workstation row.
 	g, err := benchMesh(opts)
 	if err != nil {
 		return nil, err
 	}
-	seqLoaded, err := measureRun(g, hetero.PaperAdaptive(1, loadFactor), 1, iters, workRep, opts.netScale(), nil)
+	seqLoaded, err := measureRun(g, hetero.PaperAdaptive(1, loadFactor), 1, iters, workRep, opts.netScale(), opts.Overlap, nil)
 	if err != nil {
 		return nil, err
 	}

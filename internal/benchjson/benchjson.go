@@ -1,0 +1,124 @@
+// Package benchjson turns the `go test -json -bench` event stream into
+// a machine-readable benchmark summary. CI pipes the -benchtime=1x
+// sweep through it to publish bench.json as a workflow artifact, and
+// the committed BENCH_baseline.json snapshot records the perf
+// trajectory PR over PR (cmd/benchjson is the CLI wrapper).
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	// Pkg is the import path the benchmark ran in.
+	Pkg string `json:"pkg"`
+	// Name is the full benchmark name including sub-benchmarks and the
+	// -cpu suffix (e.g. "BenchmarkExchange/p=2-8").
+	Name string `json:"name"`
+	// N is the iteration count the measurements are averaged over.
+	N int64 `json:"n"`
+	// Metrics maps unit to per-operation value: "ns/op", "B/op",
+	// "allocs/op" and any b.ReportMetric custom units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Summary is the document bench.json carries.
+type Summary struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// event is the subset of the test2json stream we care about.
+type event struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// Parse consumes a `go test -json` stream and extracts every benchmark
+// result line. go test prints a benchmark's name and its measurements
+// as separate writes, so output fragments are reassembled into lines
+// per package before parsing. Results come back sorted by package then
+// name, so the output is diffable across runs.
+func Parse(r io.Reader) (*Summary, error) {
+	partial := map[string]string{} // package -> unterminated output fragment
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("benchjson: malformed test2json event: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if res, ok := parseBenchLine(ev.Package, buf[:nl]); ok {
+				results = append(results, res)
+			}
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Pkg != results[j].Pkg {
+			return results[i].Pkg < results[j].Pkg
+		}
+		return results[i].Name < results[j].Name
+	})
+	return &Summary{Benchmarks: results}, nil
+}
+
+// parseBenchLine recognizes a benchmark result line:
+//
+//	BenchmarkName/sub-8   <N>   <value> <unit>   <value> <unit> ...
+func parseBenchLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	// A bare "Benchmark" line (a test named BenchmarkX being *run*, or
+	// a name-only fragment) is not a result.
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Pkg: pkg, Name: fields[0], N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// Write renders the summary as indented JSON with a trailing newline.
+func (s *Summary) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

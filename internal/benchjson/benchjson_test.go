@@ -1,0 +1,80 @@
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sample mimics a `go test -json -bench` stream: the benchmark name
+// and its measurements arrive as separate output events (exactly how
+// go test writes them), interleaved across two packages, with noise
+// lines around them.
+const sample = `{"Action":"start","Package":"stance/internal/bench"}
+{"Action":"output","Package":"stance/internal/bench","Output":"goos: linux\n"}
+{"Action":"output","Package":"stance/internal/bench","Output":"BenchmarkExchange/p=2-8         \t"}
+{"Action":"output","Package":"stance/internal/comm","Output":"BenchmarkSendRecv-8 \t    5000\t    211.5 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"stance/internal/bench","Output":"     100\t     12345 ns/op\t      24 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"stance/internal/bench","Output":"BenchmarkOverlapLatencyHiding/executor=overlap-8 \t       1\t  30446969 ns/op\t  24509641 idle-ns/op\n"}
+{"Action":"output","Package":"stance/internal/bench","Output":"--- PASS: TestSomething (0.01s)\n"}
+{"Action":"output","Package":"stance/internal/bench","Output":"PASS\n"}
+{"Action":"pass","Package":"stance/internal/bench"}
+`
+
+func TestParse(t *testing.T) {
+	sum, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(sum.Benchmarks), sum.Benchmarks)
+	}
+	// Sorted by package then name.
+	got := sum.Benchmarks
+	if got[0].Pkg != "stance/internal/bench" || got[0].Name != "BenchmarkExchange/p=2-8" {
+		t.Errorf("first result %+v, want the reassembled split-line Exchange benchmark", got[0])
+	}
+	if got[0].N != 100 || got[0].Metrics["ns/op"] != 12345 || got[0].Metrics["B/op"] != 24 {
+		t.Errorf("Exchange metrics wrong: %+v", got[0])
+	}
+	if v, ok := got[0].Metrics["allocs/op"]; !ok || v != 0 {
+		t.Errorf("Exchange allocs/op = %v (present %v), want 0", v, ok)
+	}
+	if got[1].Name != "BenchmarkOverlapLatencyHiding/executor=overlap-8" ||
+		got[1].Metrics["idle-ns/op"] != 24509641 {
+		t.Errorf("custom-metric benchmark wrong: %+v", got[1])
+	}
+	if got[2].Pkg != "stance/internal/comm" || got[2].Metrics["ns/op"] != 211.5 {
+		t.Errorf("comm benchmark wrong: %+v", got[2])
+	}
+
+	var buf bytes.Buffer
+	if err := sum.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Summary
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v", err)
+	}
+	if len(round.Benchmarks) != 3 {
+		t.Fatalf("round-tripped %d benchmarks, want 3", len(round.Benchmarks))
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed stream parsed without error")
+	}
+	// Non-result Benchmark lines (run markers, name-only fragments at
+	// EOF) are skipped, not errors.
+	sum, err := Parse(strings.NewReader(
+		`{"Action":"output","Package":"p","Output":"BenchmarkX\n"}` + "\n" +
+			`{"Action":"output","Package":"p","Output":"BenchmarkY-8 \t dangling"}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-result lines, want 0", len(sum.Benchmarks))
+	}
+}

@@ -1,0 +1,96 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayedDeliverySemantics covers Model.Delay: the sender does not
+// block for the delivery delay, no message becomes visible before its
+// delay has elapsed, and per-(source, tag) FIFO ordering survives the
+// in-flight window.
+func TestDelayedDeliverySemantics(t *testing.T) {
+	const delay = 5 * time.Millisecond
+	ws, err := NewWorld(2, &Model{Delay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseWorld(ws)
+
+	const n = 10
+	// Stamped before any send, so "first arrival >= start + delay" is a
+	// valid lower bound on the receiver no matter how late its
+	// goroutine is scheduled.
+	epoch := time.Now()
+	err = SPMD(ws, func(c *Comm) error {
+		if c.Rank() == 0 {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 7, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			// All sends return without waiting out the delay; a huge
+			// margin keeps this robust on loaded machines.
+			if d := time.Since(start); d >= delay*n/2 {
+				t.Errorf("sending %d delayed messages blocked %v; Delay must not block the sender", n, d)
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			data, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				// The first arrival cannot precede its delivery delay,
+				// measured from before the sends (a lower bound, so it
+				// cannot flake on slow machines).
+				if d := time.Since(epoch); d < delay {
+					t.Errorf("first delayed message visible after %v, want >= %v", d, delay)
+				}
+			}
+			if len(data) != 1 || data[0] != byte(i) {
+				t.Errorf("message %d carried %v; FIFO order must survive the delay", i, data)
+			}
+			c.Release(data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDelayedDeliveryMaskedRecv: the arrival-order executor drain
+// works unchanged on a delayed medium.
+func TestDelayedDeliveryMaskedRecv(t *testing.T) {
+	ws, err := NewWorld(3, &Model{Delay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseWorld(ws)
+	err = SPMD(ws, func(c *Comm) error {
+		if c.Rank() == 0 {
+			mask := []bool{false, true, true}
+			got := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				src, data, err := c.RecvAnyOf(9, mask)
+				if err != nil {
+					return err
+				}
+				if got[src] {
+					t.Errorf("received twice from rank %d", src)
+				}
+				got[src] = true
+				mask[src] = false
+				c.Release(data)
+			}
+			return nil
+		}
+		return c.Send(0, 9, []byte{byte(c.Rank())})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

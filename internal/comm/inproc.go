@@ -18,6 +18,21 @@ type inprocTransport struct {
 	boxes []*mailbox // shared across the world
 	model *Model
 	wire  *sync.Mutex // shared medium; nil when model is nil
+
+	// Delayed-delivery machinery (Model.Delay > 0): one courier
+	// goroutine per destination preserves arrival order while messages
+	// sit in flight, so per-(src, tag) FIFO survives the delay. Shared
+	// across the world; stop tears the couriers down once.
+	couriers []chan delayedMsg
+	stop     chan struct{}
+	stopOnce *sync.Once
+}
+
+// delayedMsg is one in-flight message on a delayed medium.
+type delayedMsg struct {
+	src, tag int
+	buf      []byte
+	readyAt  time.Time
 }
 
 // NewWorld creates an in-process world of p ranks whose messages cost
@@ -35,15 +50,50 @@ func NewWorld(p int, model *Model) ([]*Comm, error) {
 	if model != nil {
 		wire = new(sync.Mutex)
 	}
+	var couriers []chan delayedMsg
+	var stop chan struct{}
+	var stopOnce *sync.Once
+	if model != nil && model.Delay > 0 {
+		couriers = make([]chan delayedMsg, p)
+		stop = make(chan struct{})
+		stopOnce = new(sync.Once)
+		for i := range couriers {
+			couriers[i] = make(chan delayedMsg, 1024)
+			go courier(boxes[i], couriers[i], stop)
+		}
+	}
 	comms := make([]*Comm, p)
 	for i := range comms {
-		c, err := NewComm(i, p, &inprocTransport{rank: i, boxes: boxes, model: model, wire: wire})
+		c, err := NewComm(i, p, &inprocTransport{
+			rank: i, boxes: boxes, model: model, wire: wire,
+			couriers: couriers, stop: stop, stopOnce: stopOnce,
+		})
 		if err != nil {
 			return nil, err
 		}
 		comms[i] = c
 	}
 	return comms, nil
+}
+
+// courier delivers one destination's in-flight messages after their
+// delivery delay. A single courier per mailbox keeps arrival order
+// identical to send order, so the per-(src, tag) FIFO guarantee holds
+// on a delayed medium too.
+func courier(box *mailbox, ch chan delayedMsg, stop chan struct{}) {
+	for {
+		select {
+		case m := <-ch:
+			if d := time.Until(m.readyAt); d > 0 {
+				time.Sleep(d)
+			}
+			if err := box.deliver(m.src, m.tag, m.buf); err != nil {
+				box.putBuf(m.buf)
+			}
+		case <-stop:
+			return
+		}
+	}
 }
 
 // transmit occupies the shared medium for the message's modeled cost.
@@ -64,6 +114,13 @@ func (t *inprocTransport) Send(dst, tag int, data []byte) error {
 	box := t.boxes[dst]
 	buf := box.getBuf(len(data))
 	copy(buf, data)
+	if t.couriers != nil {
+		// Delayed medium: hand the message to the destination's courier
+		// instead of delivering it; the sender returns immediately.
+		t.couriers[dst] <- delayedMsg{src: t.rank, tag: tag, buf: buf,
+			readyAt: time.Now().Add(t.model.Delay)}
+		return nil
+	}
 	if err := box.deliver(t.rank, tag, buf); err != nil {
 		box.putBuf(buf)
 		return err
@@ -86,6 +143,11 @@ func (t *inprocTransport) Multicast(dsts []int, tag int, data []byte) error {
 		box := t.boxes[d]
 		buf := box.getBuf(len(data))
 		copy(buf, data)
+		if t.couriers != nil {
+			t.couriers[d] <- delayedMsg{src: t.rank, tag: tag, buf: buf,
+				readyAt: time.Now().Add(t.model.Delay)}
+			continue
+		}
 		if err := box.deliver(t.rank, tag, buf); err != nil {
 			box.putBuf(buf)
 			return err
@@ -129,6 +191,9 @@ func (t *inprocTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, er
 }
 
 func (t *inprocTransport) Close() error {
+	if t.stopOnce != nil {
+		t.stopOnce.Do(func() { close(t.stop) })
+	}
 	t.boxes[t.rank].close()
 	return nil
 }

@@ -17,6 +17,7 @@ var ErrTimeout = errors.New("comm: receive timed out")
 // means a free (infinitely fast) network.
 type Model struct {
 	// Latency is the fixed per-message cost (setup + wire latency).
+	// It blocks the sender while it occupies the shared wire.
 	Latency time.Duration
 	// Bandwidth is the transfer rate in bytes per second; zero means
 	// infinite.
@@ -25,6 +26,14 @@ type Model struct {
 	// many receivers for a single charge (Ethernet/ATM multicast,
 	// paper Section 3.6).
 	Multicast bool
+	// Delay is a one-way delivery delay: after the wire releases, the
+	// message stays invisible to the receiver for this long, but the
+	// sender does not wait for it. Unlike Latency (sender-side
+	// occupancy), this is the network time a split-phase executor can
+	// hide behind interior computation — the injected-delay knob the
+	// overlap benchmarks turn. Per-(source, tag) FIFO ordering is
+	// preserved.
+	Delay time.Duration
 }
 
 // cost returns the time one message of n payload bytes occupies the

@@ -62,6 +62,9 @@ func (rt *Runtime) Rebind(rb Rebind) (RebindStats, error) {
 	if rb.Carrier == nil {
 		return stats, fmt.Errorf("core: rebind without a carrier")
 	}
+	if rt.inflight.active() {
+		return stats, fmt.Errorf("core: rebind while a split-phase operation is in flight")
+	}
 	if rb.Old == nil || rb.New == nil {
 		return stats, fmt.Errorf("core: rebind without layouts")
 	}

@@ -32,6 +32,9 @@ type RemapStats struct {
 // all ranks must pass the same weights.
 func (rt *Runtime) Remap(newWeights []float64) (RemapStats, error) {
 	start := time.Now()
+	if rt.inflight.active() {
+		return RemapStats{}, fmt.Errorf("core: Remap while a split-phase operation is in flight")
+	}
 	if len(newWeights) != rt.c.Size() {
 		return RemapStats{}, fmt.Errorf("core: %d weights for %d ranks", len(newWeights), rt.c.Size())
 	}

@@ -119,8 +119,18 @@ type Runtime struct {
 	// (redistribution).
 	wireScratch []byte
 
+	// inflight is the split-phase operation currently between Start and
+	// Finish, if any; it owns the plan's pending mask and the vector
+	// views until Finish drains it.
+	inflight splitOp
+
 	// Executor traffic counters (see ExecStats).
 	execOps, execMsgs, execBytes int64
+	// Split-phase counters: execOverlap counts Start/Finish operation
+	// pairs, execIdle accumulates the time Finish spent blocked waiting
+	// for arrivals — the latency the interior compute failed to hide.
+	execOverlap int64
+	execIdle    time.Duration
 
 	lastInspector time.Duration
 }
@@ -133,6 +143,14 @@ type Runtime struct {
 // the paper's Phase C measures.
 type ExecStats struct {
 	Ops, Msgs, Bytes int64
+	// Overlapped counts the replay operations that ran split-phase
+	// (one per Start/Finish pair); they are included in Ops.
+	Overlapped int64
+	// Idle is the total time Finish calls spent blocked waiting for
+	// arrivals — the communication latency the overlapped interior
+	// compute did not hide. Zero idle means the split-phase pipeline
+	// hid the exchange entirely.
+	Idle time.Duration
 }
 
 // Add accumulates o into s.
@@ -140,11 +158,16 @@ func (s *ExecStats) Add(o ExecStats) {
 	s.Ops += o.Ops
 	s.Msgs += o.Msgs
 	s.Bytes += o.Bytes
+	s.Overlapped += o.Overlapped
+	s.Idle += o.Idle
 }
 
 // Sub returns s - o, for windowed deltas.
 func (s ExecStats) Sub(o ExecStats) ExecStats {
-	return ExecStats{Ops: s.Ops - o.Ops, Msgs: s.Msgs - o.Msgs, Bytes: s.Bytes - o.Bytes}
+	return ExecStats{
+		Ops: s.Ops - o.Ops, Msgs: s.Msgs - o.Msgs, Bytes: s.Bytes - o.Bytes,
+		Overlapped: s.Overlapped - o.Overlapped, Idle: s.Idle - o.Idle,
+	}
 }
 
 // New builds the runtime collectively: transforms the graph into the
@@ -304,7 +327,12 @@ func (rt *Runtime) rebuild() error {
 	rt.lastInspector = time.Since(start)
 	rt.sch = s
 	rt.plan = sched.Compile(s)
-	return rt.localize(refs)
+	if err := rt.localize(refs); err != nil {
+		return err
+	}
+	// The interior/boundary split rides on the plan, so it is rebuilt
+	// here too and stays valid across remaps and rebinds.
+	return rt.plan.Classify(rt.lxadj, rt.ladj)
 }
 
 // refs extracts this rank's access pattern from the transformed graph.
@@ -360,7 +388,10 @@ func (rt *Runtime) Plan() *sched.Plan { return rt.plan }
 // ExecStats returns the executor traffic counters accumulated since
 // the runtime was built.
 func (rt *Runtime) ExecStats() ExecStats {
-	return ExecStats{Ops: rt.execOps, Msgs: rt.execMsgs, Bytes: rt.execBytes}
+	return ExecStats{
+		Ops: rt.execOps, Msgs: rt.execMsgs, Bytes: rt.execBytes,
+		Overlapped: rt.execOverlap, Idle: rt.execIdle,
+	}
 }
 
 // Perm returns the locality transformation (original vertex ->

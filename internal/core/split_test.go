@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stance/internal/comm"
+	"stance/internal/mesh"
+	"stance/internal/order"
+)
+
+// splitScript drives one world through a fixed mix of executor
+// operations with compute interleaved between the exchange halves,
+// using either the split-phase ops (ExchangeStart/Finish and the
+// ScatterAdd analogue) or the synchronous ones at the same program
+// points. Snapshots of every rank's full vector data are taken after
+// each step; the two modes must agree bit for bit, including across a
+// Remap.
+func splitScript(t *testing.T, p int, split bool) [][][]float64 {
+	t.Helper()
+	g := testMesh(t)
+	ws, err := comm.NewWorld(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+
+	mu := make(chan struct{}, 1)
+	mu <- struct{}{}
+	var snaps [][][]float64
+	snapshot := func(rank, step int, vecs ...*Vector) {
+		<-mu
+		for len(snaps) <= step {
+			snaps = append(snaps, make([][]float64, p))
+		}
+		var all []float64
+		for _, v := range vecs {
+			all = append(all, append([]float64(nil), v.Data...)...)
+		}
+		snaps[step][rank] = all
+		mu <- struct{}{}
+	}
+
+	weights := make([]float64, p)
+	for i := range weights {
+		weights[i] = 1
+	}
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := New(c, g, Config{Order: order.RCB, Weights: weights})
+		if err != nil {
+			return err
+		}
+		v, w := rt.NewVector(), rt.NewVector()
+		v.SetByGlobal(initValue)
+		w.SetByGlobal(func(gid int64) float64 { return math.Sin(float64(gid)*0.7) + 2 })
+
+		// interiorMix folds v's interior values into w — compute that
+		// reads no ghost, legal while an Exchange is in flight.
+		interiorMix := func() {
+			for _, u := range rt.Plan().Interior() {
+				w.Data[u] += v.Data[u] * 0.5
+			}
+		}
+		// boundaryMix reads ghosts, so it must run after the exchange
+		// completes in both modes.
+		boundaryMix := func() {
+			xadj, adj := rt.LocalAdj()
+			for _, u := range rt.Plan().Boundary() {
+				sum := 0.0
+				for k := xadj[u]; k < xadj[u+1]; k++ {
+					sum += v.Data[adj[k]]
+				}
+				w.Data[u] += sum * 0.125
+			}
+		}
+
+		step := 0
+		runOnce := func() error {
+			// Exchange with interior compute between the halves.
+			if split {
+				if err := rt.ExchangeStart(v); err != nil {
+					return err
+				}
+				interiorMix()
+				if err := rt.ExchangeFinish(); err != nil {
+					return err
+				}
+			} else {
+				if err := rt.Exchange(v); err != nil {
+					return err
+				}
+				interiorMix()
+			}
+			boundaryMix()
+			snapshot(c.Rank(), step, v, w)
+			step++
+
+			// ScatterAdd: push ghost contributions home.
+			xadj, adj := rt.LocalAdj()
+			for u := 0; u < rt.LocalN(); u++ {
+				for k := xadj[u]; k < xadj[u+1]; k++ {
+					w.Data[adj[k]] += v.Data[u] * 0.25
+				}
+			}
+			if split {
+				if err := rt.ScatterAddStart(w); err != nil {
+					return err
+				}
+				if err := rt.ScatterAddFinish(); err != nil {
+					return err
+				}
+			} else {
+				if err := rt.ScatterAdd(w); err != nil {
+					return err
+				}
+			}
+			snapshot(c.Rank(), step, w)
+			step++
+
+			// Coalesced exchange, split vs sync.
+			if split {
+				if err := rt.ExchangeAllStart(v, w); err != nil {
+					return err
+				}
+				interiorMix()
+				if err := rt.ExchangeAllFinish(); err != nil {
+					return err
+				}
+			} else {
+				if err := rt.ExchangeAll(v, w); err != nil {
+					return err
+				}
+				interiorMix()
+			}
+			snapshot(c.Rank(), step, v, w)
+			step++
+
+			// Mix ghosts into owned values so the next round depends on
+			// the previous exchanges.
+			for u := 0; u < rt.LocalN(); u++ {
+				sum := 0.0
+				for k := xadj[u]; k < xadj[u+1]; k++ {
+					sum += v.Data[adj[k]]
+				}
+				if d := xadj[u+1] - xadj[u]; d > 0 {
+					v.Data[u] = sum / float64(d)
+				}
+			}
+			return nil
+		}
+		for round := 0; round < 2; round++ {
+			if err := runOnce(); err != nil {
+				return err
+			}
+		}
+		newW := make([]float64, p)
+		for i := range newW {
+			newW[i] = 1
+		}
+		newW[p-1] = 0.3
+		if _, err := rt.Remap(newW); err != nil {
+			return err
+		}
+		return runOnce()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+// TestSplitPhaseMatchesSyncBitForBit pins the tentpole's acceptance
+// criterion at the core level: the split-phase executor operations
+// produce bit-identical vectors to the synchronous ones with compute
+// interleaved between the halves, including across a Remap.
+func TestSplitPhaseMatchesSyncBitForBit(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		splitRun := splitScript(t, p, true)
+		syncRun := splitScript(t, p, false)
+		if len(splitRun) != len(syncRun) || len(splitRun) == 0 {
+			t.Fatalf("p=%d: snapshot counts differ: %d vs %d", p, len(splitRun), len(syncRun))
+		}
+		for step := range splitRun {
+			for rank := range splitRun[step] {
+				a, b := splitRun[step][rank], syncRun[step][rank]
+				if len(a) != len(b) {
+					t.Fatalf("p=%d step %d rank %d: data lengths differ: %d vs %d",
+						p, step, rank, len(a), len(b))
+				}
+				for i := range a {
+					if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+						t.Fatalf("p=%d step %d rank %d: element %d = %v (split) vs %v (sync); must be bit-exact",
+							p, step, rank, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitPhaseGuards covers the misuse surface: a Finish without a
+// Start, a second Start while one is in flight, synchronous and
+// layout-changing operations during an open split-phase window, and
+// split-phase calls on a parked runtime — all must fail loudly instead
+// of corrupting the plan's scratch state.
+func TestSplitPhaseGuards(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	err = comm.SPMD(ws, func(c *comm.Comm) error {
+		rt, err := New(c, g, Config{Order: order.RCB})
+		if err != nil {
+			return err
+		}
+		v := rt.NewVector()
+		v.SetByGlobal(initValue)
+
+		mustErr := func(what string, err error) error {
+			if err == nil {
+				t.Errorf("rank %d: %s succeeded, want error", c.Rank(), what)
+			}
+			return nil
+		}
+		mustErr("ExchangeFinish without Start", rt.ExchangeFinish())
+		mustErr("ScatterAddFinish without Start", rt.ScatterAddFinish())
+
+		if err := rt.ExchangeStart(v); err != nil {
+			return err
+		}
+		mustErr("second ExchangeStart while in flight", rt.ExchangeStart(v))
+		mustErr("sync Exchange while in flight", rt.Exchange(v))
+		mustErr("sync ScatterAdd while in flight", rt.ScatterAdd(v))
+		if _, err := rt.Remap([]float64{1, 2}); err == nil {
+			t.Errorf("rank %d: Remap while in flight succeeded, want error", c.Rank())
+		}
+		mustErr("ScatterAddFinish against an in-flight Exchange", rt.ScatterAddFinish())
+		if err := rt.ExchangeFinish(); err != nil {
+			return err
+		}
+		// The runtime must be fully usable again after a clean Finish.
+		return rt.Exchange(v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split-phase ops on a parked runtime fail like their sync
+	// counterparts.
+	parkedWs, err := comm.NewWorld(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(parkedWs)
+	rt, err := NewParked(parkedWs[0], g, Config{Order: order.RCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rt.NewVector()
+	if err := rt.ExchangeStart(v); err == nil || !strings.Contains(err.Error(), "parked") {
+		t.Errorf("ExchangeStart on parked runtime: err=%v, want parked error", err)
+	}
+	if err := rt.ScatterAddStart(v); err == nil || !strings.Contains(err.Error(), "parked") {
+		t.Errorf("ScatterAddStart on parked runtime: err=%v, want parked error", err)
+	}
+}
+
+// checkSplit asserts the classification invariant on one rank: the
+// interior and boundary lists are ascending, disjoint, exactly cover
+// [0, LocalN), and an element is boundary iff its localized adjacency
+// references the ghost section.
+func checkSplit(t *testing.T, rt *Runtime, label string) {
+	t.Helper()
+	p := rt.Plan()
+	if !p.Classified() {
+		t.Fatalf("%s: plan not classified", label)
+	}
+	nLocal := rt.LocalN()
+	interior, boundary := p.Interior(), p.Boundary()
+	if len(interior)+len(boundary) != nLocal {
+		t.Fatalf("%s: |interior|=%d + |boundary|=%d != nLocal=%d",
+			label, len(interior), len(boundary), nLocal)
+	}
+	seen := make([]int, nLocal)
+	last := int32(-1)
+	for _, u := range interior {
+		if u <= last {
+			t.Fatalf("%s: interior not strictly ascending at %d", label, u)
+		}
+		last = u
+		seen[u]++
+	}
+	last = -1
+	for _, u := range boundary {
+		if u <= last {
+			t.Fatalf("%s: boundary not strictly ascending at %d", label, u)
+		}
+		last = u
+		seen[u]++
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Fatalf("%s: local index %d appears %d times across interior+boundary, want exactly once", label, u, n)
+		}
+	}
+	xadj, adj := rt.LocalAdj()
+	for u := 0; u < nLocal; u++ {
+		hasGhost := false
+		for k := xadj[u]; k < xadj[u+1]; k++ {
+			if int(adj[k]) >= nLocal {
+				hasGhost = true
+				break
+			}
+		}
+		inBoundary := false
+		for _, b := range boundary {
+			if int(b) == u {
+				inBoundary = true
+				break
+			}
+		}
+		if hasGhost != inBoundary {
+			t.Fatalf("%s: local index %d hasGhost=%v but inBoundary=%v", label, u, hasGhost, inBoundary)
+		}
+	}
+}
+
+// TestClassificationPropertyRandomGraphs is the property test: for
+// random geometric graphs, every rank's interior ∪ boundary is exactly
+// its local index set — disjoint and complete — and stays so across
+// remaps to random capability vectors.
+func TestClassificationPropertyRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := mesh.RandomGeometric(300+rng.Intn(200), 0.12, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 3, 5} {
+			ws, err := comm.NewWorld(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			weights := make([]float64, p)
+			for i := range weights {
+				weights[i] = 0.5 + rng.Float64()
+			}
+			remapW := make([]float64, p)
+			for i := range remapW {
+				remapW[i] = 0.5 + rng.Float64()
+			}
+			err = comm.SPMD(ws, func(c *comm.Comm) error {
+				rt, err := New(c, g, Config{Order: order.Hilbert, Weights: weights})
+				if err != nil {
+					return err
+				}
+				checkSplit(t, rt, "fresh")
+				if _, err := rt.Remap(remapW); err != nil {
+					return err
+				}
+				checkSplit(t, rt, "remapped")
+				return nil
+			})
+			comm.CloseWorld(ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Split-phase executor operations (the overlapped Phase C′ data path):
+// Start posts every send of a schedule replay and returns immediately,
+// the caller computes over the plan's interior elements while the
+// messages are in flight, and Finish drains the arrivals and completes
+// the operation. Everything runs on the same compiled plan, persistent
+// wire buffers and masked arrival-order receives as the synchronous
+// path, so the steady state stays allocation-free and the results are
+// bit-for-bit identical — Exchange unpacks into disjoint ghost slots
+// in arrival order, ScatterAdd applies contributions in ascending peer
+// order regardless of arrival order.
+//
+// At most one split-phase operation may be in flight per runtime (it
+// owns the plan's pending-mask scratch); synchronous executor calls,
+// Remap and Rebind are rejected while one is open.
+
+// splitOp is the state of the in-flight split-phase operation.
+type splitOp struct {
+	// tag is tagExchange or tagScatter; zero means none in flight.
+	tag      int
+	vecs     [][]float64
+	pending  []bool
+	nPending int
+}
+
+// active reports whether a split-phase operation is in flight.
+func (op *splitOp) active() bool { return op.tag != 0 }
+
+// ExchangeStart posts the sends of an Exchange and returns without
+// waiting for the ghosts to arrive. The caller may compute over the
+// plan's Interior() elements (which read no ghost value), then must
+// call ExchangeFinish before touching any ghost or starting another
+// executor operation.
+func (rt *Runtime) ExchangeStart(v *Vector) error {
+	if v.rt != rt {
+		return fmt.Errorf("core: vector belongs to a different runtime")
+	}
+	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
+	return rt.startGather(rt.vecScratch)
+}
+
+// ExchangeAllStart is the coalesced ExchangeStart: all vectors' values
+// for a peer share one in-flight message.
+func (rt *Runtime) ExchangeAllStart(vecs ...*Vector) error {
+	if len(vecs) == 0 {
+		return fmt.Errorf("core: ExchangeAllStart with no vectors")
+	}
+	if err := rt.collect(vecs); err != nil {
+		return err
+	}
+	return rt.startGather(rt.vecScratch)
+}
+
+// ExchangeFinish drains the in-flight Exchange: remaining ghosts are
+// received in arrival order and unpacked into their (disjoint) slots.
+// The time spent blocked here is the latency the interior compute did
+// not hide; it accumulates into ExecStats.Idle.
+func (rt *Runtime) ExchangeFinish() error {
+	if rt.inflight.tag != tagExchange {
+		return fmt.Errorf("core: ExchangeFinish without a matching ExchangeStart")
+	}
+	op := &rt.inflight
+	defer rt.clearInflight()
+	// Take what already arrived without blocking, then charge only the
+	// genuinely blocking remainder to the idle counter.
+	var err error
+	op.nPending, err = rt.drainGather(op.pending, op.nPending, op.vecs, false)
+	if err != nil {
+		return err
+	}
+	if op.nPending == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	_, err = rt.drainGather(op.pending, op.nPending, op.vecs, true)
+	rt.execIdle += time.Since(t0)
+	return err
+}
+
+// ExchangeAllFinish completes a coalesced ExchangeAllStart. Finishing
+// does not depend on how many vectors are in flight, so this is
+// ExchangeFinish under the coalesced name.
+func (rt *Runtime) ExchangeAllFinish() error { return rt.ExchangeFinish() }
+
+// ScatterAddStart posts the sends of a ScatterAdd (each ghost
+// contribution travels home) and returns without waiting. Until
+// ScatterAddFinish runs, the caller must not modify the vector's owned
+// elements or ghost section.
+func (rt *Runtime) ScatterAddStart(v *Vector) error {
+	if v.rt != rt {
+		return fmt.Errorf("core: vector belongs to a different runtime")
+	}
+	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
+	return rt.startScatter(rt.vecScratch)
+}
+
+// ScatterAddAllStart is the coalesced ScatterAddStart.
+func (rt *Runtime) ScatterAddAllStart(vecs ...*Vector) error {
+	if len(vecs) == 0 {
+		return fmt.Errorf("core: ScatterAddAllStart with no vectors")
+	}
+	if err := rt.collect(vecs); err != nil {
+		return err
+	}
+	return rt.startScatter(rt.vecScratch)
+}
+
+// ScatterAddFinish completes the in-flight ScatterAdd: remaining
+// contributions are received in arrival order (parked per peer), then
+// every peer's payload is added into the owned elements in ascending
+// peer order — the same deterministic accumulation as the synchronous
+// path. Blocking time accumulates into ExecStats.Idle.
+func (rt *Runtime) ScatterAddFinish() error {
+	if rt.inflight.tag != tagScatter {
+		return fmt.Errorf("core: ScatterAddFinish without a matching ScatterAddStart")
+	}
+	op := &rt.inflight
+	defer rt.clearInflight()
+	defer rt.releaseHeld()
+	var err error
+	op.nPending, err = rt.drainScatter(op.pending, op.nPending, false)
+	if err != nil {
+		return err
+	}
+	if op.nPending > 0 {
+		t0 := time.Now()
+		_, err = rt.drainScatter(op.pending, op.nPending, true)
+		rt.execIdle += time.Since(t0)
+		if err != nil {
+			return err
+		}
+	}
+	p := rt.plan
+	for _, q := range p.SendPeers() {
+		data := p.TakeHeld(q)
+		err := p.AddLocal(q, data, op.vecs)
+		rt.c.Release(data)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// ScatterAddAllFinish completes a coalesced ScatterAddAllStart.
+func (rt *Runtime) ScatterAddAllFinish() error { return rt.ScatterAddFinish() }
+
+// startGather posts the Exchange sends and records the in-flight state.
+func (rt *Runtime) startGather(vecs [][]float64) error {
+	if err := rt.beginSplit(tagExchange, vecs); err != nil {
+		return err
+	}
+	op := &rt.inflight
+	p := rt.plan
+	for _, q := range p.RecvPeers() {
+		op.pending[q] = true
+		op.nPending++
+	}
+	for _, q := range p.SendPeers() {
+		buf := p.PackLocal(q, vecs)
+		if err := rt.c.Send(q, tagExchange, buf); err != nil {
+			rt.clearInflight()
+			return err
+		}
+		rt.execMsgs++
+		rt.execBytes += int64(len(buf))
+		// Opportunistic: unpack whatever already arrived between sends,
+		// exactly like the synchronous path.
+		var err error
+		op.nPending, err = rt.drainGather(op.pending, op.nPending, vecs, false)
+		if err != nil {
+			rt.clearInflight()
+			return err
+		}
+	}
+	return nil
+}
+
+// startScatter posts the ScatterAdd sends and records the in-flight
+// state; arrivals that complete early are parked on the plan.
+func (rt *Runtime) startScatter(vecs [][]float64) error {
+	if err := rt.beginSplit(tagScatter, vecs); err != nil {
+		return err
+	}
+	op := &rt.inflight
+	p := rt.plan
+	for _, q := range p.SendPeers() {
+		op.pending[q] = true
+		op.nPending++
+	}
+	for _, q := range p.RecvPeers() {
+		buf := p.PackGhost(q, vecs)
+		if err := rt.c.Send(q, tagScatter, buf); err != nil {
+			rt.clearInflight()
+			rt.releaseHeld()
+			return err
+		}
+		rt.execMsgs++
+		rt.execBytes += int64(len(buf))
+		var err error
+		op.nPending, err = rt.drainScatter(op.pending, op.nPending, false)
+		if err != nil {
+			rt.clearInflight()
+			rt.releaseHeld()
+			return err
+		}
+	}
+	return nil
+}
+
+// beginSplit validates and opens the split-phase operation: the plan's
+// pending scratch and a retained view of the vectors belong to it until
+// Finish. The vector views are copied out of vecScratch (which the
+// next synchronous call would clobber) into the operation's own reused
+// backing array, so the steady state still allocates nothing.
+func (rt *Runtime) beginSplit(tag int, vecs [][]float64) error {
+	if rt.Parked() {
+		return fmt.Errorf("core: split-phase operation on a parked runtime")
+	}
+	if rt.inflight.active() {
+		return fmt.Errorf("core: split-phase operation already in flight (missing Finish)")
+	}
+	op := &rt.inflight
+	op.tag = tag
+	op.vecs = append(op.vecs[:0], vecs...)
+	op.pending = rt.plan.Pending()
+	op.nPending = 0
+	rt.execOps++
+	rt.execOverlap++
+	return nil
+}
+
+// clearInflight closes the split-phase operation.
+func (rt *Runtime) clearInflight() {
+	rt.inflight.tag = 0
+	rt.inflight.nPending = 0
+	rt.inflight.pending = nil
+}

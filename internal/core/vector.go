@@ -79,6 +79,9 @@ func (rt *Runtime) ScatterAdd(v *Vector) error {
 // gather replays the Exchange direction of the plan for one or more
 // vectors coalesced onto the same wire messages.
 func (rt *Runtime) gather(vecs [][]float64) error {
+	if rt.inflight.active() {
+		return fmt.Errorf("core: synchronous exchange while a split-phase operation is in flight")
+	}
 	p := rt.plan
 	rt.execOps++
 	pending := p.Pending()
@@ -148,6 +151,9 @@ func (rt *Runtime) drainGather(pending []bool, nPending int, vecs [][]float64, b
 // contribute to the same owned element, and floating-point addition is
 // not associative, so apply order must not depend on network timing.
 func (rt *Runtime) scatter(vecs [][]float64) error {
+	if rt.inflight.active() {
+		return fmt.Errorf("core: synchronous scatter while a split-phase operation is in flight")
+	}
 	p := rt.plan
 	rt.execOps++
 	pending := p.Pending()

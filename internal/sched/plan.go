@@ -50,6 +50,17 @@ type Plan struct {
 	// order until they are applied in deterministic peer order.
 	pending []bool
 	held    [][]byte
+
+	// interior/boundary split the local index set [0, NLocal) for the
+	// overlapped executor: interior elements reference no ghost value,
+	// so a kernel can compute them while Exchange messages are still in
+	// flight; boundary elements read at least one ghost and must wait
+	// for ExchangeFinish. Both are ascending; together they partition
+	// the local index set exactly. Populated by Classify (core calls it
+	// on every rebuild, so the split survives remaps and rebinds on the
+	// recompiled plan).
+	interior, boundary []int32
+	classified         bool
 }
 
 // Compile builds the replay plan for a schedule.
@@ -86,6 +97,48 @@ func Compile(s *Schedule) *Plan {
 	}
 	return p
 }
+
+// Classify splits the local index set into interior and boundary
+// elements from the localized CSR (references >= NLocal index the
+// ghost section): a local element is boundary iff any of its
+// references is a ghost. The classification is what the split-phase
+// executor computes against — interior work overlaps in-flight
+// Exchange messages, boundary work runs after ExchangeFinish.
+func (p *Plan) Classify(xadj, adj []int32) error {
+	if len(xadj) != p.nlocal+1 {
+		return fmt.Errorf("sched: classify with %d-row CSR for %d local elements", len(xadj)-1, p.nlocal)
+	}
+	p.interior = p.interior[:0]
+	p.boundary = p.boundary[:0]
+	for u := 0; u < p.nlocal; u++ {
+		isBoundary := false
+		for k := xadj[u]; k < xadj[u+1]; k++ {
+			if int(adj[k]) >= p.nlocal {
+				isBoundary = true
+				break
+			}
+		}
+		if isBoundary {
+			p.boundary = append(p.boundary, int32(u))
+		} else {
+			p.interior = append(p.interior, int32(u))
+		}
+	}
+	p.classified = true
+	return nil
+}
+
+// Classified reports whether Classify has populated the
+// interior/boundary split.
+func (p *Plan) Classified() bool { return p.classified }
+
+// Interior returns the local indices that reference no ghost value,
+// ascending. Not to be modified; empty until Classify runs.
+func (p *Plan) Interior() []int32 { return p.interior }
+
+// Boundary returns the local indices that reference at least one ghost
+// value, ascending. Not to be modified; empty until Classify runs.
+func (p *Plan) Boundary() []int32 { return p.boundary }
 
 // Rank returns the rank the plan was compiled for.
 func (p *Plan) Rank() int { return p.rank }

@@ -1,0 +1,265 @@
+package session
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/mesh"
+	"stance/internal/order"
+	"stance/internal/solver"
+)
+
+// runPair executes the same configuration twice — synchronous and
+// overlapped — and returns both reports and gathered results.
+func runPair(t *testing.T, cfg Config, iters int) (syncRep, ovRep *RunReport, syncRes, ovRes []float64) {
+	t.Helper()
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(overlap bool) (*RunReport, []float64) {
+		c := cfg
+		c.Overlap = overlap
+		s, err := New(context.Background(), g, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		rep, err := s.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.ResultByVertex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, res
+	}
+	syncRep, syncRes = run(false)
+	ovRep, ovRes = run(true)
+	return syncRep, ovRep, syncRes, ovRes
+}
+
+func assertBitExact(t *testing.T, want, got []float64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: result lengths differ: %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: vertex %d: overlapped %v != synchronous %v (must match bit for bit)",
+				label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestOverlapMatchesSyncBitExact pins the overlapped session mode
+// against the synchronous one on the meshsolver configuration,
+// including across a load-balancer remap: a 6x competing load on rank
+// 0 (real amplified work, not scheduling noise) makes the measured
+// rates robustly lopsided, so the balancer remaps away from the
+// uniform initial cut.
+func TestOverlapMatchesSyncBitExact(t *testing.T) {
+	env := hetero.Uniform(4)
+	env.Loads = []hetero.Load{{Rank: 0, Factor: 6, FromIter: 0}}
+	cfg := Config{
+		Procs:      4,
+		Order:      order.RCB,
+		WorkRep:    12,
+		CheckEvery: 5,
+		Env:        env,
+		Balancer:   &loadbal.Config{},
+	}
+	syncRep, ovRep, syncRes, ovRes := runPair(t, cfg, 30)
+	assertBitExact(t, syncRes, ovRes, "balanced run")
+
+	if syncRep.Exec.Overlapped != 0 {
+		t.Errorf("synchronous run recorded %d overlapped ops, want 0", syncRep.Exec.Overlapped)
+	}
+	if ovRep.Exec.Overlapped == 0 {
+		t.Error("overlapped run recorded no overlapped executor ops")
+	}
+	if ovRep.Exec.Ops != ovRep.Exec.Overlapped {
+		t.Errorf("overlapped run: %d of %d executor ops were split-phase, want all",
+			ovRep.Exec.Overlapped, ovRep.Exec.Ops)
+	}
+	if len(ovRep.Remaps()) == 0 {
+		t.Error("overlapped run performed no remap; the 6x load on rank 0 should force one")
+	}
+	if len(syncRep.Remaps()) == 0 {
+		t.Error("synchronous run performed no remap; the 6x load on rank 0 should force one")
+	}
+}
+
+// TestOverlapSameTraffic: without a balancer (whose remap cuts depend
+// on measured rates) the overlapped and synchronous runs replay the
+// identical schedule, so splitting an exchange into Start/Finish
+// changes when messages are drained, not how many travel.
+func TestOverlapSameTraffic(t *testing.T) {
+	cfg := Config{Procs: 3, Order: order.RCB, WorkRep: 2}
+	syncRep, ovRep, syncRes, ovRes := runPair(t, cfg, 20)
+	assertBitExact(t, syncRes, ovRes, "no-balancer run")
+	if ovRep.Exec.Msgs != syncRep.Exec.Msgs || ovRep.Exec.Bytes != syncRep.Exec.Bytes {
+		t.Errorf("executor traffic differs: overlapped %d msgs/%d bytes, synchronous %d msgs/%d bytes",
+			ovRep.Exec.Msgs, ovRep.Exec.Bytes, syncRep.Exec.Msgs, syncRep.Exec.Bytes)
+	}
+	if ovRep.Exec.Overlapped != ovRep.Exec.Ops || ovRep.Exec.Ops == 0 {
+		t.Errorf("overlapped run: %d of %d ops split-phase, want all of a positive count",
+			ovRep.Exec.Overlapped, ovRep.Exec.Ops)
+	}
+}
+
+// checkPlanSplit asserts the interior/boundary partition invariant on
+// a session's active runtimes — the cross-world half of the
+// classification property test, exercised after elastic rebinds.
+func checkPlanSplit(t *testing.T, s *Session, label string) {
+	t.Helper()
+	_, active := s.Membership()
+	for _, r := range active {
+		rt := s.Runtime(r)
+		p := rt.Plan()
+		if p == nil || !p.Classified() {
+			t.Fatalf("%s: rank %d has no classified plan", label, r)
+		}
+		interior, boundary := p.Interior(), p.Boundary()
+		if len(interior)+len(boundary) != rt.LocalN() {
+			t.Fatalf("%s: rank %d: |interior|=%d + |boundary|=%d != nLocal=%d",
+				label, r, len(interior), len(boundary), rt.LocalN())
+		}
+		seen := make(map[int32]bool, rt.LocalN())
+		for _, u := range append(append([]int32(nil), interior...), boundary...) {
+			if u < 0 || int(u) >= rt.LocalN() {
+				t.Fatalf("%s: rank %d: index %d out of local range [0,%d)", label, r, u, rt.LocalN())
+			}
+			if seen[u] {
+				t.Fatalf("%s: rank %d: index %d in both interior and boundary", label, r, u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+// TestOverlapElasticShrinkGrowBitExact runs the scripted shrink→grow
+// scenario in overlapped mode: rank 2 retires at iteration 20 and is
+// re-admitted at 60, and the overlapped elastic run must match the
+// synchronous fixed-world run bit for bit. It also asserts the
+// classification invariant after each cross-world rebind.
+func TestOverlapElasticShrinkGrowBitExact(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 80
+	base := Config{
+		Procs:      4,
+		Order:      order.RCB,
+		WorkRep:    3,
+		CheckEvery: 10,
+	}
+
+	fixed, err := New(context.Background(), g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if _, err := fixed.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	want, err := fixed.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Overlap = true
+	cfg.Outages = []hetero.Outage{{Rank: 2, FromIter: 20, UntilIter: 60}}
+	el, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer el.Close()
+	rep, err := el.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 2 {
+		t.Fatalf("overlapped elastic run recorded %d membership transitions, want 2: %+v",
+			len(rep.Members), rep.Members)
+	}
+	if rep.Exec.Overlapped == 0 {
+		t.Error("overlapped elastic run recorded no overlapped executor ops")
+	}
+	checkPlanSplit(t, el, "after shrink+grow")
+
+	got, err := el.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, want, got, "elastic shrink/grow")
+
+	// An explicit Resize exercises one more cross-world rebind pair;
+	// the classification must hold on the shrunken world too, and the
+	// continued run must stay bit-exact against the fixed session.
+	if err := el.Resize([]int{0, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := el.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	checkPlanSplit(t, el, "after resize")
+	if _, err := fixed.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	want2, err := fixed.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := el.ResultByVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, want2, got2, "post-resize continuation")
+}
+
+// TestOverlapRequiresSplitKernel: requesting the overlapped mode with
+// a kernel that has no boundary split fails loudly at session build —
+// there is no silent fallback to the synchronous executor.
+func TestOverlapRequiresSplitKernel(t *testing.T) {
+	g, err := mesh.Honeycomb(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(context.Background(), g, Config{
+		Procs:   2,
+		Overlap: true,
+		Kernel:  solver.Figure8Fused{},
+	})
+	if err == nil {
+		t.Fatal("session with Overlap and a split-less kernel built successfully, want error")
+	}
+	if !strings.Contains(err.Error(), "boundary split") {
+		t.Fatalf("error %q does not name the missing boundary split", err)
+	}
+
+	// The same kernel without overlap runs fine and matches the default
+	// kernel bit for bit — it is the same computation, only unsplit.
+	run := func(k solver.Kernel) []float64 {
+		s, err := New(context.Background(), g, Config{Procs: 2, Order: order.RCB, Kernel: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Run(12); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.ResultByVertex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	assertBitExact(t, run(solver.Figure8{}), run(solver.Figure8Fused{}), "fused kernel")
+}

@@ -86,6 +86,20 @@ type Config struct {
 	// WorkRep is the kernel work amplification per element (values < 1
 	// are treated as 1).
 	WorkRep int
+	// Kernel is the solver's compute body (nil means the built-in
+	// Figure 8 kernel). With Overlap set it must be a
+	// solver.SubsetKernel — a kernel that can sweep the interior and
+	// boundary strips separately.
+	Kernel solver.Kernel
+	// Overlap runs the executor split-phase (Phase C′): each iteration
+	// posts its ghost exchange, computes the interior elements while the
+	// messages are in flight, then drains the arrivals and computes the
+	// boundary strip. Results are bit-for-bit identical to the
+	// synchronous executor; RunReport.Exec.Overlapped and .Idle report
+	// how much latency the overlap hid. Requires a kernel with a
+	// boundary split — New fails loudly otherwise, it never falls back
+	// to synchronous.
+	Overlap bool
 	// Balancer enables Phase D adaptive load balancing (nil disables
 	// it). A zero Horizon defaults to CheckEvery.
 	Balancer *loadbal.Config
@@ -190,6 +204,11 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 	if cfg.Weights != nil && len(cfg.Weights) != cfg.Procs {
 		return nil, fmt.Errorf("session: %d weights for %d ranks", len(cfg.Weights), cfg.Procs)
 	}
+	if cfg.Overlap && cfg.Kernel != nil {
+		if _, ok := cfg.Kernel.(solver.SubsetKernel); !ok {
+			return nil, fmt.Errorf("session: overlapped mode requires a kernel with a boundary split (solver.SubsetKernel); %T has none", cfg.Kernel)
+		}
+	}
 	world, err := comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model})
 	if err != nil {
 		return nil, err
@@ -236,7 +255,7 @@ func (s *Session) buildFixedRank(c *comm.Comm) error {
 	if err != nil {
 		return err
 	}
-	sol, err := solver.New(rt, s.cfg.Env, s.cfg.WorkRep)
+	sol, err := s.newSolver(rt)
 	if err != nil {
 		return err
 	}
@@ -279,7 +298,7 @@ func (s *Session) buildElasticRank(c *comm.Comm) error {
 		}
 		s.subs[c.Rank()] = sub
 	}
-	sol, err := solver.New(rt, s.cfg.Env, s.cfg.WorkRep)
+	sol, err := s.newSolver(rt)
 	if err != nil {
 		return err
 	}
@@ -317,6 +336,28 @@ func (s *Session) activeWeights(active []int) []float64 {
 		}
 	}
 	return w
+}
+
+// newSolver builds a rank's solver with the configured kernel and
+// executor mode. SetOverlap runs last: it is the check that rejects a
+// kernel without a boundary split instead of silently running the
+// synchronous path.
+func (s *Session) newSolver(rt *core.Runtime) (*solver.Solver, error) {
+	sol, err := solver.New(rt, s.cfg.Env, s.cfg.WorkRep)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Kernel != nil {
+		if err := sol.SetKernel(s.cfg.Kernel); err != nil {
+			return nil, err
+		}
+	}
+	if s.cfg.Overlap {
+		if err := sol.SetOverlap(true); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
 }
 
 // newBalancer builds a rank's balancer from the configured prototype.

@@ -1,0 +1,98 @@
+package solver
+
+import (
+	"strings"
+	"testing"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/mesh"
+	"stance/internal/order"
+)
+
+func testSolver(t *testing.T) *Solver {
+	t.Helper()
+	g, err := mesh.Honeycomb(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := comm.NewWorld(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { comm.CloseWorld(ws) })
+	rt, err := core.New(ws[0], g, core.Config{Order: order.RCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rt, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestKernelRegistry(t *testing.T) {
+	k, err := KernelByName("figure8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.(SubsetKernel); !ok {
+		t.Error("figure8 kernel lost its boundary split")
+	}
+	k, err = KernelByName("figure8-fused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.(SubsetKernel); ok {
+		t.Error("figure8-fused kernel implements SubsetKernel; it exists precisely to not have one")
+	}
+	if _, err := KernelByName("nope"); err == nil || !strings.Contains(err.Error(), "figure8") {
+		t.Errorf("unknown kernel error %v should list the registry", err)
+	}
+	names := KernelNames()
+	if !strings.Contains(names, "figure8") || !strings.Contains(names, "figure8-fused") {
+		t.Errorf("KernelNames() = %q, want both built-ins", names)
+	}
+}
+
+func TestSetOverlapValidation(t *testing.T) {
+	s := testSolver(t)
+	if !s.CanOverlap() {
+		t.Fatal("default kernel cannot overlap")
+	}
+	if err := s.SetOverlap(true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Overlap() {
+		t.Fatal("overlap not enabled")
+	}
+	// Swapping in a split-less kernel while overlapped must fail and
+	// leave the kernel unchanged.
+	if err := s.SetKernel(Figure8Fused{}); err == nil || !strings.Contains(err.Error(), "boundary split") {
+		t.Fatalf("SetKernel(fused) while overlapped: err=%v, want boundary-split error", err)
+	}
+	if _, ok := s.Kernel().(Figure8); !ok {
+		t.Fatalf("kernel changed to %T after a rejected SetKernel", s.Kernel())
+	}
+	if err := s.SetKernel(nil); err == nil {
+		t.Fatal("SetKernel(nil) succeeded")
+	}
+	// And the reverse order: split-less kernel first, then overlap.
+	if err := s.SetOverlap(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetKernel(Figure8Fused{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.CanOverlap() {
+		t.Fatal("fused kernel reports overlap capability")
+	}
+	if err := s.SetOverlap(true); err == nil || !strings.Contains(err.Error(), "boundary split") {
+		t.Fatalf("SetOverlap with fused kernel: err=%v, want boundary-split error", err)
+	}
+	// A solver refused the overlapped mode still steps synchronously.
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,13 @@ type Solver struct {
 	y   *core.Vector
 	t   []float64
 
+	// kern is the per-iteration compute body (Figure8 by default).
+	kern Kernel
+	// overlap selects the split-phase executor mode: ExchangeStart,
+	// interior sweep while messages fly, ExchangeFinish, boundary
+	// sweep. Requires a SubsetKernel.
+	overlap bool
+
 	// workRep is the number of times each element's kernel body is
 	// repeated per iteration at work factor 1. Amplifying per-element
 	// work keeps the compute/communication ratio of the paper's SUN4 +
@@ -62,10 +69,54 @@ func New(rt *core.Runtime, env *hetero.Env, workRep int) (*Solver, error) {
 		rt:      rt,
 		env:     env,
 		y:       rt.NewVector(),
+		kern:    Figure8{},
 		workRep: workRep,
 	}
 	s.InitDefault()
 	return s, nil
+}
+
+// Kernel returns the solver's compute body.
+func (s *Solver) Kernel() Kernel { return s.kern }
+
+// SetKernel replaces the compute body. With the overlapped mode
+// enabled the kernel must support the boundary split (SubsetKernel).
+func (s *Solver) SetKernel(k Kernel) error {
+	if k == nil {
+		return fmt.Errorf("solver: nil kernel")
+	}
+	if s.overlap {
+		if _, ok := k.(SubsetKernel); !ok {
+			return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); disable the overlapped mode or use a split-capable kernel", k)
+		}
+	}
+	s.kern = k
+	return nil
+}
+
+// CanOverlap reports whether the current kernel supports the
+// interior/boundary split the overlapped executor mode needs.
+func (s *Solver) CanOverlap() bool {
+	_, ok := s.kern.(SubsetKernel)
+	return ok
+}
+
+// Overlap reports whether the solver runs the split-phase executor.
+func (s *Solver) Overlap() bool { return s.overlap }
+
+// SetOverlap switches the solver between the synchronous executor
+// (Exchange, then the full sweep) and the split-phase overlapped one
+// (ExchangeStart, interior sweep while messages are in flight,
+// ExchangeFinish, boundary sweep). The numerical result is identical
+// bit for bit; only the schedule of communication against computation
+// changes. Enabling it fails — loudly, never falling back — when the
+// kernel has no boundary split.
+func (s *Solver) SetOverlap(on bool) error {
+	if on && !s.CanOverlap() {
+		return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); cannot run overlapped", s.kern)
+	}
+	s.overlap = on
+	return nil
 }
 
 // Y returns the solution vector.
@@ -89,6 +140,30 @@ func (s *Solver) InitDefault() {
 	s.y.SetByGlobal(func(g int64) float64 { return float64(g%97) + 1 })
 }
 
+// reps returns this iteration's work amplification as whole passes
+// plus a fractional pass.
+func (s *Solver) reps() (full int, frac float64) {
+	factor := 1.0
+	if s.env != nil {
+		// Index the environment by world rank: the workstation identity
+		// survives membership changes that renumber the active
+		// sub-world.
+		factor = s.env.WorkFactor(s.rt.Comm().WorldRank(), s.iter)
+	}
+	r := float64(s.workRep) * factor
+	full = int(r)
+	frac = r - float64(full)
+	return full, frac
+}
+
+// scratch returns the tv buffer sized for the current local section.
+func (s *Solver) scratch(nLocal int) []float64 {
+	if cap(s.t) < nLocal {
+		s.t = make([]float64, nLocal)
+	}
+	return s.t[:nLocal]
+}
+
 // Step executes one phase of the Figure 8 loop:
 //
 //	gather ghosts; t[i] = sum_k y[ia[k]]; y[i] = t[i]/deg(i)
@@ -96,31 +171,28 @@ func (s *Solver) InitDefault() {
 // The kernel body is repeated workRep * WorkFactor(rank, iter) times;
 // repeats recompute identical values, so the numerical result is
 // independent of the environment — only the time changes, exactly like
-// a slower workstation.
+// a slower workstation. With the overlapped mode enabled the exchange
+// is split-phase and the interior sweep hides the message flight time;
+// the result is bit-for-bit the same either way.
 func (s *Solver) Step() error {
-	c := s.rt.Comm()
+	if s.overlap {
+		return s.stepOverlap()
+	}
+	return s.stepSync()
+}
+
+// stepSync is the paper's synchronous phase: gather every ghost, then
+// sweep all local elements.
+func (s *Solver) stepSync() error {
 	t0 := time.Now()
 	if err := s.rt.Exchange(s.y); err != nil {
 		return err
 	}
 	s.commTime += time.Since(t0)
 
-	factor := 1.0
-	if s.env != nil {
-		// Index the environment by world rank: the workstation identity
-		// survives membership changes that renumber the active
-		// sub-world.
-		factor = s.env.WorkFactor(c.WorldRank(), s.iter)
-	}
-	reps := float64(s.workRep) * factor
-	full := int(reps)
-	frac := reps - float64(full)
-
+	full, frac := s.reps()
 	nLocal := s.rt.LocalN()
-	if cap(s.t) < nLocal {
-		s.t = make([]float64, nLocal)
-	}
-	tv := s.t[:nLocal]
+	tv := s.scratch(nLocal)
 	xadj, adj := s.rt.LocalAdj()
 	data := s.y.Data
 
@@ -130,31 +202,82 @@ func (s *Solver) Step() error {
 		if rep == full {
 			limit = int(frac * float64(nLocal))
 		}
-		for u := 0; u < limit; u++ {
-			sum := 0.0
-			for k := xadj[u]; k < xadj[u+1]; k++ {
-				sum += data[adj[k]]
-			}
-			tv[u] = sum
-		}
+		s.kern.Sweep(data, xadj, adj, tv, 0, limit)
 	}
 	// One guaranteed full pass so results never depend on the factor.
-	for u := 0; u < nLocal; u++ {
-		sum := 0.0
-		for k := xadj[u]; k < xadj[u+1]; k++ {
-			sum += data[adj[k]]
-		}
-		tv[u] = sum
+	s.kern.Sweep(data, xadj, adj, tv, 0, nLocal)
+	s.divide(data, xadj, tv, nLocal)
+	s.computeTime += time.Since(t1)
+	s.items += int64(nLocal)
+	s.iter++
+	return nil
+}
+
+// stepOverlap is the split-phase variant (Phase C′): post the exchange,
+// sweep the interior strip while the messages are in flight, drain the
+// arrivals, then sweep the boundary strip. The per-element sums read
+// exactly the same values as the synchronous step — interior elements
+// touch no ghost, boundary sums run after every ghost has landed — so
+// the result is bit-for-bit identical.
+func (s *Solver) stepOverlap() error {
+	kern, ok := s.kern.(SubsetKernel)
+	if !ok {
+		return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); cannot run overlapped", s.kern)
 	}
+	t0 := time.Now()
+	if err := s.rt.ExchangeStart(s.y); err != nil {
+		return err
+	}
+	s.commTime += time.Since(t0)
+
+	full, frac := s.reps()
+	nLocal := s.rt.LocalN()
+	tv := s.scratch(nLocal)
+	xadj, adj := s.rt.LocalAdj()
+	data := s.y.Data
+	plan := s.rt.Plan()
+	interior, boundary := plan.Interior(), plan.Boundary()
+
+	t1 := time.Now()
+	for rep := 0; rep <= full; rep++ {
+		limit := len(interior)
+		if rep == full {
+			limit = int(frac * float64(limit))
+		}
+		kern.SweepIdx(data, xadj, adj, tv, interior[:limit])
+	}
+	kern.SweepIdx(data, xadj, adj, tv, interior)
+	s.computeTime += time.Since(t1)
+
+	t2 := time.Now()
+	if err := s.rt.ExchangeFinish(); err != nil {
+		return err
+	}
+	s.commTime += time.Since(t2)
+
+	t3 := time.Now()
+	for rep := 0; rep <= full; rep++ {
+		limit := len(boundary)
+		if rep == full {
+			limit = int(frac * float64(limit))
+		}
+		kern.SweepIdx(data, xadj, adj, tv, boundary[:limit])
+	}
+	kern.SweepIdx(data, xadj, adj, tv, boundary)
+	s.divide(data, xadj, tv, nLocal)
+	s.computeTime += time.Since(t3)
+	s.items += int64(nLocal)
+	s.iter++
+	return nil
+}
+
+// divide finishes the phase: y[u] = tv[u] / deg(u).
+func (s *Solver) divide(data []float64, xadj []int32, tv []float64, nLocal int) {
 	for u := 0; u < nLocal; u++ {
 		if d := xadj[u+1] - xadj[u]; d > 0 {
 			data[u] = tv[u] / float64(d)
 		}
 	}
-	s.computeTime += time.Since(t1)
-	s.items += int64(nLocal)
-	s.iter++
-	return nil
 }
 
 // Timings are the accumulated per-rank measurements since the last

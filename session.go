@@ -142,6 +142,28 @@ func WithOnMembership(f func(MembershipEvent)) Option {
 	return func(c *session.Config) { c.OnMembership = f }
 }
 
+// WithOverlap runs the executor split-phase (Phase C′): each iteration
+// posts its ghost exchange with ExchangeStart, computes the interior
+// elements — which reference no ghost value — while the messages are
+// in flight, then drains the arrivals with ExchangeFinish and computes
+// the boundary strip. The numerical result is bit-for-bit identical to
+// the synchronous executor; on a latency-bound network the interior
+// sweep hides the message flight time. RunReport.Exec.Overlapped
+// counts the split-phase operations and RunReport.Exec.Idle is the
+// latency the overlap failed to hide. The kernel must support the
+// boundary split (SubsetKernel; the built-in Figure8 does) — NewSession
+// fails loudly otherwise instead of silently running synchronously.
+func WithOverlap() Option {
+	return func(c *session.Config) { c.Overlap = true }
+}
+
+// WithKernel replaces the solver's compute body (the built-in Figure8
+// kernel by default). With WithOverlap the kernel must implement
+// SubsetKernel.
+func WithKernel(k Kernel) Option {
+	return func(c *session.Config) { c.Kernel = k }
+}
+
 // WithWorkRep sets the kernel work amplification per element, keeping
 // the compute-to-communication ratio of the paper's SUN4 + Ethernet
 // setting reproducible on modern hardware. The default is 1.

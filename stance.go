@@ -91,6 +91,20 @@ type (
 	Solver = solver.Solver
 	// Timings are the solver's accumulated per-rank measurements.
 	Timings = solver.Timings
+	// Kernel is the solver's per-iteration compute body.
+	Kernel = solver.Kernel
+	// SubsetKernel is a kernel with the interior/boundary split the
+	// overlapped executor mode (WithOverlap) requires.
+	SubsetKernel = solver.SubsetKernel
+	// Figure8 is the paper's default kernel, split-capable.
+	Figure8 = solver.Figure8
+	// Figure8Fused is the same computation without a boundary split —
+	// the A/B partner for attributing overlap speedups; it cannot run
+	// overlapped.
+	Figure8Fused = solver.Figure8Fused
+	// ExecStats counts the executor data path's traffic, including the
+	// overlapped mode's Overlapped/Idle counters.
+	ExecStats = core.ExecStats
 	// Balancer drives the periodic load-balance check.
 	Balancer = loadbal.Balancer
 	// BalancerConfig parameterizes the balancer.
