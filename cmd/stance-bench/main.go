@@ -26,9 +26,14 @@ func main() {
 	netScale := flag.Float64("netscale", 1, "Ethernet model scale (1 = the paper's 10 Mbit shared Ethernet)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	overlap := flag.Bool("overlap", false, "run the solver tables on the split-phase overlapped executor (Phase C′)")
+	virtual := flag.Bool("virtual", false, "run the solver tables (4, 5) on the simulated clock: exact, deterministic virtual durations in milliseconds of real time")
+	cost := flag.Duration("cost", time.Microsecond, "virtual compute cost per element per work repetition (with -virtual)")
 	flag.Parse()
 
 	opts := bench.Options{Quick: *quick, NetScale: *netScale, Seed: *seed, Overlap: *overlap}
+	if *virtual {
+		opts = opts.Virtual(*cost)
+	}
 	gens := map[string]func(bench.Options) (*bench.Table, error){
 		"1": bench.Table1, "2": bench.Table2, "3": bench.Table3,
 		"4": bench.Table4, "5": bench.Table5,

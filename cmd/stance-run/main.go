@@ -42,6 +42,7 @@ import (
 	"stance/internal/redist"
 	"stance/internal/session"
 	"stance/internal/solver"
+	"stance/internal/vtime"
 )
 
 type loadFlags []hetero.Load
@@ -96,7 +97,9 @@ func main() {
 	weighted := flag.Bool("weighted", false, "balance vertex weight (degree) instead of vertex counts")
 	decentralized := flag.Bool("decentralized", false, "decide load balancing on every rank (no controller)")
 	ewma := flag.Float64("ewma", 0, "EWMA smoothing for rate estimates (0 = paper's last-window)")
-	scenario := flag.String("scenario", "", "JSON file with the full simulated environment (speeds, loads, outages); conflicts with -load and fixes -p")
+	scenario := flag.String("scenario", "", "JSON file with the full simulated environment (speeds, loads, outages, traces); conflicts with -load and fixes -p")
+	virtual := flag.Bool("virtual", false, "run on the simulated clock: deterministic virtual time, instant wall time (inproc transport only)")
+	cost := flag.Duration("cost", 10*time.Microsecond, "virtual compute cost per element per work repetition (with -virtual)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "competing load rank:factor[:from[:until]] (repeatable)")
 	flag.Parse()
@@ -107,6 +110,13 @@ func main() {
 			log.Fatalf("-tcp conflicts with -transport %s", *transport)
 		}
 		*transport = "tcp"
+	}
+	if *virtual && *transport != "inproc" {
+		// The session would reject this too, but name the flags.
+		log.Fatalf("-virtual requires the inproc transport (real %s sockets deliver on the wall clock, which a simulated clock cannot see)", *transport)
+	}
+	if !*virtual && explicitFlags["cost"] {
+		log.Fatalf("-cost only applies with -virtual")
 	}
 
 	// A scenario file owns the whole environment description: flags
@@ -167,6 +177,13 @@ func main() {
 		CheckEvery: *checkEvery,
 		Kernel:     kern,
 		Overlap:    *overlap,
+	}
+	if *virtual {
+		// The simulated clock: the run's timings become exact virtual
+		// durations, the wall time collapses to milliseconds, and the
+		// same invocation reproduces the same report byte for byte.
+		cfg.Clock = vtime.NewSim()
+		cfg.ComputeCost = *cost
 	}
 	switch *strategy {
 	case "sort1":
@@ -246,8 +263,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\n%d iterations in %v (%.2f ms/iter)\n", *iters, rep.Wall.Round(time.Millisecond),
-		rep.Wall.Seconds()*1e3/float64(*iters))
+	unit := ""
+	if *virtual {
+		unit = " virtual"
+	}
+	fmt.Printf("\n%d iterations in %v%s (%.2f ms/iter)\n", *iters, rep.Wall.Round(time.Millisecond),
+		unit, rep.Wall.Seconds()*1e3/float64(*iters))
 	fmt.Printf("messages: %d (%d payload bytes)\n", rep.Msgs, rep.Bytes)
 	if *overlap {
 		fmt.Printf("overlapped executor: %d split-phase ops, %v un-hidden exchange idle\n",

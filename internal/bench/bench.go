@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"strings"
 	"text/tabwriter"
+	"time"
+
+	"stance/internal/vtime"
 )
 
 // Options control experiment scale.
@@ -35,6 +38,26 @@ type Options struct {
 	// Results are bit-for-bit identical; only the schedule of
 	// communication against computation changes.
 	Overlap bool
+	// Clock runs the solver tables (4 and 5) on an explicit clock (nil
+	// means the real clock). With a vtime.Sim the tables measure exact
+	// virtual durations and complete instantly — the deterministic mode
+	// the shape tests run in. Tables 1–3 measure real computation
+	// (orderings, MCR sweeps, inspector builds) and always use the wall
+	// clock.
+	Clock vtime.Clock
+	// ComputeCost virtualizes the solver tables' per-element compute on
+	// the clock (see session.Config.ComputeCost); zero keeps the real
+	// spinning kernel.
+	ComputeCost time.Duration
+}
+
+// Virtual returns deterministic settings for the solver tables: a
+// simulated clock and virtualized compute, so Table 4/5 runs measure
+// exact virtual durations in milliseconds of real time.
+func (o Options) Virtual(cost time.Duration) Options {
+	o.Clock = vtime.NewSim()
+	o.ComputeCost = cost
+	return o
 }
 
 // DefaultOptions returns the settings used for EXPERIMENTS.md: the

@@ -38,22 +38,26 @@ func staticScale(opts Options) (iters, workRep int) {
 // executor's own traffic counters). overlap selects the split-phase
 // executor.
 func MeasureStaticRun(g *graph.Graph, p, iters, workRep int, netScale float64, overlap bool) (*session.RunReport, error) {
-	return measureRun(g, hetero.Uniform(p), p, iters, workRep, netScale, overlap, nil)
+	return measureRun(g, hetero.Uniform(p), p, iters, workRep,
+		Options{NetScale: netScale, Overlap: overlap}, nil)
 }
 
 // measureRun executes an iterative solve through the session driver
-// and returns its report (Wall is rank 0's barrier-to-barrier time).
-// bal (if non-nil) enables the paper's periodic load-balance protocol:
-// a check every 10 iterations, remapping when profitable.
-func measureRun(g *graph.Graph, env *hetero.Env, p, iters, workRep int, netScale float64,
-	overlap bool, bal *loadbal.Config) (*session.RunReport, error) {
+// and returns its report (Wall is rank 0's barrier-to-barrier time on
+// opts.Clock). bal (if non-nil) enables the paper's periodic
+// load-balance protocol: a check every 10 iterations, remapping when
+// profitable.
+func measureRun(g *graph.Graph, env *hetero.Env, p, iters, workRep int,
+	opts Options, bal *loadbal.Config) (*session.RunReport, error) {
 	s, err := session.New(context.Background(), g, session.Config{
-		Procs:    p,
-		Model:    comm.Ethernet(netScale),
-		Env:      env,
-		WorkRep:  workRep,
-		Overlap:  overlap,
-		Balancer: bal,
+		Procs:       p,
+		Model:       comm.Ethernet(opts.netScale()),
+		Clock:       opts.Clock,
+		ComputeCost: opts.ComputeCost,
+		Env:         env,
+		WorkRep:     workRep,
+		Overlap:     opts.Overlap,
+		Balancer:    bal,
 	})
 	if err != nil {
 		return nil, err
@@ -89,7 +93,7 @@ func Table4(opts Options) (*Table, error) {
 	}
 	var t1 float64
 	for _, p := range []int{1, 2, 3, 4, 5} {
-		rep, err := MeasureStaticRun(g, p, iters, workRep, opts.netScale(), opts.Overlap)
+		rep, err := measureRun(g, hetero.Uniform(p), p, iters, workRep, opts, nil)
 		if err != nil {
 			return nil, err
 		}

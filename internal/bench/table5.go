@@ -55,7 +55,7 @@ func MeasureAdaptiveRun(opts Options, p, iters, workRep int) (AdaptiveResult, er
 	env := hetero.PaperAdaptive(p, loadFactor)
 	var res AdaptiveResult
 
-	without, err := measureRun(g, env, p, iters, workRep, opts.netScale(), opts.Overlap, nil)
+	without, err := measureRun(g, env, p, iters, workRep, opts, nil)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
@@ -75,7 +75,7 @@ func MeasureAdaptiveRun(opts Options, p, iters, workRep int) (AdaptiveResult, er
 			},
 		}
 	}
-	with, err := measureRun(g, env, p, iters, workRep, opts.netScale(), opts.Overlap, bal)
+	with, err := measureRun(g, env, p, iters, workRep, opts, bal)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
@@ -143,7 +143,7 @@ func Table5(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	seqLoaded, err := measureRun(g, hetero.PaperAdaptive(1, loadFactor), 1, iters, workRep, opts.netScale(), opts.Overlap, nil)
+	seqLoaded, err := measureRun(g, hetero.PaperAdaptive(1, loadFactor), 1, iters, workRep, opts, nil)
 	if err != nil {
 		return nil, err
 	}

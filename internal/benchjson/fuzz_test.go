@@ -1,0 +1,48 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBenchJSON fuzzes the `go test -json` stream parser: whatever the
+// input — split output lines, interleaved packages, garbage bytes,
+// half-written JSON — Parse must never panic, and when it accepts a
+// stream the summary must be well-formed (no nil metric maps, no
+// negative iteration counts it parsed out of thin air). Run under
+// `go test -fuzz=FuzzBenchJSON ./internal/benchjson`; the seed corpus
+// covers the reassembly path (benchmark name and measurements arriving
+// as separate output events) that motivated the parser.
+func FuzzBenchJSON(f *testing.F) {
+	f.Add("")
+	f.Add("not json at all\n")
+	f.Add(`{"Action":"output","Package":"p","Output":"BenchmarkX-8   10   5 ns/op\n"}` + "\n")
+	// The reassembly case: name and measurements split across events.
+	f.Add(`{"Action":"output","Package":"p","Output":"BenchmarkSplit/case=1-8   "}` + "\n" +
+		`{"Action":"output","Package":"p","Output":"25   4031 ns/op   0 B/op\n"}` + "\n")
+	// Interleaved packages sharing the stream.
+	f.Add(`{"Action":"output","Package":"a","Output":"BenchmarkA-2   1   9 ns/op"}` + "\n" +
+		`{"Action":"output","Package":"b","Output":"BenchmarkB-2   2   8 ns/op\n"}` + "\n" +
+		`{"Action":"output","Package":"a","Output":"\n"}` + "\n")
+	f.Add(`{"Action":"run","Package":"p"}` + "\n")
+	f.Add(`{"Action":"output","Package":"p","Output":"Benchmark   notanumber   x\n"}` + "\n")
+	f.Add("{\"Action\":\"output\"") // truncated JSON event
+	f.Add("\x00\x01\x02\n{}\n")     // binary garbage then empty event
+	f.Fuzz(func(t *testing.T, stream string) {
+		sum, err := Parse(strings.NewReader(stream))
+		if err != nil {
+			return
+		}
+		for i, b := range sum.Benchmarks {
+			if b.Metrics == nil || len(b.Metrics) == 0 {
+				t.Fatalf("benchmark %d (%s) accepted with no metrics", i, b.Name)
+			}
+			if b.N < 0 {
+				t.Fatalf("benchmark %d (%s) has negative N %d", i, b.Name, b.N)
+			}
+			if !strings.HasPrefix(b.Name, "Benchmark") {
+				t.Fatalf("benchmark %d has non-benchmark name %q", i, b.Name)
+			}
+		}
+	})
+}

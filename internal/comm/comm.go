@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"stance/internal/vtime"
 )
 
 // ErrClosed is returned by operations on a closed communicator.
@@ -64,6 +66,16 @@ type MaskedTransport interface {
 	// PollAnyOf is the non-blocking variant: ok=false when nothing
 	// admissible has arrived yet.
 	PollAnyOf(tag int, mask []bool) (src int, data []byte, ok bool, err error)
+}
+
+// ClockedTransport is implemented by transports that run their cost
+// charges and delivery delays on an explicit clock (both built-in
+// transports do). The runtime derives every timing — solver phases,
+// balance checks, remap costs — from the transport's clock, so a world
+// opened with a simulated clock (vtime.Sim) runs its entire adaptive
+// protocol in deterministic virtual time.
+type ClockedTransport interface {
+	Clock() vtime.Clock
 }
 
 // Recycler is implemented by transports that reuse receive buffers.
@@ -129,6 +141,19 @@ func (c *Comm) boundCtx() context.Context {
 // Context returns the context governing the endpoint's blocking
 // operations (context.Background unless bound by World.SPMD).
 func (c *Comm) Context() context.Context { return c.boundCtx() }
+
+// Clock returns the clock the endpoint's world runs on: the
+// transport's clock when it has one, the real clock otherwise. All
+// runtime timing (measurement, cost charging, timeouts) goes through
+// it.
+func (c *Comm) Clock() vtime.Clock {
+	if ct, ok := c.tr.(ClockedTransport); ok {
+		if clk := ct.Clock(); clk != nil {
+			return clk
+		}
+	}
+	return vtime.Real{}
+}
 
 // Rank returns this endpoint's rank in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
@@ -329,14 +354,28 @@ func (c *Comm) Close() error { return c.tr.Close() }
 // SPMD runs f once per communicator, each in its own goroutine — the
 // Single Program Multiple Data execution model of paper Section 2 —
 // and waits for all of them. The returned error joins every rank's
-// error.
+// error. On a world with a simulated clock, every rank goroutine is
+// registered as a clock worker for the duration of the section (all of
+// them before any starts, so an early blocker cannot trigger a
+// premature advance): the clock then auto-advances whenever all ranks
+// are blocked, which is what makes virtual-time runs self-driving.
 func SPMD(comms []*Comm, f func(c *Comm) error) error {
+	var sim *vtime.Sim
+	if len(comms) > 0 {
+		sim = vtime.AsSim(comms[0].Clock())
+	}
+	if sim != nil {
+		sim.Add(len(comms))
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(comms))
 	for i, c := range comms {
 		wg.Add(1)
 		go func(i int, c *Comm) {
 			defer wg.Done()
+			if sim != nil {
+				defer sim.Done()
+			}
 			if err := f(c); err != nil {
 				errs[i] = fmt.Errorf("rank %d: %w", c.Rank(), err)
 			}

@@ -5,24 +5,34 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"stance/internal/vtime"
 )
 
 // inprocTransport connects goroutine "workstations" through shared
-// mailboxes, applying the network cost model on the sending side. The
-// model emulates a shared medium: one wire for the whole world, so
-// concurrent transmissions serialize exactly as on the paper's shared
-// Ethernet — total bytes on the network, not per-sender bytes,
-// determine transfer time.
+// mailboxes, applying the network cost model on the sending side. On
+// the real clock the model emulates a shared medium: one wire for the
+// whole world, so concurrent transmissions from different workstations
+// serialize — the defining behaviour of the paper's shared Ethernet.
+// On a simulated clock (vtime.Sim) every charge and delivery delay is
+// an exact virtual duration instead, and senders charge independently:
+// wire contention would serialize in mutex-acquisition order, which is
+// scheduling-dependent, so the simulated network is modeled as
+// switched (contention-free) to keep runs deterministic.
 type inprocTransport struct {
 	rank  int
 	boxes []*mailbox // shared across the world
 	model *Model
-	wire  *sync.Mutex // shared medium; nil when model is nil
+	wire  *sync.Mutex // shared medium; nil when model is nil or the clock is simulated
+	clock vtime.Clock
+	sim   *vtime.Sim // non-nil when clock is a vtime.Sim
 
-	// Delayed-delivery machinery (Model.Delay > 0): one courier
-	// goroutine per destination preserves arrival order while messages
-	// sit in flight, so per-(src, tag) FIFO survives the delay. Shared
-	// across the world; stop tears the couriers down once.
+	// Delayed-delivery machinery for the real clock (Model.Delay > 0):
+	// one courier goroutine per destination preserves arrival order
+	// while messages sit in flight, so per-(src, tag) FIFO survives the
+	// delay. Shared across the world; stop tears the couriers down
+	// once. On a simulated clock deliveries are clock events instead
+	// and no couriers exist.
 	couriers []chan delayedMsg
 	stop     chan struct{}
 	stopOnce *sync.Once
@@ -36,24 +46,34 @@ type delayedMsg struct {
 }
 
 // NewWorld creates an in-process world of p ranks whose messages cost
-// according to model (nil for a free network). Each returned Comm is
-// one SPMD "workstation"; run them with SPMD.
+// according to model (nil for a free network) on the real clock. Use
+// Open with a TransportConfig.Clock to run the world on a simulated
+// clock.
 func NewWorld(p int, model *Model) ([]*Comm, error) {
+	return newInprocWorld(p, model, vtime.Real{})
+}
+
+// newInprocWorld builds the in-process world on an explicit clock.
+func newInprocWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("comm: world size must be positive, got %d", p)
 	}
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	sim := vtime.AsSim(clock)
 	boxes := make([]*mailbox, p)
 	for i := range boxes {
-		boxes[i] = newMailbox()
+		boxes[i] = newMailbox(clock)
 	}
 	var wire *sync.Mutex
-	if model != nil {
+	if model != nil && sim == nil {
 		wire = new(sync.Mutex)
 	}
 	var couriers []chan delayedMsg
 	var stop chan struct{}
 	var stopOnce *sync.Once
-	if model != nil && model.Delay > 0 {
+	if model != nil && model.Delay > 0 && sim == nil {
 		couriers = make([]chan delayedMsg, p)
 		stop = make(chan struct{})
 		stopOnce = new(sync.Once)
@@ -66,6 +86,7 @@ func NewWorld(p int, model *Model) ([]*Comm, error) {
 	for i := range comms {
 		c, err := NewComm(i, p, &inprocTransport{
 			rank: i, boxes: boxes, model: model, wire: wire,
+			clock: clock, sim: sim,
 			couriers: couriers, stop: stop, stopOnce: stopOnce,
 		})
 		if err != nil {
@@ -96,27 +117,41 @@ func courier(box *mailbox, ch chan delayedMsg, stop chan struct{}) {
 	}
 }
 
-// transmit occupies the shared medium for the message's modeled cost.
+// Clock returns the clock the world's charges and delays run on.
+func (t *inprocTransport) Clock() vtime.Clock { return t.clock }
+
+// transmit occupies the medium for the message's modeled cost: the
+// shared wire on the real clock, an independent per-sender charge on a
+// simulated one (see the type comment).
 func (t *inprocTransport) transmit(n int) {
 	if t.model == nil {
 		return
 	}
+	if t.sim != nil {
+		t.model.charge(t.clock, n)
+		return
+	}
 	t.wire.Lock()
-	t.model.charge(n)
+	t.model.charge(t.clock, n)
 	t.wire.Unlock()
 }
 
-func (t *inprocTransport) Send(dst, tag int, data []byte) error {
-	t.transmit(len(data))
-	// The payload copy goes into a buffer recycled from the receiver's
-	// pool, so a steady-state send/receive/Release loop allocates
-	// nothing.
+// dispatch hands a copied payload to the destination: directly, or —
+// when the model carries a delivery delay — through a real-clock
+// courier or a virtual-clock timer. Consecutive sends from one rank
+// keep their order on every path, preserving per-(src, tag) FIFO.
+func (t *inprocTransport) dispatch(dst, tag int, buf []byte) error {
 	box := t.boxes[dst]
-	buf := box.getBuf(len(data))
-	copy(buf, data)
-	if t.couriers != nil {
-		// Delayed medium: hand the message to the destination's courier
-		// instead of delivering it; the sender returns immediately.
+	if t.model != nil && t.model.Delay > 0 {
+		if t.sim != nil {
+			src := t.rank
+			t.sim.AfterFunc(t.model.Delay, func() {
+				if err := box.deliver(src, tag, buf); err != nil {
+					box.putBuf(buf)
+				}
+			})
+			return nil
+		}
 		t.couriers[dst] <- delayedMsg{src: t.rank, tag: tag, buf: buf,
 			readyAt: time.Now().Add(t.model.Delay)}
 		return nil
@@ -126,6 +161,16 @@ func (t *inprocTransport) Send(dst, tag int, data []byte) error {
 		return err
 	}
 	return nil
+}
+
+func (t *inprocTransport) Send(dst, tag int, data []byte) error {
+	t.transmit(len(data))
+	// The payload copy goes into a buffer recycled from the receiver's
+	// pool, so a steady-state send/receive/Release loop allocates
+	// nothing.
+	buf := t.boxes[dst].getBuf(len(data))
+	copy(buf, data)
+	return t.dispatch(dst, tag, buf)
 }
 
 // Multicast delivers to all destinations for a single network charge
@@ -140,16 +185,9 @@ func (t *inprocTransport) Multicast(dsts []int, tag int, data []byte) error {
 		}
 	}
 	for _, d := range dsts {
-		box := t.boxes[d]
-		buf := box.getBuf(len(data))
+		buf := t.boxes[d].getBuf(len(data))
 		copy(buf, data)
-		if t.couriers != nil {
-			t.couriers[d] <- delayedMsg{src: t.rank, tag: tag, buf: buf,
-				readyAt: time.Now().Add(t.model.Delay)}
-			continue
-		}
-		if err := box.deliver(t.rank, tag, buf); err != nil {
-			box.putBuf(buf)
+		if err := t.dispatch(d, tag, buf); err != nil {
 			return err
 		}
 	}

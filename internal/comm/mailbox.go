@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"stance/internal/vtime"
 )
 
 // msgKey matches messages by (source, tag), the P4-style matching rule.
@@ -51,12 +53,64 @@ type mailbox struct {
 	queues map[msgKey]*msgq
 	free   [][]byte
 	closed bool
+
+	// clock supplies deadlines; sim is non-nil when it is a simulated
+	// clock, in which case blocked receivers take part in the clock's
+	// waiter accounting: simWaiting counts the waiters currently marked
+	// blocked in the clock. Every wakeup path (deliver, close, cancel,
+	// deadline) goes through wakeLocked, which retires those marks
+	// atomically with the broadcast — the clock must see the woken
+	// waiters as runnable before it can advance again.
+	clock      vtime.Clock
+	sim        *vtime.Sim
+	simWaiting int
+	wakeGen    uint64
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{queues: make(map[msgKey]*msgq)}
+func newMailbox(clock vtime.Clock) *mailbox {
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	m := &mailbox{queues: make(map[msgKey]*msgq), clock: clock, sim: vtime.AsSim(clock)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
+}
+
+// waitLocked parks the caller on the mailbox condition. On a simulated
+// clock the waiter is marked blocked so the clock can auto-advance; the
+// mark is retired either by the waker (wakeLocked) or, if the waker got
+// there first, not at all — simWaiting tracks exactly the marks still
+// outstanding.
+func (m *mailbox) waitLocked() {
+	if m.sim == nil {
+		m.cond.Wait()
+		return
+	}
+	m.simWaiting++
+	gen := m.wakeGen
+	m.sim.Block()
+	m.cond.Wait()
+	// A wakeLocked since we parked has already retired every
+	// outstanding mark (including ours, and possibly before we actually
+	// woke); only a wake that bypassed wakeLocked — which none do —
+	// would leave our own mark to retire here.
+	if m.wakeGen == gen {
+		m.simWaiting--
+		m.sim.Unblock(1)
+	}
+}
+
+// wakeLocked wakes every waiter, first handing their runnable tokens
+// back to the simulated clock (no-op on the real clock). Every path
+// that can satisfy or abort a wait must use it instead of a bare
+// Broadcast.
+func (m *mailbox) wakeLocked() {
+	if m.sim != nil && m.simWaiting > 0 {
+		m.sim.Unblock(m.simWaiting)
+		m.simWaiting = 0
+	}
+	m.wakeGen++
+	m.cond.Broadcast()
 }
 
 // getBuf returns a payload buffer of length n, reusing a pooled one
@@ -111,7 +165,7 @@ func (m *mailbox) deliver(src, tag int, data []byte) error {
 		m.queues[k] = q
 	}
 	q.push(data)
-	m.cond.Broadcast()
+	m.wakeLocked()
 	return nil
 }
 
@@ -126,7 +180,7 @@ func (m *mailbox) deliver(src, tag int, data []byte) error {
 func (m *mailbox) watchCancel(ctx context.Context) func() bool {
 	return context.AfterFunc(ctx, func() {
 		m.mu.Lock()
-		m.cond.Broadcast()
+		m.wakeLocked()
 		m.mu.Unlock()
 	})
 }
@@ -159,17 +213,19 @@ func (m *mailbox) recv(ctx context.Context, src, tag int) ([]byte, error) {
 				stop = m.watchCancel(ctx)
 			}
 		}
-		m.cond.Wait()
+		m.waitLocked()
 	}
 }
 
-// recvTimeout is recv with a deadline; it returns ErrTimeout when the
-// deadline passes without a matching message.
+// recvTimeout is recv with a deadline on the mailbox clock; it returns
+// ErrTimeout when the deadline passes without a matching message. On a
+// simulated clock the deadline is a scheduled event like any other, so
+// failure-detection timeouts fire at exact virtual instants.
 func (m *mailbox) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
-	deadline := time.Now().Add(d)
-	timer := time.AfterFunc(d, func() {
+	deadline := m.clock.Now().Add(d)
+	timer := m.clock.AfterFunc(d, func() {
 		m.mu.Lock()
-		m.cond.Broadcast()
+		m.wakeLocked()
 		m.mu.Unlock()
 	})
 	defer timer.Stop()
@@ -183,10 +239,10 @@ func (m *mailbox) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
 		if m.closed {
 			return nil, ErrClosed
 		}
-		if !time.Now().Before(deadline) {
+		if !m.clock.Now().Before(deadline) {
 			return nil, ErrTimeout
 		}
-		m.cond.Wait()
+		m.waitLocked()
 	}
 }
 
@@ -245,7 +301,7 @@ func (m *mailbox) recvAnyOf(ctx context.Context, tag int, mask []bool) (int, []b
 				stop = m.watchCancel(ctx)
 			}
 		}
-		m.cond.Wait()
+		m.waitLocked()
 	}
 }
 
@@ -268,6 +324,6 @@ func (m *mailbox) pollAnyOf(tag int, mask []bool) (src int, data []byte, ok bool
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
-	m.cond.Broadcast()
+	m.wakeLocked()
 	m.mu.Unlock()
 }

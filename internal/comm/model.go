@@ -3,6 +3,8 @@ package comm
 import (
 	"errors"
 	"time"
+
+	"stance/internal/vtime"
 )
 
 // ErrTimeout is returned by RecvTimeout when no message arrives in
@@ -49,10 +51,12 @@ func (m *Model) cost(n int) time.Duration {
 	return d
 }
 
-// charge blocks the sender for the message's cost.
-func (m *Model) charge(n int) {
+// charge blocks the sender for the message's cost on the given clock.
+// On a simulated clock the charge is an exact virtual duration; on the
+// real clock it is a time.Sleep like before.
+func (m *Model) charge(clock vtime.Clock, n int) {
 	if d := m.cost(n); d > 0 {
-		time.Sleep(d)
+		clock.Sleep(d)
 	}
 }
 

@@ -3,6 +3,8 @@ package comm
 import (
 	"context"
 	"fmt"
+
+	"stance/internal/vtime"
 )
 
 // Sub-communicators are the active-set mechanism of the elastic
@@ -103,6 +105,10 @@ type subTransport struct {
 	// dstScratch is the reused destination list for multicasts.
 	dstScratch []int
 }
+
+// Clock delegates to the parent world's clock, so timing on a
+// sub-world is the same timeline as the world it was derived from.
+func (t *subTransport) Clock() vtime.Clock { return t.parent.Clock() }
 
 func (t *subTransport) Send(dst, tag int, data []byte) error {
 	return t.parent.Send(t.toWorld[dst], tag, data)

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"stance/internal/vtime"
 )
 
 // maxFrame bounds a single message payload on the TCP transport.
@@ -19,9 +21,11 @@ const maxFrame = 1 << 30
 // (so sends never block the application), and reader goroutines
 // feeding the shared mailbox implementation.
 type tcpTransport struct {
-	rank int
-	size int
-	box  *mailbox
+	rank  int
+	size  int
+	box   *mailbox
+	model *Model      // optional sender-side cost model (Latency/Bandwidth only)
+	clock vtime.Clock // the clock charges run on (always real today; see newTCPWorld)
 
 	mu     sync.Mutex
 	outs   []*outbox // per-peer outgoing queues (nil for self)
@@ -81,15 +85,44 @@ func (o *outbox) close() {
 // loopback TCP connections, demonstrating the runtime over real
 // sockets. The returned closer shuts down all connections.
 func NewTCPWorld(p int) ([]*Comm, func() error, error) {
+	return newTCPWorld(p, nil, nil)
+}
+
+// newTCPWorld builds the TCP world with an optional cost model and
+// clock. The model's Latency and Bandwidth charge the sender's clock
+// before each socket write, so a zero-Delay model prices messages
+// identically on inproc and tcp. Two things real sockets cannot do,
+// and the constructor rejects loudly instead of approximating:
+//
+//   - Delay (one-way delivery delay without blocking the sender) would
+//     need a courier between the wire and the receiver's mailbox;
+//     kernel socket delivery happens when it happens.
+//   - A simulated clock: socket reads complete on the wall clock,
+//     invisible to a vtime.Sim, so the sim would advance past
+//     in-flight messages (or declare a deadlock while bytes are on the
+//     wire) and determinism is lost. Virtual time is an inproc-only
+//     feature.
+func newTCPWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, func() error, error) {
 	if p <= 0 {
 		return nil, nil, fmt.Errorf("comm: world size must be positive, got %d", p)
+	}
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	if vtime.AsSim(clock) != nil {
+		return nil, nil, fmt.Errorf("comm: the tcp transport cannot run on a simulated clock (real sockets deliver on the wall clock); use the inproc transport for virtual-time runs")
+	}
+	if model != nil && model.Delay > 0 {
+		return nil, nil, fmt.Errorf("comm: the tcp transport cannot simulate Model.Delay (kernel sockets deliver when they deliver); use the inproc transport for delay injection")
 	}
 	transports := make([]*tcpTransport, p)
 	for i := range transports {
 		transports[i] = &tcpTransport{
 			rank:  i,
 			size:  p,
-			box:   newMailbox(),
+			box:   newMailbox(clock),
+			model: model,
+			clock: clock,
 			outs:  make([]*outbox, p),
 			conns: make([]net.Conn, p),
 		}
@@ -233,9 +266,20 @@ func (t *tcpTransport) attach(peer int, conn net.Conn) {
 	}()
 }
 
+// Clock returns the clock the transport's charges run on.
+func (t *tcpTransport) Clock() vtime.Clock { return t.clock }
+
 func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 	if len(data) > maxFrame {
 		return fmt.Errorf("comm: message of %d bytes exceeds frame limit", len(data))
+	}
+	// Sender-side model charge, mirroring the inproc transport's cost
+	// accounting so a latency-priced experiment reads the same on both
+	// transports. Real sockets are point-to-point, so there is no
+	// shared-wire serialization here — each sender charges its own
+	// clock.
+	if t.model != nil {
+		t.model.charge(t.clock, len(data))
 	}
 	if dst == t.rank {
 		buf := t.box.getBuf(len(data))

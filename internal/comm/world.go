@@ -6,15 +6,24 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"stance/internal/vtime"
 )
 
 // TransportConfig carries the parameters a transport factory may use.
-// Factories ignore fields that do not apply to them (the TCP transport
-// runs over real sockets and has no use for the modeled network).
+// Factories ignore fields that do not apply to them.
 type TransportConfig struct {
-	// Model is the network cost model for modeled transports (nil means
-	// a free network).
+	// Model is the network cost model (nil means a free network). The
+	// in-process transport applies the full model; the TCP transport
+	// charges Latency/Bandwidth cost on the sender's clock before each
+	// real socket write but cannot simulate Delay (see NewTCPWorld).
 	Model *Model
+	// Clock is the time source for charges, delays, timeouts and all
+	// runtime measurement (nil means the real clock). A vtime.Sim runs
+	// the world in deterministic virtual time; only the in-process
+	// transport supports it — real sockets deliver on the wall clock,
+	// which a virtual clock cannot see.
+	Clock vtime.Clock
 }
 
 // TransportFactory builds the endpoints of a p-rank world. The returned
@@ -58,11 +67,11 @@ func Transports() []string {
 
 func init() {
 	RegisterTransport("inproc", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
-		comms, err := NewWorld(p, cfg.Model)
+		comms, err := newInprocWorld(p, cfg.Model, cfg.Clock)
 		return comms, nil, err
 	})
 	RegisterTransport("tcp", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
-		return NewTCPWorld(p)
+		return newTCPWorld(p, cfg.Model, cfg.Clock)
 	})
 }
 

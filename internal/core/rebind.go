@@ -57,7 +57,7 @@ type RebindStats struct {
 // and incoming active sets must call Rebind with the same layouts and
 // mappings; parked ranks that stay parked do not participate.
 func (rt *Runtime) Rebind(rb Rebind) (RebindStats, error) {
-	start := time.Now()
+	start := rt.clock.Now()
 	stats := RebindStats{}
 	if rb.Carrier == nil {
 		return stats, fmt.Errorf("core: rebind without a carrier")
@@ -99,7 +99,7 @@ func (rt *Runtime) Rebind(rb Rebind) (RebindStats, error) {
 		rt.c = rb.Carrier
 		rt.layout, rt.sch, rt.plan = nil, nil, nil
 		rt.lxadj, rt.ladj = nil, nil
-		stats.Total = time.Since(start)
+		stats.Total = rt.clock.Now().Sub(start)
 		return stats, nil
 	}
 	rt.c = rb.Sub
@@ -114,6 +114,6 @@ func (rt *Runtime) Rebind(rb Rebind) (RebindStats, error) {
 		copy(v.Data, local)
 	}
 	stats.Inspector = rt.lastInspector
-	stats.Total = time.Since(start)
+	stats.Total = rt.clock.Now().Sub(start)
 	return stats, nil
 }

@@ -31,7 +31,7 @@ type RemapStats struct {
 // the inspector rebuilds the schedule and local subgraph. Collective;
 // all ranks must pass the same weights.
 func (rt *Runtime) Remap(newWeights []float64) (RemapStats, error) {
-	start := time.Now()
+	start := rt.clock.Now()
 	if rt.inflight.active() {
 		return RemapStats{}, fmt.Errorf("core: Remap while a split-phase operation is in flight")
 	}
@@ -52,7 +52,7 @@ func (rt *Runtime) Remap(newWeights []float64) (RemapStats, error) {
 		return RemapStats{}, err
 	}
 	if newLayout.Equal(rt.layout) {
-		stats.Total = time.Since(start)
+		stats.Total = rt.clock.Now().Sub(start)
 		return stats, nil
 	}
 	stats.Changed = true
@@ -75,7 +75,7 @@ func (rt *Runtime) Remap(newWeights []float64) (RemapStats, error) {
 		copy(v.Data, local)
 	}
 	stats.Inspector = rt.lastInspector
-	stats.Total = time.Since(start)
+	stats.Total = rt.clock.Now().Sub(start)
 	return stats, nil
 }
 

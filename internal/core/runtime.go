@@ -16,6 +16,7 @@ import (
 	"stance/internal/partition"
 	"stance/internal/redist"
 	"stance/internal/sched"
+	"stance/internal/vtime"
 )
 
 // Message tags used by the runtime (distinct from the inspector's).
@@ -90,7 +91,12 @@ type Config struct {
 
 // Runtime is one rank's view of a distributed computational graph.
 type Runtime struct {
-	c      *comm.Comm
+	c *comm.Comm
+	// clock is the world's time source (the transport's clock); every
+	// runtime measurement — inspector builds, remap costs, split-phase
+	// idle — comes off it, so a world on a simulated clock measures
+	// deterministic virtual durations.
+	clock  vtime.Clock
 	cfg    Config
 	n      int64
 	tg     *graph.Graph // transformed graph (immutable, shared read-only)
@@ -212,7 +218,7 @@ func NewParked(c *comm.Comm, g *graph.Graph, cfg Config) (*Runtime, error) {
 	if cfg.Order == nil {
 		cfg.Order = order.Identity
 	}
-	rt := &Runtime{c: c, cfg: cfg, n: int64(g.N)}
+	rt := &Runtime{c: c, clock: c.Clock(), cfg: cfg, n: int64(g.N)}
 
 	var perm []int32
 	var err error
@@ -310,7 +316,7 @@ func (rt *Runtime) Bind(c *comm.Comm, layout *partition.Layout) error {
 // schedule and the localized CSR. Collective when StrategySimple.
 func (rt *Runtime) rebuild() error {
 	refs := rt.refs()
-	start := time.Now()
+	start := rt.clock.Now()
 	var s *sched.Schedule
 	var err error
 	switch rt.cfg.Strategy {
@@ -324,7 +330,7 @@ func (rt *Runtime) rebuild() error {
 	if err != nil {
 		return err
 	}
-	rt.lastInspector = time.Since(start)
+	rt.lastInspector = rt.clock.Now().Sub(start)
 	rt.sch = s
 	rt.plan = sched.Compile(s)
 	if err := rt.localize(refs); err != nil {
@@ -373,6 +379,10 @@ func (rt *Runtime) localize(refs sched.Refs) error {
 
 // Comm returns the rank's communicator.
 func (rt *Runtime) Comm() *comm.Comm { return rt.c }
+
+// Clock returns the world's time source. The solver, balancer and
+// elastic layers all measure through it.
+func (rt *Runtime) Clock() vtime.Clock { return rt.clock }
 
 // Layout returns the current data layout.
 func (rt *Runtime) Layout() *partition.Layout { return rt.layout }

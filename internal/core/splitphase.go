@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 )
 
 // Split-phase executor operations (the overlapped Phase C′ data path):
@@ -77,9 +76,9 @@ func (rt *Runtime) ExchangeFinish() error {
 	if op.nPending == 0 {
 		return nil
 	}
-	t0 := time.Now()
+	t0 := rt.clock.Now()
 	_, err = rt.drainGather(op.pending, op.nPending, op.vecs, true)
-	rt.execIdle += time.Since(t0)
+	rt.execIdle += rt.clock.Now().Sub(t0)
 	return err
 }
 
@@ -129,9 +128,9 @@ func (rt *Runtime) ScatterAddFinish() error {
 		return err
 	}
 	if op.nPending > 0 {
-		t0 := time.Now()
+		t0 := rt.clock.Now()
 		_, err = rt.drainScatter(op.pending, op.nPending, true)
-		rt.execIdle += time.Since(t0)
+		rt.execIdle += rt.clock.Now().Sub(t0)
 		if err != nil {
 			return err
 		}

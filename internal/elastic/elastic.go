@@ -325,7 +325,8 @@ func (ct *Controller) ReleaseParked() error {
 // advances the membership. It returns the transition event and the
 // rank's new sub-world endpoint (nil when retiring).
 func (ct *Controller) Transition(prop *Proposal, oldSub *comm.Comm, rt *core.Runtime) (Event, *comm.Comm, error) {
-	start := time.Now()
+	clock := ct.c.Clock()
+	start := clock.Now()
 	ev := Event{
 		Iter:     prop.Iter,
 		Epoch:    prop.Next.Epoch,
@@ -366,7 +367,7 @@ func (ct *Controller) Transition(prop *Proposal, oldSub *comm.Comm, rt *core.Run
 	ct.mu.Lock()
 	ct.cur = prop.Next
 	ct.mu.Unlock()
-	ev.Duration = time.Since(start)
+	ev.Duration = clock.Now().Sub(start)
 	return ev, newSub, nil
 }
 

@@ -40,6 +40,41 @@ type Outage struct {
 	UntilIter int // first iteration it is back (exclusive); <=0 means forever
 }
 
+// TraceStep is one segment of a capability trace: from FromIter on
+// (until the next step), the workstation delivers Capability relative
+// to its base speed. Capability 1 is the base, 0.5 is half speed (the
+// workstation does twice the work per element), and 0 marks the
+// workstation unavailable — an outage segment, making Trace the
+// generalization of the Outage window.
+type TraceStep struct {
+	FromIter   int
+	Capability float64
+}
+
+// Trace is a piecewise-constant schedule of one workstation's
+// delivered capability over the run — the adaptive environment as a
+// time series instead of individual load/outage events. Before the
+// first step the capability is 1. Several traces may target the same
+// rank; their capabilities multiply (and compose with Speeds and
+// Loads).
+type Trace struct {
+	Rank  int
+	Steps []TraceStep
+}
+
+// At returns the trace's capability at an iteration (1 before the
+// first step). Steps are validated to be in ascending FromIter order.
+func (tr *Trace) At(iter int) float64 {
+	cap := 1.0
+	for _, s := range tr.Steps {
+		if iter < s.FromIter {
+			break
+		}
+		cap = s.Capability
+	}
+	return cap
+}
+
 // Env describes the simulated cluster.
 type Env struct {
 	// Speeds[i] is workstation i's base speed relative to workstation
@@ -52,6 +87,11 @@ type Env struct {
 	// the computation entirely; several may overlap. Workstation 0
 	// hosts the membership coordinator and may not have outages.
 	Outages []Outage
+	// Traces are piecewise-constant capability schedules, composing
+	// multiplicatively with Speeds and Loads. A zero-capability segment
+	// takes the workstation away entirely (like an Outage), so
+	// workstation 0 may not have one.
+	Traces []Trace
 }
 
 // Uniform returns an environment of p equally fast unloaded
@@ -107,23 +147,67 @@ func (e *Env) Validate() error {
 			return fmt.Errorf("hetero: outage %d spans [%d,%d)", i, o.FromIter, o.UntilIter)
 		}
 	}
+	for i, tr := range e.Traces {
+		if tr.Rank < 0 || tr.Rank >= len(e.Speeds) {
+			return fmt.Errorf("hetero: trace %d targets workstation %d of %d", i, tr.Rank, len(e.Speeds))
+		}
+		if len(tr.Steps) == 0 {
+			return fmt.Errorf("hetero: trace %d has no steps", i)
+		}
+		for j, st := range tr.Steps {
+			if st.Capability < 0 {
+				return fmt.Errorf("hetero: trace %d step %d has capability %g, want >= 0", i, j, st.Capability)
+			}
+			if st.Capability == 0 && tr.Rank == 0 {
+				return fmt.Errorf("hetero: trace %d step %d takes workstation 0 away, which hosts the membership coordinator and cannot go", i, j)
+			}
+			if st.FromIter < 0 {
+				return fmt.Errorf("hetero: trace %d step %d starts at iteration %d, want >= 0", i, j, st.FromIter)
+			}
+			if j > 0 && st.FromIter <= tr.Steps[j-1].FromIter {
+				return fmt.Errorf("hetero: trace %d steps not in ascending iteration order at step %d", i, j)
+			}
+		}
+	}
 	return nil
 }
 
 // Clone returns a deep copy of the environment.
 func (e *Env) Clone() *Env {
-	return &Env{
+	c := &Env{
 		Speeds:  append([]float64(nil), e.Speeds...),
 		Loads:   append([]Load(nil), e.Loads...),
 		Outages: append([]Outage(nil), e.Outages...),
 	}
+	for _, tr := range e.Traces {
+		c.Traces = append(c.Traces, Trace{
+			Rank:  tr.Rank,
+			Steps: append([]TraceStep(nil), tr.Steps...),
+		})
+	}
+	return c
 }
 
 // Elastic reports whether the environment takes workstations away at
-// some point — whether a run over it needs the membership protocol.
-func (e *Env) Elastic() bool { return len(e.Outages) > 0 }
+// some point — an outage window or a zero-capability trace segment —
+// and therefore whether a run over it needs the membership protocol.
+func (e *Env) Elastic() bool {
+	if len(e.Outages) > 0 {
+		return true
+	}
+	for _, tr := range e.Traces {
+		for _, st := range tr.Steps {
+			if st.Capability == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
 
-// Available reports whether a workstation is present at an iteration.
+// Available reports whether a workstation is present at an iteration:
+// not inside an outage window and not in a zero-capability trace
+// segment.
 func (e *Env) Available(rank, iter int) bool {
 	for _, o := range e.Outages {
 		if o.Rank != rank || iter < o.FromIter {
@@ -133,6 +217,11 @@ func (e *Env) Available(rank, iter int) bool {
 			continue
 		}
 		return false
+	}
+	for _, tr := range e.Traces {
+		if tr.Rank == rank && tr.At(iter) == 0 {
+			return false
+		}
 	}
 	return true
 }
@@ -152,8 +241,9 @@ func (e *Env) ActiveSet(iter int) []int {
 // FromJSON decodes a scenario file into a validated environment. The
 // format mirrors Env: {"speeds": [...], "loads": [{"rank", "factor",
 // "fromIter", "untilIter"}], "outages": [{"rank", "fromIter",
-// "untilIter"}]}. Unknown fields are rejected so a typo fails loudly
-// instead of silently running the wrong scenario.
+// "untilIter"}], "traces": [{"rank", "steps": [{"fromIter",
+// "capability"}]}]}. Unknown fields are rejected so a typo fails
+// loudly instead of silently running the wrong scenario.
 func FromJSON(data []byte) (*Env, error) {
 	var e Env
 	dec := json.NewDecoder(bytes.NewReader(data))
@@ -177,8 +267,13 @@ func (e *Env) P() int { return len(e.Speeds) }
 
 // WorkFactor returns the work multiplier for rank at the given
 // iteration: 1/speed times the product of active competing-load
-// factors. The solver repeats its per-element kernel proportionally,
-// so a factor of 3 makes the workstation behave three times slower.
+// factors, divided by the active trace capabilities. The solver
+// repeats its per-element kernel proportionally, so a factor of 3
+// makes the workstation behave three times slower. A zero-capability
+// trace segment means the workstation is gone, not slow — the
+// membership protocol retires it at the next boundary — so until that
+// boundary it contributes no extra work factor here (the segment is
+// skipped rather than divided by zero).
 func (e *Env) WorkFactor(rank, iter int) float64 {
 	f := 1 / e.Speeds[rank]
 	for _, l := range e.Loads {
@@ -192,6 +287,14 @@ func (e *Env) WorkFactor(rank, iter int) float64 {
 			continue
 		}
 		f *= l.Factor
+	}
+	for _, tr := range e.Traces {
+		if tr.Rank != rank {
+			continue
+		}
+		if cap := tr.At(iter); cap > 0 {
+			f /= cap
+		}
 	}
 	return f
 }
@@ -222,6 +325,11 @@ func (e *Env) ChangePoints() []int {
 		set[l.FromIter] = true
 		if l.UntilIter > 0 {
 			set[l.UntilIter] = true
+		}
+	}
+	for _, tr := range e.Traces {
+		for _, st := range tr.Steps {
+			set[st.FromIter] = true
 		}
 	}
 	out := make([]int, 0, len(set))

@@ -117,7 +117,8 @@ func (b *Balancer) Reset() {
 // last check).
 func (b *Balancer) Check(rep Report) (Decision, error) {
 	c := b.rt.Comm()
-	start := time.Now()
+	clock := b.rt.Clock()
+	start := clock.Now()
 
 	// The report carries the rank's last inspector time alongside the
 	// measurement: the schedule-rebuild estimate must be identical on
@@ -176,14 +177,14 @@ func (b *Balancer) Check(rep Report) (Decision, error) {
 		EstimatedRemapCost: verdict[3],
 		NewWeights:         verdict[4:],
 	}
-	d.CheckTime = time.Since(start)
+	d.CheckTime = clock.Now().Sub(start)
 
 	if d.Remapped {
-		t0 := time.Now()
+		t0 := clock.Now()
 		if _, err := b.rt.Remap(d.NewWeights); err != nil {
 			return Decision{}, err
 		}
-		d.RemapTime = time.Since(t0)
+		d.RemapTime = clock.Now().Sub(t0)
 	}
 	return d, nil
 }

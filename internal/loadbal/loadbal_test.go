@@ -13,6 +13,7 @@ import (
 	"stance/internal/order"
 	"stance/internal/redist"
 	"stance/internal/solver"
+	"stance/internal/vtime"
 )
 
 func testMesh(t testing.TB) *graph.Graph {
@@ -234,36 +235,35 @@ func TestNewValidation(t *testing.T) {
 }
 
 // End-to-end: with the paper's protocol (run 10, check, run the rest)
-// the balanced run must beat the unbalanced one substantially.
+// the balanced run must beat the unbalanced one substantially. Runs on
+// the simulated clock with virtualized compute, so the comparison is
+// between exact virtual durations — the wall-clock version of this
+// test had to hide behind -short on loaded machines.
 func TestAdaptiveRunBeatsStaticUnderLoad(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing comparison in -short mode")
-	}
-	// Enough work per iteration that the imbalance dominates
-	// scheduling noise.
 	g, err := mesh.Honeycomb(60, 80)
 	if err != nil {
 		t.Fatal(err)
 	}
 	env := hetero.PaperAdaptive(3, 3)
 	const totalIters = 40
-	const workRep = 50
-	run := func(balance bool) float64 {
-		ws, err := comm.NewWorld(3, nil)
+	run := func(balance bool) time.Duration {
+		clk := vtime.NewSim()
+		w, err := comm.Open("inproc", 3, comm.TransportConfig{Clock: clk})
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer comm.CloseWorld(ws)
-		var elapsed float64
-		err = comm.SPMD(ws, func(c *comm.Comm) error {
+		defer w.Close()
+		var elapsed time.Duration
+		err = w.SPMD(nil, func(c *comm.Comm) error {
 			rt, err := core.New(c, g, core.Config{Order: order.RCB})
 			if err != nil {
 				return err
 			}
-			s, err := solver.New(rt, env, workRep)
+			s, err := solver.New(rt, env, 1)
 			if err != nil {
 				return err
 			}
+			s.SetVirtualCompute(5 * time.Microsecond)
 			b, err := New(rt, Config{Horizon: totalIters - 10})
 			if err != nil {
 				return err
@@ -271,7 +271,7 @@ func TestAdaptiveRunBeatsStaticUnderLoad(t *testing.T) {
 			if err := c.Barrier(0x777); err != nil {
 				return err
 			}
-			start := nowSeconds()
+			start := clk.Now()
 			if err := s.Run(10, nil); err != nil {
 				return err
 			}
@@ -288,7 +288,7 @@ func TestAdaptiveRunBeatsStaticUnderLoad(t *testing.T) {
 				return err
 			}
 			if c.Rank() == 0 {
-				elapsed = nowSeconds() - start
+				elapsed = clk.Now().Sub(start)
 			}
 			return nil
 		})
@@ -300,10 +300,6 @@ func TestAdaptiveRunBeatsStaticUnderLoad(t *testing.T) {
 	static := run(false)
 	adaptive := run(true)
 	if adaptive >= static {
-		t.Errorf("load balancing did not help: %.3fs with vs %.3fs without", adaptive, static)
+		t.Errorf("load balancing did not help: %v with vs %v without", adaptive, static)
 	}
-}
-
-func nowSeconds() float64 {
-	return float64(time.Now().UnixNano()) / 1e9
 }

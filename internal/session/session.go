@@ -33,6 +33,7 @@ import (
 	"stance/internal/order"
 	"stance/internal/partition"
 	"stance/internal/solver"
+	"stance/internal/vtime"
 )
 
 // Barrier tags for the Run driver (distinct from the runtime's, the
@@ -50,9 +51,24 @@ type Config struct {
 	Procs int
 	// Transport names a registered comm transport ("" means "inproc").
 	Transport string
-	// Model is the network cost model for modeled transports (nil means
-	// a free network; ignored by the TCP transport).
+	// Model is the network cost model (nil means a free network). The
+	// in-process transport applies it in full; the TCP transport
+	// charges Latency/Bandwidth sender-side but rejects Delay.
 	Model *comm.Model
+	// Clock is the session's time source (nil means the real clock):
+	// network charges, delivery delays, every measured duration in the
+	// RunReport and the balancer's decisions all come off it. A
+	// vtime.Sim runs the whole session in deterministic virtual time —
+	// hours of simulated adaptivity in milliseconds, same clock ⇒ same
+	// report. Only the in-process transport supports a simulated clock.
+	Clock vtime.Clock
+	// ComputeCost, when positive, virtualizes the solver's compute:
+	// each element charges ComputeCost × WorkRep × WorkFactor to the
+	// clock per iteration instead of spinning the kernel that many
+	// times. Numerics are unchanged (the kernel still sweeps once).
+	// This is how heterogeneity is injected under a simulated clock —
+	// as exact virtual cost instead of real work.
+	ComputeCost time.Duration
 	// Order is the Phase A locality transformation (nil falls back to
 	// OrderName, then to identity).
 	Order order.Func
@@ -134,6 +150,7 @@ type rankState struct {
 type Session struct {
 	cfg   Config
 	ctx   context.Context
+	clock vtime.Clock
 	g     *graph.Graph
 	world *comm.World
 	ranks []*rankState
@@ -209,13 +226,20 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 			return nil, fmt.Errorf("session: overlapped mode requires a kernel with a boundary split (solver.SubsetKernel); %T has none", cfg.Kernel)
 		}
 	}
-	world, err := comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model})
+	if cfg.ComputeCost < 0 {
+		return nil, fmt.Errorf("session: negative compute cost %v", cfg.ComputeCost)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real{}
+	}
+	world, err := comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model, Clock: cfg.Clock})
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{
 		cfg:     cfg,
 		ctx:     ctx,
+		clock:   cfg.Clock,
 		g:       g,
 		world:   world,
 		ranks:   make([]*rankState, cfg.Procs),
@@ -356,6 +380,9 @@ func (s *Session) newSolver(rt *core.Runtime) (*solver.Solver, error) {
 		if err := sol.SetOverlap(true); err != nil {
 			return nil, err
 		}
+	}
+	if s.cfg.ComputeCost > 0 {
+		sol.SetVirtualCompute(s.cfg.ComputeCost)
 	}
 	return sol, nil
 }
@@ -534,7 +561,7 @@ func (s *Session) runFixed(c *comm.Comm, rep *RunReport, first, last int, pendin
 	if err := c.Barrier(tagRunStart); err != nil {
 		return err
 	}
-	start := time.Now()
+	start := s.clock.Now()
 	if pending && rk.bal != nil {
 		if err := s.check(me, rep, first, rk.window); err != nil {
 			return err
@@ -556,7 +583,7 @@ func (s *Session) runFixed(c *comm.Comm, rep *RunReport, first, last int, pendin
 		return err
 	}
 	if me == 0 {
-		*wall = time.Since(start)
+		*wall = s.clock.Now().Sub(start)
 	}
 	tm := rk.sol.TakeTimings()
 	usage.Add(tm)
@@ -583,7 +610,7 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 		if err := s.subs[me].Barrier(tagRunStart); err != nil {
 			return err
 		}
-		start = time.Now()
+		start = s.clock.Now()
 		// A boundary that fell on the previous Run's final iteration
 		// was deferred; perform it now, in boundary order: membership
 		// verdict first, then the deferred balance check unless a
@@ -667,7 +694,7 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 		return err
 	}
 	if me == 0 {
-		*wall = time.Since(start)
+		*wall = s.clock.Now().Sub(start)
 		if err := ctl.ReleaseParked(); err != nil {
 			return err
 		}

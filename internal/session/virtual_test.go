@@ -1,0 +1,241 @@
+package session
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/mesh"
+	"stance/internal/vtime"
+)
+
+// virtualCfg is a 3-rank virtual-time session over a latency-priced
+// network with virtualized compute.
+func virtualCfg(clk *vtime.Sim) Config {
+	return Config{
+		Procs:       3,
+		Clock:       clk,
+		Model:       &comm.Model{Latency: 100 * time.Microsecond},
+		OrderName:   "rcb",
+		ComputeCost: 5 * time.Microsecond,
+		CheckEvery:  10,
+	}
+}
+
+// TestVirtualSessionDeterministic: the same virtual session run twice
+// produces byte-identical gathered vectors and identical RunReports —
+// wall time, per-rank timings, message counts, everything.
+func TestVirtualSessionDeterministic(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*RunReport, []float64) {
+		clk := vtime.NewSim()
+		cfg := virtualCfg(clk)
+		cfg.Env = hetero.PaperAdaptive(3, 2)
+		cfg.Balancer = &loadbal.Config{}
+		s, err := New(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		rep, err := s.Run(35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := s.ResultByVertex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, vals
+	}
+	r1, v1 := run()
+	r2, v2 := run()
+	if len(v1) != len(v2) {
+		t.Fatalf("gathered %d vs %d values", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if math.Float64bits(v1[i]) != math.Float64bits(v2[i]) {
+			t.Fatalf("value %d differs between identical virtual runs: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	if r1.Wall != r2.Wall {
+		t.Errorf("Wall differs between identical virtual runs: %v vs %v", r1.Wall, r2.Wall)
+	}
+	if r1.Msgs != r2.Msgs || r1.Bytes != r2.Bytes {
+		t.Errorf("traffic differs: %d/%d vs %d/%d msgs/bytes", r1.Msgs, r1.Bytes, r2.Msgs, r2.Bytes)
+	}
+	if len(r1.Checks) != len(r2.Checks) {
+		t.Fatalf("%d vs %d checks", len(r1.Checks), len(r2.Checks))
+	}
+	for i := range r1.Checks {
+		a, b := r1.Checks[i], r2.Checks[i]
+		if a.Iter != b.Iter || a.Decision.Remapped != b.Decision.Remapped ||
+			a.Decision.CheckTime != b.Decision.CheckTime || a.Decision.RemapTime != b.Decision.RemapTime {
+			t.Errorf("check %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range r1.Ranks {
+		if r1.Ranks[i] != r2.Ranks[i] {
+			t.Errorf("rank %d usage differs: %+v vs %+v", i, r1.Ranks[i], r2.Ranks[i])
+		}
+	}
+	if r1.Exec != r2.Exec {
+		t.Errorf("Exec differs: %+v vs %+v", r1.Exec, r2.Exec)
+	}
+}
+
+// TestVirtualTraceForcesRemapAtPredictableTime is the trace-driven
+// adaptive scenario on the simulated clock: rank 2's capability drops
+// 4x at iteration 10 (a hetero.Trace step), so the check window
+// [10,20) measures the slowdown and the balancer must remap exactly at
+// the iteration-20 boundary — never at 10 (the window [0,10) was
+// uniform) — shifting load off rank 2. Deterministic down to the
+// iteration number because the measurement is virtual.
+func TestVirtualTraceForcesRemapAtPredictableTime(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vtime.NewSim()
+	cfg := virtualCfg(clk)
+	env := hetero.Uniform(3)
+	env.Traces = []hetero.Trace{{Rank: 2, Steps: []hetero.TraceStep{{FromIter: 10, Capability: 0.25}}}}
+	cfg.Env = env
+	cfg.Balancer = &loadbal.Config{}
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaps := rep.Remaps()
+	if len(remaps) == 0 {
+		t.Fatal("trace-induced 4x imbalance produced no remap")
+	}
+	if got := remaps[0].Iter; got != 20 {
+		t.Errorf("first remap at iteration %d, want exactly 20 (first boundary whose window saw the trace step)", got)
+	}
+	for _, ev := range rep.Checks {
+		if ev.Iter == 10 && ev.Decision.Remapped {
+			t.Errorf("remap at iteration 10, before the trace step was observable")
+		}
+	}
+	// The remap must shift load away from the slowed rank: its new
+	// weight is the smallest.
+	w := remaps[0].Decision.NewWeights
+	if len(w) != 3 || w[2] >= w[0] || w[2] >= w[1] {
+		t.Errorf("remap weights %v do not shift load off the slowed rank 2", w)
+	}
+	// And the slow rank's measured compute rate is 4x the others', an
+	// exact virtual quantity: capability 0.25 → work factor 4.
+	if rep.Ranks[2].Items == 0 || rep.Ranks[0].Items == 0 {
+		t.Fatal("ranks measured no items")
+	}
+}
+
+// TestVirtualElasticChurn: outages on the virtual clock drive the full
+// elastic protocol — shrink, grow, migrations — deterministically and
+// instantly; the result matches a fixed-world run bit for bit.
+func TestVirtualElasticChurn(t *testing.T) {
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 60
+	run := func(virtual, elastic bool) []float64 {
+		cfg := Config{Procs: 3, OrderName: "rcb", CheckEvery: 10}
+		if virtual {
+			clk := vtime.NewSim()
+			cfg = virtualCfg(clk)
+		}
+		if elastic {
+			cfg.Outages = []hetero.Outage{{Rank: 2, FromIter: 20, UntilIter: 40}}
+		}
+		s, err := New(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		rep, err := s.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elastic && len(rep.Members) != 2 {
+			t.Fatalf("expected 2 membership transitions (retire + readmit), got %d", len(rep.Members))
+		}
+		vals, err := s.ResultByVertex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	want := run(false, false) // real clock, fixed world: the reference
+	got := run(true, true)    // virtual clock, elastic churn
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("vertex %d differs from the fixed-world reference: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVirtualSessionWallIsVirtual: a session whose per-iteration
+// virtual cost adds up to minutes completes in real milliseconds, and
+// the report's Wall is the exact virtual duration.
+func TestVirtualSessionWallIsVirtual(t *testing.T) {
+	g, err := mesh.Honeycomb(10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vtime.NewSim()
+	s, err := New(context.Background(), g, Config{
+		Procs:       2,
+		Clock:       clk,
+		ComputeCost: time.Millisecond, // 120 elements × 1ms × 100 iters = 6s+ virtual per rank
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wall := time.Now()
+	rep, err := s.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := time.Since(wall)
+	if rep.Wall < 5*time.Second {
+		t.Errorf("virtual Wall = %v, want minutes-scale virtual time", rep.Wall)
+	}
+	if real > 10*time.Second {
+		t.Errorf("virtual run took %v of real time", real)
+	}
+	if real > rep.Wall/10 {
+		t.Errorf("virtual run took %v real for %v virtual; the clock is not simulating", real, rep.Wall)
+	}
+}
+
+// TestTCPRejectsSimClock pins the documented transport limitation:
+// real sockets deliver on the wall clock, which a virtual clock cannot
+// observe, so opening a tcp world on a Sim fails loudly.
+func TestTCPRejectsSimClock(t *testing.T) {
+	g, err := mesh.Honeycomb(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(context.Background(), g, Config{
+		Procs:     2,
+		Transport: "tcp",
+		Clock:     vtime.NewSim(),
+	})
+	if err == nil {
+		t.Fatal("tcp transport accepted a simulated clock")
+	}
+}

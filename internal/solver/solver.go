@@ -14,14 +14,16 @@ import (
 
 	"stance/internal/core"
 	"stance/internal/hetero"
+	"stance/internal/vtime"
 )
 
 // Solver holds one rank's state for the iterative loop.
 type Solver struct {
-	rt  *core.Runtime
-	env *hetero.Env
-	y   *core.Vector
-	t   []float64
+	rt    *core.Runtime
+	env   *hetero.Env
+	clock vtime.Clock
+	y     *core.Vector
+	t     []float64
 
 	// kern is the per-iteration compute body (Figure8 by default).
 	kern Kernel
@@ -35,6 +37,15 @@ type Solver struct {
 	// work keeps the compute/communication ratio of the paper's SUN4 +
 	// Ethernet setting reproducible on modern hardware.
 	workRep int
+
+	// costPerItem, when positive, switches compute emulation from real
+	// spinning to virtual charging: the kernel sweeps each element once
+	// (repeats recompute identical values, so numerics are unchanged)
+	// and the solver charges costPerItem × workRep × WorkFactor per
+	// element to the clock instead. On a simulated clock this is what
+	// makes heterogeneity an exact, instant, deterministic quantity; on
+	// the real clock it emulates compute by sleeping.
+	costPerItem time.Duration
 
 	iter int
 
@@ -68,6 +79,7 @@ func New(rt *core.Runtime, env *hetero.Env, workRep int) (*Solver, error) {
 	s := &Solver{
 		rt:      rt,
 		env:     env,
+		clock:   rt.Clock(),
 		y:       rt.NewVector(),
 		kern:    Figure8{},
 		workRep: workRep,
@@ -117,6 +129,34 @@ func (s *Solver) SetOverlap(on bool) error {
 	}
 	s.overlap = on
 	return nil
+}
+
+// SetVirtualCompute switches the solver to virtual compute charging:
+// each element costs perItem × workRep × WorkFactor on the clock per
+// iteration, charged with a single Sleep, while the kernel sweeps the
+// data exactly once for the numerics. The result is bit-for-bit the
+// same as the spinning mode; only where the time comes from changes.
+// perItem <= 0 restores real spinning.
+func (s *Solver) SetVirtualCompute(perItem time.Duration) {
+	if perItem < 0 {
+		perItem = 0
+	}
+	s.costPerItem = perItem
+}
+
+// VirtualCompute returns the virtual per-element compute cost (zero in
+// spinning mode).
+func (s *Solver) VirtualCompute() time.Duration { return s.costPerItem }
+
+// virtualCost returns this iteration's virtual compute charge for n
+// elements at the current work amplification. Pure float arithmetic on
+// deterministic inputs, so identical on every run.
+func (s *Solver) virtualCost(n int) time.Duration {
+	factor := 1.0
+	if s.env != nil {
+		factor = s.env.WorkFactor(s.rt.Comm().WorldRank(), s.iter)
+	}
+	return time.Duration(float64(s.costPerItem) * float64(s.workRep) * factor * float64(n))
 }
 
 // Y returns the solution vector.
@@ -184,30 +224,40 @@ func (s *Solver) Step() error {
 // stepSync is the paper's synchronous phase: gather every ghost, then
 // sweep all local elements.
 func (s *Solver) stepSync() error {
-	t0 := time.Now()
+	t0 := s.clock.Now()
 	if err := s.rt.Exchange(s.y); err != nil {
 		return err
 	}
-	s.commTime += time.Since(t0)
+	s.commTime += s.clock.Now().Sub(t0)
 
-	full, frac := s.reps()
 	nLocal := s.rt.LocalN()
 	tv := s.scratch(nLocal)
 	xadj, adj := s.rt.LocalAdj()
 	data := s.y.Data
 
-	t1 := time.Now()
-	for rep := 0; rep <= full; rep++ {
-		limit := nLocal
-		if rep == full {
-			limit = int(frac * float64(nLocal))
+	if s.costPerItem > 0 {
+		// Virtual compute: one real sweep for the numerics, one exact
+		// charge for the time.
+		s.kern.Sweep(data, xadj, adj, tv, 0, nLocal)
+		s.divide(data, xadj, tv, nLocal)
+		d := s.virtualCost(nLocal)
+		s.clock.Sleep(d)
+		s.computeTime += d
+	} else {
+		full, frac := s.reps()
+		t1 := s.clock.Now()
+		for rep := 0; rep <= full; rep++ {
+			limit := nLocal
+			if rep == full {
+				limit = int(frac * float64(nLocal))
+			}
+			s.kern.Sweep(data, xadj, adj, tv, 0, limit)
 		}
-		s.kern.Sweep(data, xadj, adj, tv, 0, limit)
+		// One guaranteed full pass so results never depend on the factor.
+		s.kern.Sweep(data, xadj, adj, tv, 0, nLocal)
+		s.divide(data, xadj, tv, nLocal)
+		s.computeTime += s.clock.Now().Sub(t1)
 	}
-	// One guaranteed full pass so results never depend on the factor.
-	s.kern.Sweep(data, xadj, adj, tv, 0, nLocal)
-	s.divide(data, xadj, tv, nLocal)
-	s.computeTime += time.Since(t1)
 	s.items += int64(nLocal)
 	s.iter++
 	return nil
@@ -224,13 +274,12 @@ func (s *Solver) stepOverlap() error {
 	if !ok {
 		return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); cannot run overlapped", s.kern)
 	}
-	t0 := time.Now()
+	t0 := s.clock.Now()
 	if err := s.rt.ExchangeStart(s.y); err != nil {
 		return err
 	}
-	s.commTime += time.Since(t0)
+	s.commTime += s.clock.Now().Sub(t0)
 
-	full, frac := s.reps()
 	nLocal := s.rt.LocalN()
 	tv := s.scratch(nLocal)
 	xadj, adj := s.rt.LocalAdj()
@@ -238,7 +287,34 @@ func (s *Solver) stepOverlap() error {
 	plan := s.rt.Plan()
 	interior, boundary := plan.Interior(), plan.Boundary()
 
-	t1 := time.Now()
+	if s.costPerItem > 0 {
+		// Virtual compute: the interior charge happens between Start
+		// and Finish, so in virtual time the interior sweep hides the
+		// message flight exactly like real interior compute would —
+		// the in-flight deliveries land while this rank sleeps.
+		kern.SweepIdx(data, xadj, adj, tv, interior)
+		d := s.virtualCost(len(interior))
+		s.clock.Sleep(d)
+		s.computeTime += d
+
+		t2 := s.clock.Now()
+		if err := s.rt.ExchangeFinish(); err != nil {
+			return err
+		}
+		s.commTime += s.clock.Now().Sub(t2)
+
+		kern.SweepIdx(data, xadj, adj, tv, boundary)
+		s.divide(data, xadj, tv, nLocal)
+		d = s.virtualCost(len(boundary))
+		s.clock.Sleep(d)
+		s.computeTime += d
+		s.items += int64(nLocal)
+		s.iter++
+		return nil
+	}
+
+	full, frac := s.reps()
+	t1 := s.clock.Now()
 	for rep := 0; rep <= full; rep++ {
 		limit := len(interior)
 		if rep == full {
@@ -247,15 +323,15 @@ func (s *Solver) stepOverlap() error {
 		kern.SweepIdx(data, xadj, adj, tv, interior[:limit])
 	}
 	kern.SweepIdx(data, xadj, adj, tv, interior)
-	s.computeTime += time.Since(t1)
+	s.computeTime += s.clock.Now().Sub(t1)
 
-	t2 := time.Now()
+	t2 := s.clock.Now()
 	if err := s.rt.ExchangeFinish(); err != nil {
 		return err
 	}
-	s.commTime += time.Since(t2)
+	s.commTime += s.clock.Now().Sub(t2)
 
-	t3 := time.Now()
+	t3 := s.clock.Now()
 	for rep := 0; rep <= full; rep++ {
 		limit := len(boundary)
 		if rep == full {
@@ -265,7 +341,7 @@ func (s *Solver) stepOverlap() error {
 	}
 	kern.SweepIdx(data, xadj, adj, tv, boundary)
 	s.divide(data, xadj, tv, nLocal)
-	s.computeTime += time.Since(t3)
+	s.computeTime += s.clock.Now().Sub(t3)
 	s.items += int64(nLocal)
 	s.iter++
 	return nil

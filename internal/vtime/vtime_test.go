@@ -1,0 +1,206 @@
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSimSleepAdvances: with every worker asleep, the clock jumps to
+// each due instant in order; every worker observes exactly its own
+// sleep total, regardless of interleaving.
+func TestSimSleepAdvances(t *testing.T) {
+	s := NewSim()
+	start := s.Now()
+	const workers = 4
+	s.Add(workers)
+	var wg sync.WaitGroup
+	elapsed := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer s.Done()
+			for i := 0; i < 10; i++ {
+				s.Sleep(time.Duration(w+1) * time.Millisecond)
+			}
+			elapsed[w] = s.Now().Sub(start)
+		}(w)
+	}
+	wg.Wait()
+	for w, d := range elapsed {
+		want := 10 * time.Duration(w+1) * time.Millisecond
+		if d != want {
+			t.Errorf("worker %d observed %v, want exactly %v", w, d, want)
+		}
+	}
+	if now := s.Now().Sub(start); now != 40*time.Millisecond {
+		t.Errorf("final virtual time %v, want 40ms (the slowest worker)", now)
+	}
+}
+
+// TestSimNoRealTime: an hour of virtual sleeping completes in well
+// under a second of wall time.
+func TestSimNoRealTime(t *testing.T) {
+	s := NewSim()
+	s.Add(1)
+	wall := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer s.Done()
+		s.Sleep(time.Hour)
+	}()
+	<-done
+	if d := time.Since(wall); d > 5*time.Second {
+		t.Fatalf("1h virtual sleep took %v of wall time", d)
+	}
+	if got := s.Now().Sub(simEpoch); got != time.Hour {
+		t.Fatalf("virtual time advanced %v, want 1h", got)
+	}
+}
+
+// TestSimAfterFuncOrder: callbacks fire in deadline order, with ties
+// broken by scheduling order, and only when the workers block.
+func TestSimAfterFuncOrder(t *testing.T) {
+	s := NewSim()
+	var mu sync.Mutex
+	var order []int
+	record := func(id int) func() {
+		return func() { mu.Lock(); order = append(order, id); mu.Unlock() }
+	}
+	s.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer s.Done()
+		s.AfterFunc(3*time.Millisecond, record(3))
+		s.AfterFunc(1*time.Millisecond, record(1))
+		s.AfterFunc(3*time.Millisecond, record(4)) // same due as 3: scheduled later, fires later
+		s.AfterFunc(2*time.Millisecond, record(2))
+		s.Sleep(10 * time.Millisecond)
+	}()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSimAfterFuncStop: a stopped timer never fires and Stop reports
+// whether it was in time.
+func TestSimAfterFuncStop(t *testing.T) {
+	s := NewSim()
+	var fired atomic.Int32
+	s.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer s.Done()
+		tm := s.AfterFunc(time.Millisecond, func() { fired.Add(1) })
+		if !tm.Stop() {
+			t.Error("Stop before the deadline reported false")
+		}
+		if tm.Stop() {
+			t.Error("second Stop reported true")
+		}
+		s.Sleep(5 * time.Millisecond)
+	}()
+	<-done
+	if n := fired.Load(); n != 0 {
+		t.Errorf("stopped timer fired %d times", n)
+	}
+}
+
+// TestSimBlockUnblock: a worker parked via Block does not stop the
+// clock from serving the other's sleeps, and Unblock hands the token
+// back.
+func TestSimBlockUnblock(t *testing.T) {
+	s := NewSim()
+	s.Add(2)
+	var woke atomic.Bool
+	release := make(chan struct{})
+	unblocked := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // externally-parked worker
+		defer wg.Done()
+		defer s.Done()
+		s.Block()
+		<-release
+		s.Unblock(1)
+		woke.Store(true)
+		close(unblocked)
+	}()
+	go func() { // sleeping worker; its sleeps must advance the clock
+		defer wg.Done()
+		s.Sleep(time.Millisecond)
+		s.Sleep(time.Millisecond)
+		close(release)
+		// The parked worker's wake is external (a Go channel), which the
+		// clock cannot see; hand the runnable token back before this
+		// worker deregisters or the clock would report a stall.
+		<-unblocked
+		s.Done()
+	}()
+	wg.Wait()
+	if !woke.Load() {
+		t.Fatal("blocked worker never released")
+	}
+	if got := s.Now().Sub(simEpoch); got != 2*time.Millisecond {
+		t.Fatalf("virtual time %v, want 2ms", got)
+	}
+}
+
+// TestSimStallHandler: all workers blocked with no scheduled event is
+// a virtual deadlock; the stall handler fires instead of hanging.
+func TestSimStallHandler(t *testing.T) {
+	s := NewSim()
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	s.SetStallHandler(func() { close(stalled) })
+	s.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer s.Done()
+		s.Block()
+		<-release
+		s.Unblock(1)
+	}()
+	select {
+	case <-stalled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stall handler never fired")
+	}
+	close(release)
+	<-done
+}
+
+// TestRealClock smoke-tests the wall-clock implementation.
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Now().Sub(t0) <= 0 {
+		t.Error("real clock did not advance")
+	}
+	fired := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if AsSim(c) != nil {
+		t.Error("AsSim(Real) is not nil")
+	}
+}

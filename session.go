@@ -2,10 +2,12 @@ package stance
 
 import (
 	"context"
+	"time"
 
 	"stance/internal/comm"
 	"stance/internal/hetero"
 	"stance/internal/session"
+	"stance/internal/vtime"
 )
 
 // Session-layer types, re-exported from the internal orchestration
@@ -29,6 +31,18 @@ type (
 	// Outage is an availability window during which a workstation
 	// leaves the computation entirely; see WithAvailability.
 	Outage = hetero.Outage
+	// Trace is a piecewise-constant schedule of one workstation's
+	// delivered capability — the adaptive environment as a time series;
+	// a zero-capability step takes the workstation away entirely.
+	Trace = hetero.Trace
+	// TraceStep is one segment of a Trace.
+	TraceStep = hetero.TraceStep
+	// Clock is the runtime's time source; see WithClock.
+	Clock = vtime.Clock
+	// SimClock is the deterministic discrete-event clock. Build one
+	// with NewSimClock and pass it to WithClock to run a session in
+	// virtual time.
+	SimClock = vtime.Sim
 	// RankUsage is one rank's accumulated timings in a RunReport.
 	RankUsage = session.RankUsage
 	// World is a first-class SPMD world: endpoints plus shared
@@ -57,6 +71,36 @@ func WithTransport(name string) Option {
 // reproduces the paper's 10 Mbit shared medium.
 func WithNetworkModel(m *NetworkModel) Option {
 	return func(c *session.Config) { c.Model = m }
+}
+
+// WithClock sets the session's time source. Everything temporal —
+// network charges, delivery delays, solver and balancer measurement,
+// RecvTimeout deadlines, the RunReport's durations — runs on it. Pass
+// NewSimClock() to run the session in deterministic virtual time: an
+// adaptive scenario that would take minutes of wall time finishes in
+// milliseconds, and the same clock and configuration produce a
+// byte-identical report every run. Virtual time requires the
+// in-process transport; combine with WithVirtualCompute so compute
+// costs virtual time instead of real work. The default is the real
+// clock.
+//
+//	clk := stance.NewSimClock()
+//	s, err := stance.NewSession(ctx, g, 4,
+//	    stance.WithClock(clk),
+//	    stance.WithVirtualCompute(10*time.Microsecond),
+//	    stance.WithNetworkModel(&stance.NetworkModel{Delay: 5 * time.Millisecond}))
+func WithClock(clk Clock) Option {
+	return func(c *session.Config) { c.Clock = clk }
+}
+
+// WithVirtualCompute virtualizes the solver's compute: each element
+// charges perItem × WorkRep × WorkFactor to the session clock per
+// iteration instead of spinning the kernel that many times. The
+// numerical result is unchanged. On a simulated clock this makes
+// heterogeneity an exact, instant quantity; on the real clock it
+// emulates compute by sleeping.
+func WithVirtualCompute(perItem time.Duration) Option {
+	return func(c *session.Config) { c.ComputeCost = perItem }
 }
 
 // WithOrdering selects the Phase A locality transformation by name:
@@ -211,6 +255,12 @@ func NewSession(ctx context.Context, g *Graph, procs int, opts ...Option) (*Sess
 	}
 	return session.New(ctx, g, cfg)
 }
+
+// NewSimClock returns a deterministic discrete-event clock for
+// WithClock: virtual time advances only when every rank is blocked,
+// jumping straight to the next due event, so simulated hours cost
+// real milliseconds and identical runs produce identical timings.
+func NewSimClock() *SimClock { return vtime.NewSim() }
 
 // OpenWorld builds a World of p ranks on a registered transport (""
 // selects "inproc"); model prices messages on modeled transports (nil
