@@ -1,0 +1,161 @@
+// Package client is the Go client for a stanced job service: submit
+// job specs over the HTTP API, poll status, cancel, and read the
+// service metrics. It speaks the wire format of internal/jobsvc and
+// re-exports its request/response types, so a caller needs only this
+// package and a server address.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"stance/internal/jobsvc"
+)
+
+// Re-exported wire types: a Spec goes up on submit, a Status comes
+// back on every read, Metrics is the service-wide accounting.
+type (
+	Spec      = jobsvc.Spec
+	GraphSpec = jobsvc.GraphSpec
+	Status    = jobsvc.Status
+	Metrics   = jobsvc.Metrics
+	State     = jobsvc.State
+)
+
+// Job states, mirrored from the service.
+const (
+	Queued   = jobsvc.Queued
+	Running  = jobsvc.Running
+	Done     = jobsvc.Done
+	Failed   = jobsvc.Failed
+	Canceled = jobsvc.Canceled
+)
+
+// Client talks to one stanced server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8080"). A trailing slash is tolerated.
+func New(base string) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// apiError is the server's {"error": "..."} body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// do issues one request and decodes the JSON response into out (nil
+// to discard). Non-2xx responses come back as errors carrying the
+// server's message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("stanced: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("stanced: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends a job spec and returns the accepted job's status (its
+// ID in particular). Queue backpressure surfaces as an HTTP 429 error.
+func (c *Client) Submit(ctx context.Context, spec Spec) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job returns one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List returns every job the server knows, oldest first.
+func (c *Client) List(ctx context.Context) ([]*Status, error) {
+	var sts []*Status
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &sts); err != nil {
+		return nil, err
+	}
+	return sts, nil
+}
+
+// Cancel asks the server to stop a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Metrics reads the service-wide accounting.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Wait polls every interval until the job reaches a terminal state
+// (done, failed or canceled) and returns its final status. It stops
+// early with ctx's error if the context ends first.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*Status, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Finished() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command stanced is the STANCE job service daemon: it owns a fixed
+// pool of worker ranks and serves an HTTP API that runs many
+// independent computations on it concurrently. Jobs queue when the
+// pool is full; the scheduler uses the elastic membership protocol to
+// shrink running jobs and hand the freed ranks to the queue, and every
+// job's result is bit-identical to a run alone in a dedicated world.
+//
+//	stanced -addr :8080 -pool 8
+//	curl -s localhost:8080/v1/jobs -d '{"graph":{"kind":"honeycomb","rows":20,"cols":30},"iters":100,"ranks":4}'
+//	curl -s localhost:8080/metrics
+//
+// With -virtual the whole service — jobs, deadlines, metrics
+// timestamps — runs on a deterministic simulated clock; combine with
+// per-job compute_cost_ns to model hours of cluster time in wall
+// milliseconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/jobsvc"
+	"stance/internal/vtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stanced: ")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	pool := flag.Int("pool", 4, "worker pool size (ranks)")
+	transport := flag.String("transport", "inproc", "comm transport: "+strings.Join(comm.Transports(), ", "))
+	latency := flag.Duration("latency", 0, "modeled per-message network latency")
+	bandwidth := flag.Float64("bandwidth", 0, "modeled network bandwidth in bytes/s (0 = infinite)")
+	delay := flag.Duration("delay", 0, "modeled one-way delivery delay (inproc transport only)")
+	maxJobs := flag.Int("max-jobs", 0, "max concurrently running jobs (0 = pool size)")
+	maxRanks := flag.Int("max-ranks", 0, "max ranks one job may request (0 = pool size)")
+	queue := flag.Int("queue", 64, "admission queue depth (backpressure beyond it)")
+	virtual := flag.Bool("virtual", false, "run the pool on the simulated clock (inproc transport only)")
+	flag.Parse()
+
+	if *virtual && *transport != "inproc" {
+		log.Fatalf("-virtual requires the inproc transport (real %s sockets deliver on the wall clock, which a simulated clock cannot see)", *transport)
+	}
+	var clock vtime.Clock
+	if *virtual {
+		clock = vtime.NewSim()
+	}
+	var model *comm.Model
+	if *latency > 0 || *bandwidth > 0 || *delay > 0 {
+		model = &comm.Model{Latency: *latency, Bandwidth: *bandwidth, Delay: *delay}
+	}
+
+	svc, err := jobsvc.New(jobsvc.Config{
+		PoolRanks:      *pool,
+		Transport:      *transport,
+		Model:          model,
+		Clock:          clock,
+		MaxConcurrent:  *maxJobs,
+		MaxRanksPerJob: *maxRanks,
+		QueueDepth:     *queue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	log.Printf("pool of %d %s ranks, serving on %s", *pool, *transport, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	case err := <-done:
+		log.Printf("serve: %v", err)
+	}
+
+	// Stop taking requests, then cancel every job and close the pool.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("service close: %v", err)
+	}
+	log.Printf("bye")
+}

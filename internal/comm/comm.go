@@ -94,15 +94,24 @@ type Comm struct {
 
 	// ctx governs blocking operations; World.SPMD binds the caller's
 	// context here for the duration of the SPMD section, so cancelling
-	// it tears the section down instead of deadlocking. Never nil.
+	// it tears the section down instead of deadlocking. nil means "not
+	// bound": the endpoint falls back to the communicator it was
+	// derived from (see boundCtx).
 	ctx context.Context
 
-	// root is the world endpoint a sub-communicator was derived from
-	// (nil for world endpoints). Blocking operations observe the root's
-	// bound context, so World.SPMD cancellation reaches operations on
-	// sub-worlds created inside the section; worldRank is this
+	// root is the root world endpoint a sub-communicator was derived
+	// from (nil for world endpoints); from is the communicator Sub was
+	// called on — the immediate parent, which for a sub-of-sub differs
+	// from root. Blocking operations observe the nearest bound context
+	// up the from chain, so World.SPMD cancellation reaches operations
+	// on sub-worlds created inside the section, and a sub-world wrapped
+	// as its own World (WrapWorld) binds its own context without
+	// touching the parent — which is what lets many sub-worlds of one
+	// shared parent run concurrent SPMD sections with independent
+	// cancellation (the stanced job service). worldRank is this
 	// endpoint's rank in the root world.
 	root      *Comm
+	from      *Comm
 	worldRank int
 
 	sentMsgs  atomic.Int64
@@ -115,27 +124,30 @@ func NewComm(rank, size int, tr Transport) (*Comm, error) {
 	if size <= 0 || rank < 0 || rank >= size {
 		return nil, fmt.Errorf("comm: invalid rank %d of %d", rank, size)
 	}
-	return &Comm{rank: rank, size: size, tr: tr, ctx: context.Background()}, nil
+	return &Comm{rank: rank, size: size, tr: tr}, nil
 }
 
-// setContext binds ctx to the endpoint's blocking operations. It must
-// only be called while no operation is in flight (World.SPMD calls it
-// before spawning the rank goroutines and after joining them).
+// setContext binds ctx to the endpoint's blocking operations (nil
+// unbinds). It must only be called while no operation is in flight on
+// this endpoint (World.SPMD calls it before spawning the rank
+// goroutines and after joining them).
 func (c *Comm) setContext(ctx context.Context) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	c.ctx = ctx
 }
 
-// boundCtx resolves the context governing blocking operations: a
-// sub-communicator follows its root world's binding, so World.SPMD
-// cancellation reaches sub-world operations too.
+// boundCtx resolves the context governing blocking operations: the
+// endpoint's own binding when World.SPMD bound one, otherwise the
+// nearest binding up the derivation chain — a sub-communicator created
+// inside an SPMD section inherits that section's context, while a
+// sub-world driven by its own World.SPMD (WrapWorld) observes its own.
 func (c *Comm) boundCtx() context.Context {
-	if c.root != nil {
-		return c.root.boundCtx()
+	if c.ctx != nil {
+		return c.ctx
 	}
-	return c.ctx
+	if c.from != nil {
+		return c.from.boundCtx()
+	}
+	return context.Background()
 }
 
 // Context returns the context governing the endpoint's blocking

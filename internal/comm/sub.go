@@ -25,10 +25,17 @@ import (
 // The sub-endpoint shares the parent's transport, mailboxes and tag
 // space: per-(source, tag) FIFO pairing spans epochs, messages count
 // toward the parent world's Stats, and cancelling the context bound by
-// World.SPMD on the root world unblocks sub-world operations too.
-// Closing a sub-endpoint is a no-op — the root world owns the
-// transport. Like any Comm, a sub-endpoint is driven by one rank
-// goroutine at a time.
+// World.SPMD on the nearest enclosing world (the parent's, or the
+// sub-world's own when it is wrapped as a World and driven by its own
+// SPMD) unblocks sub-world operations too. Closing a sub-endpoint is a
+// no-op — the root world owns the transport. Like any Comm, a
+// sub-endpoint is driven by one rank goroutine at a time.
+//
+// Sub-worlds over disjoint member sets may run concurrently: the
+// member masks keep each sub-world's wildcard and masked receives from
+// consuming a non-member's traffic, and disjointness keeps per-(src,
+// tag) streams from interleaving across sub-worlds — the isolation the
+// stanced job service multiplexes independent sessions with.
 func (c *Comm) Sub(members []int) (*Comm, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("comm: sub-world with no members")
@@ -73,6 +80,7 @@ func (c *Comm) Sub(members []int) (*Comm, error) {
 		return nil, err
 	}
 	sc.root = root
+	sc.from = c
 	sc.worldRank = c.WorldRank()
 	return sc, nil
 }

@@ -186,7 +186,7 @@ func (w *World) SPMD(ctx context.Context, f func(c *Comm) error) error {
 		return err
 	})
 	for _, c := range w.comms {
-		c.setContext(context.Background())
+		c.setContext(nil)
 	}
 	return err
 }

@@ -40,14 +40,16 @@ type Rebind struct {
 }
 
 // RebindStats reports one rank's local share of a membership
-// transition.
+// transition. JSON field names are stable API; durations marshal as
+// integer nanoseconds.
 type RebindStats struct {
 	// MovedBytes and Msgs count the migration payload this rank sent.
-	MovedBytes int64
-	Msgs       int
+	MovedBytes int64 `json:"moved_bytes"`
+	Msgs       int   `json:"msgs"`
 	// Total is the wall time of the whole rebind on this rank;
 	// Inspector is the schedule-rebuild portion (zero when parking).
-	Total, Inspector time.Duration
+	Total     time.Duration `json:"total_ns"`
+	Inspector time.Duration `json:"inspector_ns"`
 }
 
 // Rebind migrates the runtime across a membership transition: every

@@ -147,16 +147,20 @@ type Runtime struct {
 // Unlike comm's transport counters it excludes collectives, inspector
 // and remap traffic, so it is exactly the per-iteration replay cost
 // the paper's Phase C measures.
+// The JSON field names are stable API (the stanced job service serves
+// reports over HTTP); durations marshal as integer nanoseconds.
 type ExecStats struct {
-	Ops, Msgs, Bytes int64
+	Ops   int64 `json:"ops"`
+	Msgs  int64 `json:"msgs"`
+	Bytes int64 `json:"bytes"`
 	// Overlapped counts the replay operations that ran split-phase
 	// (one per Start/Finish pair); they are included in Ops.
-	Overlapped int64
+	Overlapped int64 `json:"overlapped"`
 	// Idle is the total time Finish calls spent blocked waiting for
 	// arrivals — the communication latency the overlapped interior
 	// compute did not hide. Zero idle means the split-phase pipeline
 	// hid the exchange entirely.
-	Idle time.Duration
+	Idle time.Duration `json:"idle_ns"`
 }
 
 // Add accumulates o into s.

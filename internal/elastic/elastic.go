@@ -98,25 +98,29 @@ type Proposal struct {
 	Old, New *partition.Layout
 }
 
-// Event records one committed membership transition.
+// Event records one committed membership transition. The JSON field
+// names are stable API (the stanced job service serves reports over
+// HTTP); durations marshal as integer nanoseconds.
 type Event struct {
 	// Iter is the global iteration count at which the epoch changed.
-	Iter int
+	Iter int `json:"iter"`
 	// Epoch is the new epoch number.
-	Epoch int
+	Epoch int `json:"epoch"`
 	// Active is the new active set; Retired and Admitted are the world
 	// ranks that left and joined relative to the previous epoch.
-	Active, Retired, Admitted []int
+	Active   []int `json:"active"`
+	Retired  []int `json:"retired"`
+	Admitted []int `json:"admitted"`
 	// MovedBytes and Msgs are the total migration payload and transfer
 	// count across all ranks and registered vectors — identical on
 	// every participant, computed without communication from the two
 	// layouts.
-	MovedBytes int64
-	Msgs       int
+	MovedBytes int64 `json:"moved_bytes"`
+	Msgs       int   `json:"msgs"`
 	// Local is this rank's own share of the migration.
-	Local core.RebindStats
+	Local core.RebindStats `json:"local"`
 	// Duration is the transition's wall time on this rank.
-	Duration time.Duration
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Controller is one world rank's handle on the epoch protocol. Every

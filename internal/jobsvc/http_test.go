@@ -1,0 +1,119 @@
+package jobsvc_test
+
+// The HTTP API is tested end to end through the client package —
+// httptest server on the real handler, wire format and all — which is
+// also why this file lives in jobsvc_test: client imports jobsvc.
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stance/client"
+	"stance/internal/jobsvc"
+)
+
+func newServer(t *testing.T, cfg jobsvc.Config) (*client.Client, *jobsvc.Service) {
+	t.Helper()
+	svc, err := jobsvc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return client.New(srv.URL), svc
+}
+
+// TestHTTPLifecycle walks a job through the whole API: submit, get,
+// list, wait, metrics.
+func TestHTTPLifecycle(t *testing.T) {
+	c, _ := newServer(t, jobsvc.Config{PoolRanks: 2})
+	ctx := context.Background()
+
+	spec := client.Spec{
+		Name:         "api-test",
+		Graph:        client.GraphSpec{Kind: "honeycomb", Rows: 6, Cols: 8},
+		Iters:        20,
+		Ranks:        2,
+		ReturnResult: true,
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Name != "api-test" {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	final, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.Done {
+		t.Fatalf("job ended %q: %s", final.State, final.Error)
+	}
+	if final.Report == nil || final.Report.Iters != 20 {
+		t.Fatalf("report over the wire: %+v", final.Report)
+	}
+	if len(final.Result) == 0 {
+		t.Fatal("no result over the wire")
+	}
+	if len(final.Granted) != 2 {
+		t.Fatalf("granted %v over the wire, want 2 ranks", final.Granted)
+	}
+
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Done != 1 || m.PoolRanks != 2 || m.JobWall.N != 1 {
+		t.Fatalf("metrics over the wire: %+v", m)
+	}
+	if len(m.Decisions) == 0 {
+		t.Fatal("no scheduler decisions over the wire")
+	}
+}
+
+// TestHTTPErrors maps service errors onto status codes: bad spec 400,
+// unknown job 404, double cancel 409, queue full 429.
+func TestHTTPErrors(t *testing.T) {
+	c, svc := newServer(t, jobsvc.Config{PoolRanks: 1, QueueDepth: 1, StartHeld: true})
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, client.Spec{Graph: client.GraphSpec{Kind: "nope"}, Iters: 1}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("bad spec: %v, want HTTP 400", err)
+	}
+	if _, err := c.Job(ctx, "job-999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job: %v, want HTTP 404", err)
+	}
+
+	good := client.Spec{Graph: client.GraphSpec{Kind: "honeycomb", Rows: 3, Cols: 3}, Iters: 5}
+	st, err := c.Submit(ctx, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, good); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Errorf("full queue: %v, want HTTP 429", err)
+	}
+
+	if err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, st.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("double cancel: %v, want HTTP 409", err)
+	}
+	svc.Release()
+}

@@ -1,0 +1,93 @@
+package jobsvc
+
+import (
+	"time"
+
+	"stance/internal/metrics"
+)
+
+// maxDecisions bounds the scheduler decision log served on /metrics;
+// older entries roll off.
+const maxDecisions = 256
+
+// Decision is one scheduler log entry: what the scheduler did and to
+// whom. Kind is "queue", "grant", "shrink", "grow", "commit", "done",
+// "failed", "canceled", "cancel" or "deadline".
+type Decision struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Job  string    `json:"job"`
+	// Ranks are the pool ranks the decision touched (granted, released
+	// or reserved), when any.
+	Ranks  []int  `json:"ranks,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// recordLocked appends a decision under the service mutex.
+func (s *Service) recordLocked(kind, jobID string, ranks []int, detail string) {
+	s.decSeq++
+	s.decisions = append(s.decisions, Decision{
+		Seq:    s.decSeq,
+		Time:   s.clock.Now(),
+		Kind:   kind,
+		Job:    jobID,
+		Ranks:  append([]int(nil), ranks...),
+		Detail: detail,
+	})
+	if len(s.decisions) > maxDecisions {
+		s.decisions = s.decisions[len(s.decisions)-maxDecisions:]
+	}
+}
+
+// Metrics is the service-wide accounting served on /metrics.
+type Metrics struct {
+	// Pool occupancy at the time of the call.
+	PoolRanks   int     `json:"pool_ranks"`
+	BusyRanks   int     `json:"busy_ranks"`
+	FreeRanks   int     `json:"free_ranks"`
+	Utilization float64 `json:"utilization"`
+	// Job counts by state, plus the all-time total.
+	Submitted int `json:"submitted"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	// QueueDepth is the admission queue bound (Queued ==
+	// QueueDepth means Submit is returning ErrQueueFull).
+	QueueDepth int `json:"queue_depth"`
+	// JobWall summarizes finished jobs' submit-to-completion times in
+	// seconds, with p50/p95/p99.
+	JobWall metrics.Summary `json:"job_wall_s"`
+	// PoolMsgs and PoolBytes are the pool world's lifetime traffic.
+	PoolMsgs  int64 `json:"pool_msgs"`
+	PoolBytes int64 `json:"pool_bytes"`
+	// Decisions is the scheduler's recent decision log, oldest first.
+	Decisions []Decision `json:"decisions"`
+}
+
+// Metrics snapshots the service.
+func (s *Service) Metrics() Metrics {
+	msgs, bytes := s.pool.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		PoolRanks:   s.cfg.PoolRanks,
+		BusyRanks:   len(s.busy),
+		FreeRanks:   s.cfg.PoolRanks - len(s.busy),
+		Utilization: float64(len(s.busy)) / float64(s.cfg.PoolRanks),
+		Submitted:   s.seq,
+		Queued:      s.counts[Queued],
+		Running:     s.counts[Running],
+		Done:        s.counts[Done],
+		Failed:      s.counts[Failed],
+		Canceled:    s.counts[Canceled],
+		QueueDepth:  s.cfg.QueueDepth,
+		JobWall:     metrics.Summarize(s.latencies),
+		PoolMsgs:    msgs,
+		PoolBytes:   bytes,
+		Decisions:   append([]Decision(nil), s.decisions...),
+	}
+	return m
+}

@@ -1,0 +1,114 @@
+package jobsvc
+
+// PoolState is the scheduler's view of the pool at a decision point.
+type PoolState struct {
+	// PoolRanks is the fixed pool size.
+	PoolRanks int
+	// Free is the number of ranks in no job's active set.
+	Free int
+	// Running and Queued count jobs in those states.
+	Running int
+	Queued  int
+}
+
+// JobView is the scheduler's read-only view of one job.
+type JobView struct {
+	ID   string
+	Name string
+	// Want and Min are the spec's desired and minimum rank counts.
+	Want int
+	Min  int
+	// Active is the job's current active rank count (0 while queued).
+	Active int
+	// ResizePending marks a job with an uncommitted resize in flight;
+	// policies must not shrink or grow it again yet.
+	ResizePending bool
+}
+
+// Policy decides rank allocation. Implementations must be pure
+// functions of their arguments — they are called under the service
+// mutex and must not block or call back into the service.
+type Policy interface {
+	// Grant decides how many ranks to give the next queued job. The
+	// service clamps the answer to [0, min(job.Want, free)]; returning
+	// less than job.Min keeps the job queued (and may trigger Shrink).
+	Grant(next JobView, st PoolState) int
+	// Shrink is consulted when the head-of-queue job cannot start for
+	// lack of free ranks: need is the shortfall. It returns the new
+	// active size per running-job ID; jobs not in the map keep their
+	// ranks. The service only applies entries that actually shrink a
+	// job and never below the job's Min.
+	Shrink(running []JobView, need int, st PoolState) map[string]int
+}
+
+// FairShare is the default policy: every job — running or waiting —
+// deserves an equal share of the pool. A new job gets its desired
+// ranks when they are free, but never more than the fair share
+// max(1, pool/(running+queued+1 new)); when the head of the queue
+// cannot start, running jobs above their fair share are shrunk down
+// toward it (never below their Min), oldest first, and only if the
+// recovered ranks actually cover the shortfall — pointless churn helps
+// nobody.
+type FairShare struct{}
+
+// Grant implements Policy.
+func (FairShare) Grant(next JobView, st PoolState) int {
+	jobs := st.Running + st.Queued
+	if jobs <= 0 {
+		jobs = 1
+	}
+	share := st.PoolRanks / jobs
+	if share < 1 {
+		share = 1
+	}
+	give := next.Want
+	if give > share {
+		give = share
+	}
+	if give < next.Min {
+		give = next.Min
+	}
+	if give > st.Free {
+		give = st.Free
+	}
+	return give
+}
+
+// Shrink implements Policy.
+func (FairShare) Shrink(running []JobView, need int, st PoolState) map[string]int {
+	jobs := st.Running + st.Queued
+	if jobs <= 0 {
+		jobs = 1
+	}
+	share := st.PoolRanks / jobs
+	if share < 1 {
+		share = 1
+	}
+	plan := make(map[string]int)
+	recovered := 0
+	for _, j := range running {
+		if j.ResizePending {
+			continue
+		}
+		target := share
+		if target < j.Min {
+			target = j.Min
+		}
+		if j.Active <= target {
+			continue
+		}
+		give := j.Active - target
+		if give > need-recovered {
+			give = need - recovered
+		}
+		plan[j.ID] = j.Active - give
+		recovered += give
+		if recovered >= need {
+			break
+		}
+	}
+	if recovered < need {
+		return nil
+	}
+	return plan
+}

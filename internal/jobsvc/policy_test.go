@@ -1,0 +1,71 @@
+package jobsvc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFairShareGrant(t *testing.T) {
+	cases := []struct {
+		name string
+		next JobView
+		st   PoolState
+		want int
+	}{
+		// Alone on the pool: take everything you asked for.
+		{"alone", JobView{Want: 4, Min: 1}, PoolState{PoolRanks: 4, Free: 4, Queued: 1}, 4},
+		// Contended: clamp to the fair share.
+		{"share", JobView{Want: 4, Min: 1}, PoolState{PoolRanks: 4, Free: 4, Running: 1, Queued: 1}, 2},
+		// Share rounds down to at least one.
+		{"tiny-share", JobView{Want: 2, Min: 1}, PoolState{PoolRanks: 4, Free: 1, Running: 4, Queued: 4}, 1},
+		// Min overrides the share but never the free count.
+		{"min-over-share", JobView{Want: 3, Min: 3}, PoolState{PoolRanks: 4, Free: 3, Running: 1, Queued: 1}, 3},
+		{"starved", JobView{Want: 2, Min: 2}, PoolState{PoolRanks: 4, Free: 0, Running: 2, Queued: 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := (FairShare{}).Grant(tc.next, tc.st); got != tc.want {
+				t.Errorf("Grant(%+v, %+v) = %d, want %d", tc.next, tc.st, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFairShareShrink(t *testing.T) {
+	// One hog on a 4-rank pool, one queued job needing 1 rank: shrink
+	// the hog by exactly the shortfall (toward, not below, the share).
+	plan := (FairShare{}).Shrink(
+		[]JobView{{ID: "job-1", Want: 4, Min: 1, Active: 4}},
+		1, PoolState{PoolRanks: 4, Running: 1, Queued: 1})
+	if want := map[string]int{"job-1": 3}; !reflect.DeepEqual(plan, want) {
+		t.Errorf("plan = %v, want %v", plan, want)
+	}
+
+	// Respect the victim's Min: a job pinned at its minimum cannot
+	// cover the shortfall, so nothing is churned.
+	plan = (FairShare{}).Shrink(
+		[]JobView{{ID: "job-1", Want: 4, Min: 4, Active: 4}},
+		1, PoolState{PoolRanks: 4, Running: 1, Queued: 1})
+	if plan != nil {
+		t.Errorf("plan = %v, want nil (victim is at its min)", plan)
+	}
+
+	// A resize already in flight exempts the job.
+	plan = (FairShare{}).Shrink(
+		[]JobView{{ID: "job-1", Want: 4, Min: 1, Active: 4, ResizePending: true}},
+		1, PoolState{PoolRanks: 4, Running: 1, Queued: 1})
+	if plan != nil {
+		t.Errorf("plan = %v, want nil (resize pending)", plan)
+	}
+
+	// Two victims, big shortfall: take from both, oldest first.
+	plan = (FairShare{}).Shrink(
+		[]JobView{
+			{ID: "job-1", Want: 4, Min: 1, Active: 4},
+			{ID: "job-2", Want: 4, Min: 1, Active: 4},
+		},
+		4, PoolState{PoolRanks: 8, Running: 2, Queued: 2})
+	if want := map[string]int{"job-1": 2, "job-2": 2}; !reflect.DeepEqual(plan, want) {
+		t.Errorf("plan = %v, want %v", plan, want)
+	}
+}

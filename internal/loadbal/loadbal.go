@@ -59,22 +59,24 @@ type Report struct {
 // Decision is the controller's verdict, identical on every rank.
 type Decision struct {
 	// Remapped reports whether a remap was performed.
-	Remapped bool
+	Remapped bool `json:"remapped"`
 	// NewWeights are the capability estimates (1/rate, normalized)
 	// that the remap used, or would have used.
-	NewWeights []float64
+	NewWeights []float64 `json:"new_weights"`
 	// PredictedCurrent and PredictedNew are the controller's per-phase
-	// time predictions for the current and proposed layouts.
-	PredictedCurrent, PredictedNew float64
+	// time predictions for the current and proposed layouts, in
+	// seconds (hence the _s JSON suffix).
+	PredictedCurrent float64 `json:"predicted_current_s"`
+	PredictedNew     float64 `json:"predicted_new_s"`
 	// EstimatedRemapCost is the modeled redistribution + inspector
 	// cost in seconds.
-	EstimatedRemapCost float64
+	EstimatedRemapCost float64 `json:"estimated_remap_cost_s"`
 	// CheckTime is the cost of the check itself (report, decide,
 	// broadcast) on this rank.
-	CheckTime time.Duration
+	CheckTime time.Duration `json:"check_ns"`
 	// RemapTime is the measured remap cost on this rank (zero when no
 	// remap happened).
-	RemapTime time.Duration
+	RemapTime time.Duration `json:"remap_ns"`
 }
 
 // Balancer drives the periodic load-balance check for one rank.

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // EfficiencyStatic is the paper's nonuniform-environment efficiency:
@@ -81,12 +82,23 @@ func Speedup(tSeq, tPar float64) (float64, error) {
 }
 
 // Summary is basic descriptive statistics for repeated measurements.
+// The JSON field names are stable: the stanced job service serves
+// Summary values (e.g. job latency distributions) on /metrics.
 type Summary struct {
-	N                  int
-	Mean, Min, Max, SD float64
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	SD   float64 `json:"sd"`
+	// P50, P95 and P99 are linear-interpolation percentiles (the
+	// common "type 7" estimator: rank h = (n-1)q between the sorted
+	// order statistics). Zero when N == 0.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
-// Summarize computes summary statistics of xs.
+// Summarize computes summary statistics of xs. xs is not modified.
 func Summarize(xs []float64) Summary {
 	s := Summary{N: len(xs)}
 	if s.N == 0 {
@@ -112,5 +124,39 @@ func Summarize(xs []float64) Summary {
 		}
 		s.SD = math.Sqrt(ss / float64(s.N-1))
 	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.P50 = percentileSorted(sorted, 0.50)
+	s.P95 = percentileSorted(sorted, 0.95)
+	s.P99 = percentileSorted(sorted, 0.99)
 	return s
+}
+
+// Percentile returns the q-th quantile of xs (0 <= q <= 1) by linear
+// interpolation between the closest order statistics — the "type 7"
+// estimator used by most statistics packages: rank h = (n-1)q, value
+// x[floor(h)] + (h - floor(h)) * (x[floor(h)+1] - x[floor(h)]). xs is
+// not modified.
+func Percentile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: percentile of no data")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("metrics: quantile %g, want [0, 1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, q), nil
+}
+
+// percentileSorted is Percentile over already-sorted non-empty data.
+func percentileSorted(sorted []float64, q float64) float64 {
+	h := float64(len(sorted)-1) * q
+	lo := int(math.Floor(h))
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo] + (h-float64(lo))*(sorted[lo+1]-sorted[lo])
 }

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPercentileKnownDistributions checks the linear-interpolation
+// estimator against hand-computed values on distributions small enough
+// to verify by eye.
+func TestPercentileKnownDistributions(t *testing.T) {
+	oneTo100 := make([]float64, 100)
+	for i := range oneTo100 {
+		oneTo100[i] = float64(i + 1)
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"single/p50", []float64{7}, 0.50, 7},
+		{"single/p99", []float64{7}, 0.99, 7},
+		{"pair/p50", []float64{10, 20}, 0.50, 15},
+		{"pair/p25", []float64{10, 20}, 0.25, 12.5},
+		{"odd/p50", []float64{3, 1, 2}, 0.50, 2},
+		{"even/p50", []float64{4, 1, 3, 2}, 0.50, 2.5},
+		// 1..100: h = 99q, so p50 = x[49.5] = 50.5, p95 = x[94.05] =
+		// 95.05, p99 = x[98.01] = 99.01, extremes are exact.
+		{"1..100/p0", oneTo100, 0, 1},
+		{"1..100/p50", oneTo100, 0.50, 50.5},
+		{"1..100/p95", oneTo100, 0.95, 95.05},
+		{"1..100/p99", oneTo100, 0.99, 99.01},
+		{"1..100/p100", oneTo100, 1, 100},
+		{"constant/p95", []float64{5, 5, 5, 5}, 0.95, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Percentile(tc.xs, tc.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(got, tc.want) {
+				t.Errorf("Percentile(%v, %g) = %g, want %g", tc.xs, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 0.5); err == nil {
+		t.Error("Percentile of no data did not fail")
+	}
+	for _, q := range []float64{-0.1, 1.1} {
+		if _, err := Percentile([]float64{1}, q); err == nil {
+			t.Errorf("Percentile with q=%g did not fail", q)
+		}
+	}
+}
+
+// TestPercentileDoesNotMutate: Percentile and Summarize sort a copy,
+// never the caller's slice.
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+// TestSummarizePercentiles: the Summary fields agree with Percentile
+// and behave sensibly on a large shuffled uniform sample.
+func TestSummarizePercentiles(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..1000
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(xs), func(i, j int) {
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	s := Summarize(xs)
+	// h = 999q: p50 = x[499.5] = 500.5, p95 = x[949.05] = 950.05,
+	// p99 = x[989.01] = 990.01.
+	if !almost(s.P50, 500.5) || !almost(s.P95, 950.05) || !almost(s.P99, 990.01) {
+		t.Errorf("percentiles = %g/%g/%g, want 500.5/950.05/990.01", s.P50, s.P95, s.P99)
+	}
+	for _, q := range []struct {
+		got float64
+		q   float64
+	}{{s.P50, 0.50}, {s.P95, 0.95}, {s.P99, 0.99}} {
+		want, err := Percentile(xs, q.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(q.got, want) {
+			t.Errorf("Summary p%v = %g, Percentile = %g", q.q, q.got, want)
+		}
+	}
+	zero := Summarize(nil)
+	if zero.P50 != 0 || zero.P95 != 0 || zero.P99 != 0 {
+		t.Errorf("empty summary has nonzero percentiles: %+v", zero)
+	}
+}

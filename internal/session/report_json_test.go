@@ -1,0 +1,84 @@
+package session
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stance/internal/hetero"
+	"stance/internal/loadbal"
+	"stance/internal/mesh"
+	"stance/internal/order"
+)
+
+// TestRunReportJSONRoundTrip pins the RunReport wire format the stanced
+// job service serves: a fully populated report (per-rank timings,
+// balance checks, membership transitions, executor traffic) must
+// marshal to JSON and unmarshal back to an identical value, and the
+// stable snake_case field names must actually appear on the wire.
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	g, err := mesh.Honeycomb(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := hetero.PaperAdaptive(3, 3)
+	env.Outages = []hetero.Outage{{Rank: 1, FromIter: 10, UntilIter: 25}}
+	s, err := New(context.Background(), g, Config{
+		Procs:      3,
+		Order:      order.RCB,
+		WorkRep:    3,
+		CheckEvery: 5,
+		Env:        env,
+		Balancer:   &loadbal.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checks) == 0 || len(rep.Members) == 0 {
+		t.Fatalf("report not fully populated: %d checks, %d members", len(rep.Checks), len(rep.Members))
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*rep, back) {
+		t.Errorf("round trip lost information:\n got %+v\nwant %+v", back, rep)
+	}
+
+	// The wire names are stable API: spot-check one from every nested
+	// struct so a renamed Go field can't silently change the format.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"iters", "wall_ns", "ranks", "checks", "members", "msgs", "bytes", "exec"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("marshaled report is missing top-level key %q", key)
+		}
+	}
+	for want, sub := range map[string]string{
+		"ranks":   `"compute_ns"`,
+		"checks":  `"predicted_current_s"`,
+		"members": `"moved_bytes"`,
+		"exec":    `"idle_ns"`,
+	} {
+		if !json.Valid(raw[want]) {
+			t.Fatalf("key %q holds invalid JSON", want)
+		}
+		if s := string(raw[want]); !strings.Contains(s, sub) {
+			t.Errorf("key %q does not contain %s: %s", want, sub, s)
+		}
+	}
+}

@@ -49,6 +49,15 @@ const (
 type Config struct {
 	// Procs is the number of SPMD ranks (workstations).
 	Procs int
+	// World, when non-nil, runs the session on a caller-provided world
+	// instead of opening a fresh one — the stanced job service carves
+	// per-job sub-worlds out of one shared rank pool (comm.WrapWorld
+	// over Comm.Sub endpoints) and hands each job's session its slice.
+	// Procs must equal World.Size() (or be zero, which adopts it);
+	// Transport and Model must be unset — the adopted world already
+	// has both — and a nil Clock is taken from the world. Close leaves
+	// an adopted world open: the provider owns its lifecycle.
+	World *comm.World
 	// Transport names a registered comm transport ("" means "inproc").
 	Transport string
 	// Model is the network cost model (nil means a free network). The
@@ -153,7 +162,10 @@ type Session struct {
 	clock vtime.Clock
 	g     *graph.Graph
 	world *comm.World
-	ranks []*rankState
+	// ownWorld marks a world the session opened itself (and therefore
+	// closes); an adopted Config.World stays open after Close.
+	ownWorld bool
+	ranks    []*rankState
 	// elastic marks a session running the membership protocol; ctls
 	// and subs are per-world-rank: the rank's protocol controller and
 	// its endpoint in the current active sub-world (nil while parked).
@@ -187,6 +199,21 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 	}
 	if g == nil {
 		return nil, fmt.Errorf("session: nil graph")
+	}
+	if cfg.World != nil {
+		if cfg.Procs == 0 {
+			cfg.Procs = cfg.World.Size()
+		}
+		if cfg.Procs != cfg.World.Size() {
+			return nil, fmt.Errorf("session: Procs %d does not match the adopted world's %d ranks",
+				cfg.Procs, cfg.World.Size())
+		}
+		if cfg.Transport != "" {
+			return nil, fmt.Errorf("session: Transport %q conflicts with an adopted World", cfg.Transport)
+		}
+		if cfg.Model != nil {
+			return nil, fmt.Errorf("session: Model conflicts with an adopted World (the world's transport already has one)")
+		}
 	}
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("session: world size must be positive, got %d", cfg.Procs)
@@ -229,22 +256,34 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 	if cfg.ComputeCost < 0 {
 		return nil, fmt.Errorf("session: negative compute cost %v", cfg.ComputeCost)
 	}
-	if cfg.Clock == nil {
-		cfg.Clock = vtime.Real{}
-	}
-	world, err := comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model, Clock: cfg.Clock})
-	if err != nil {
-		return nil, err
+	world := cfg.World
+	ownWorld := world == nil
+	if ownWorld {
+		if cfg.Clock == nil {
+			cfg.Clock = vtime.Real{}
+		}
+		var err error
+		world, err = comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model, Clock: cfg.Clock})
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.Clock == nil {
+		// An adopted world already runs on a clock (a sub-world
+		// delegates to its parent's); the session must measure on the
+		// same timeline.
+		cfg.Clock = world.Comm(0).Clock()
 	}
 	s := &Session{
-		cfg:     cfg,
-		ctx:     ctx,
-		clock:   cfg.Clock,
-		g:       g,
-		world:   world,
-		ranks:   make([]*rankState, cfg.Procs),
-		elastic: cfg.Elastic || (cfg.Env != nil && cfg.Env.Elastic()),
+		cfg:      cfg,
+		ctx:      ctx,
+		clock:    cfg.Clock,
+		g:        g,
+		world:    world,
+		ownWorld: ownWorld,
+		ranks:    make([]*rankState, cfg.Procs),
+		elastic:  cfg.Elastic || (cfg.Env != nil && cfg.Env.Elastic()),
 	}
+	var err error
 	if s.elastic {
 		s.ctls = make([]*elastic.Controller, cfg.Procs)
 		s.subs = make([]*comm.Comm, cfg.Procs)
@@ -253,7 +292,9 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		err = world.SPMD(ctx, s.buildFixedRank)
 	}
 	if err != nil {
-		world.Close()
+		if ownWorld {
+			world.Close()
+		}
 		return nil, err
 	}
 	return s, nil
@@ -407,11 +448,11 @@ type RankUsage = solver.Timings
 // rank 0's view of the collective decision.
 type CheckEvent struct {
 	// Iter is the global iteration count at which the check ran.
-	Iter int
+	Iter int `json:"iter"`
 	// Decision is the controller's verdict, including the predicted
 	// phase times, the modeled remap cost and the measured check/remap
 	// durations on rank 0.
-	Decision loadbal.Decision
+	Decision loadbal.Decision `json:"decision"`
 }
 
 // MembershipEvent records one committed membership transition: the new
@@ -421,30 +462,38 @@ type MembershipEvent = elastic.Event
 // RunReport is the consolidated result of one Run: wall time, per-rank
 // timings, every balance check and membership transition, and the
 // messages and bytes the world moved during the run.
+//
+// RunReport and every nested event/timing struct marshal to JSON with
+// stable snake_case field names — the wire format the stanced job
+// service serves on /v1/jobs and /metrics. Durations are integer
+// nanoseconds (fields suffixed _ns); modeled times are float seconds
+// (suffixed _s). The round trip is loss-free: unmarshaling the JSON
+// reproduces the report exactly.
 type RunReport struct {
 	// Iters is the number of iterations this Run executed.
-	Iters int
+	Iters int `json:"iters"`
 	// Wall is rank 0's barrier-to-barrier wall time.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Ranks holds each rank's accumulated compute/comm time and items,
 	// indexed by world rank (parked ranks accumulate nothing).
-	Ranks []RankUsage
+	Ranks []RankUsage `json:"ranks"`
 	// Checks are the load-balance checks in iteration order (empty
 	// without a balancer).
-	Checks []CheckEvent
+	Checks []CheckEvent `json:"checks,omitempty"`
 	// Members are the membership transitions in iteration order (empty
 	// on fixed-membership sessions), each with its migration byte
 	// count.
-	Members []MembershipEvent
+	Members []MembershipEvent `json:"members,omitempty"`
 	// Msgs and Bytes count the messages and payload bytes sent by all
 	// ranks during the run.
-	Msgs, Bytes int64
+	Msgs  int64 `json:"msgs"`
+	Bytes int64 `json:"bytes"`
 	// Exec is the traffic the executor data path itself generated
 	// during the run (Exchange/ScatterAdd operations, messages and
 	// bytes summed over ranks), counted per operation by the runtimes.
 	// Unlike Msgs/Bytes it excludes barrier, balancer and remap
 	// traffic, so it is the pure schedule-replay cost.
-	Exec core.ExecStats
+	Exec core.ExecStats `json:"exec"`
 }
 
 // Remaps returns the subset of checks that actually remapped.
@@ -568,6 +617,12 @@ func (s *Session) runFixed(c *comm.Comm, rep *RunReport, first, last int, pendin
 		}
 	}
 	err := rk.sol.Run(last-first, func(iter int) error {
+		// The session context is also checked between iterations, not
+		// only at blocking receives: a rank that never blocks (a
+		// one-rank world has no ghosts) must still notice cancellation.
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 		if rk.bal == nil || iter%s.cfg.CheckEvery != 0 || iter == last {
 			return nil
 		}
@@ -659,7 +714,9 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 		if next > last {
 			next = last
 		}
-		if err := rk.sol.Run(next-iter, nil); err != nil {
+		// As on the fixed path, cancellation is polled every iteration
+		// so compute-only segments notice it too.
+		if err := rk.sol.Run(next-iter, func(int) error { return s.ctx.Err() }); err != nil {
 			return err
 		}
 		if next == last {
@@ -878,13 +935,14 @@ func (s *Session) ResultByVertex() ([]float64, error) {
 	return s.ranks[0].rt.Unpermute(vals)
 }
 
-// Close shuts the session's world down. Pending operations fail;
-// repeated Close calls are safe and return the first call's error.
+// Close shuts the session's world down (a world adopted through
+// Config.World stays open — its provider owns it). Pending operations
+// fail; repeated Close calls are safe and return the first call's
+// error.
 func (s *Session) Close() error {
-	if s.world == nil {
-		return nil
-	}
-	err := s.world.Close()
 	s.ranks = nil
-	return err
+	if s.ownWorld && s.world != nil {
+		return s.world.Close()
+	}
+	return nil
 }

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// multiJobSeeds is the fixed seed list CI runs in the sim-scenarios
+// job (the `-run 'TestSim'` filter picks these up alongside the
+// single-session sweep): seeded multi-tenant workloads on a shared
+// pool, each checked for queueing, elastic reallocation and per-job
+// bit-exactness against dedicated runs.
+const multiJobSeeds = 4
+
+func TestSimMultiJobSeeds(t *testing.T) {
+	for seed := int64(0); seed < multiJobSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunMultiJob(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := len(res.Statuses); n != 1+len(res.Scenario.Burst) {
+				t.Fatalf("%d final statuses for %d jobs", n, 1+len(res.Scenario.Burst))
+			}
+		})
+	}
+}
+
+// TestSimMultiJobDiversity guards the workload generator: across the
+// CI seed list the interesting spec features must all occur, or the
+// harness silently stops covering what it was built to cover.
+func TestSimMultiJobDiversity(t *testing.T) {
+	kinds := map[string]int{}
+	var multi, min2, work, orders, overlap int
+	for seed := int64(0); seed < multiJobSeeds; seed++ {
+		sc, err := GenerateMultiJob(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := 1 + len(sc.Burst); got < 8 || got > 12 {
+			t.Errorf("seed %d: %d jobs, want 8..12", seed, got)
+		}
+		demand := sc.Hog.Ranks
+		for _, sp := range sc.Burst {
+			demand += sp.Ranks
+		}
+		if demand <= sc.Pool {
+			t.Errorf("seed %d: demand %d does not exceed the pool %d", seed, demand, sc.Pool)
+		}
+		for k, n := range sc.Kinds {
+			kinds[k] += n
+		}
+		if sc.HasMulti {
+			multi++
+		}
+		if sc.HasMin2 {
+			min2++
+		}
+		if sc.HasWork {
+			work++
+		}
+		if sc.HasOrders {
+			orders++
+		}
+		for _, sp := range sc.Burst {
+			if sp.Overlap {
+				overlap++
+				break
+			}
+		}
+	}
+	for _, k := range []string{"honeycomb", "grid", "annulus", "random", "paper"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q graphs across the %d-seed list", k, multiJobSeeds)
+		}
+	}
+	for name, n := range map[string]int{
+		"multi-rank burst jobs": multi, "min_ranks >= 2": min2,
+		"work amplification": work, "mixed orderings": orders,
+		"overlap executors": overlap,
+	} {
+		if n == 0 {
+			t.Errorf("no scenario in the %d-seed list exercises %s", multiJobSeeds, name)
+		}
+	}
+}

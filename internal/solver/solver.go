@@ -357,14 +357,16 @@ func (s *Solver) divide(data []float64, xadj []int32, tv []float64, nLocal int) 
 }
 
 // Timings are the accumulated per-rank measurements since the last
-// TakeTimings.
+// TakeTimings. The JSON field names are stable API (the stanced job
+// service serves reports over HTTP): durations marshal as integer
+// nanoseconds, hence the _ns suffix.
 type Timings struct {
-	Compute time.Duration
-	Comm    time.Duration
+	Compute time.Duration `json:"compute_ns"`
+	Comm    time.Duration `json:"comm_ns"`
 	// Items is the total number of element-iterations computed; the
 	// load monitor's "average computation time per data item" is
 	// Compute/Items (paper Section 5).
-	Items int64
+	Items int64 `json:"items"`
 }
 
 // RatePerItem returns the measured compute seconds per element, the
