@@ -3,18 +3,106 @@
 // workflow artifact and BENCH_baseline.json snapshots in the repo:
 //
 //	go test -bench=. -benchtime=1x -run='^$' -json ./... | benchjson > bench.json
+//
+// With -compare it becomes the regression gate instead: it reads two
+// summaries and exits non-zero if any benchmark got slower (ns/op) or
+// allocates more (allocs/op) beyond the tolerance:
+//
+//	benchjson -compare BENCH_baseline.json bench.json -tolerance 10%
+//
+// Benchmarks present in only one file are ignored, and a zero-alloc
+// baseline tolerates no increase at all regardless of tolerance.
 package main
 
 import (
+	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"stance/internal/benchjson"
 )
 
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  go test -json -bench=... | benchjson > bench.json
+  benchjson -compare old.json new.json [-tolerance 10%%]
+`)
+	os.Exit(2)
+}
+
+// parseArgs scans the command line by hand so -tolerance may appear
+// before or after the two file operands (the flag package would stop
+// at the first operand).
+func parseArgs(args []string) (compare bool, tol string, files []string) {
+	tol = "10%"
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-compare" || a == "--compare":
+			compare = true
+		case a == "-tolerance" || a == "--tolerance":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			tol = args[i]
+		case strings.HasPrefix(a, "-tolerance="), strings.HasPrefix(a, "--tolerance="):
+			tol = a[strings.IndexByte(a, '=')+1:]
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+		case strings.HasPrefix(a, "-") && a != "-":
+			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %q\n", a)
+			usage()
+		default:
+			files = append(files, a)
+		}
+	}
+	return compare, tol, files
+}
+
+func readSummary(path string) *benchjson.Summary {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := benchjson.Read(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return sum
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	compare, tolStr, files := parseArgs(os.Args[1:])
+
+	if compare {
+		if len(files) != 2 {
+			usage()
+		}
+		tol, err := benchjson.ParseTolerance(tolStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, cur := readSummary(files[0]), readSummary(files[1])
+		regs := benchjson.Compare(base, cur, tol)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "regression:", r)
+			}
+			log.Fatalf("%d benchmark regression(s) beyond %s vs %s; investigate, or refresh the baseline if the change is intentional",
+				len(regs), tolStr, files[0])
+		}
+		fmt.Printf("benchjson: no regressions beyond %s across %d benchmarks (%s vs %s)\n",
+			tolStr, len(cur.Benchmarks), files[0], files[1])
+		return
+	}
+	if len(files) != 0 {
+		usage()
+	}
+
 	sum, err := benchjson.Parse(os.Stdin)
 	if err != nil {
 		log.Fatal(err)

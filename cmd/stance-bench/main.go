@@ -26,11 +26,19 @@ func main() {
 	netScale := flag.Float64("netscale", 1, "Ethernet model scale (1 = the paper's 10 Mbit shared Ethernet)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	overlap := flag.Bool("overlap", false, "run the solver tables on the split-phase overlapped executor (Phase C′)")
+	pipeline := flag.Int("pipeline", 0, "run the solver tables on the software-pipelined executor at this depth (0 = off); conflicts with -overlap")
+	fields := flag.Int("fields", 1, "independent solution fields per iteration (>=2 lets -pipeline fly several exchanges at once)")
 	virtual := flag.Bool("virtual", false, "run the solver tables (4, 5) on the simulated clock: exact, deterministic virtual durations in milliseconds of real time")
 	cost := flag.Duration("cost", time.Microsecond, "virtual compute cost per element per work repetition (with -virtual)")
 	flag.Parse()
 
-	opts := bench.Options{Quick: *quick, NetScale: *netScale, Seed: *seed, Overlap: *overlap}
+	if *pipeline > 0 && *overlap {
+		log.Fatal("-overlap and -pipeline are mutually exclusive: the pipelined executor subsumes the interior/boundary overlap; drop one")
+	}
+	opts := bench.Options{
+		Quick: *quick, NetScale: *netScale, Seed: *seed,
+		Overlap: *overlap, Pipeline: *pipeline, Fields: *fields,
+	}
 	if *virtual {
 		opts = opts.Virtual(*cost)
 	}

@@ -89,6 +89,8 @@ func main() {
 	strategy := flag.String("strategy", "sort2", "inspector strategy: sort1, sort2, simple")
 	lb := flag.Bool("lb", false, "enable adaptive load balancing")
 	overlap := flag.Bool("overlap", false, "split-phase overlapped executor (interior/boundary pipelining); requires a kernel with a boundary split")
+	pipeline := flag.Int("pipeline", 0, "software-pipelined executor depth (0 = off, 1 = within-iteration, >=2 = across iterations); keeps every field's exchange in flight on its own op handle; requires a kernel with a boundary split, conflicts with -overlap")
+	fields := flag.Int("fields", 1, "independent solution fields the solver advances per iteration (>=2 lets -pipeline fly several exchanges at once)")
 	kernelName := flag.String("kernel", "figure8", "solver compute body: "+solver.KernelNames())
 	checkEvery := flag.Int("check-every", 10, "iterations between load-balance checks")
 	netScale := flag.Float64("netscale", 0.1, "Ethernet model scale (in-process transport only)")
@@ -168,6 +170,17 @@ func main() {
 				"drop -overlap or use -kernel figure8", *kernelName)
 		}
 	}
+	if *pipeline > 0 {
+		if *overlap {
+			log.Fatalf("-overlap and -pipeline are mutually exclusive: the pipelined executor subsumes the interior/boundary overlap; drop one")
+		}
+		// Same contract as -overlap: pipelining restarts exchanges behind
+		// the interior sweep, so the kernel must expose the split.
+		if _, ok := kern.(solver.SubsetKernel); !ok {
+			log.Fatalf("-pipeline requires a kernel with a boundary split, but kernel %q has none; "+
+				"drop -pipeline or use -kernel figure8", *kernelName)
+		}
+	}
 	cfg := session.Config{
 		Procs:      *p,
 		Transport:  *transport,
@@ -177,6 +190,8 @@ func main() {
 		CheckEvery: *checkEvery,
 		Kernel:     kern,
 		Overlap:    *overlap,
+		Pipeline:   *pipeline,
+		Fields:     *fields,
 	}
 	if *virtual {
 		// The simulated clock: the run's timings become exact virtual
@@ -273,6 +288,10 @@ func main() {
 	if *overlap {
 		fmt.Printf("overlapped executor: %d split-phase ops, %v un-hidden exchange idle\n",
 			rep.Exec.Overlapped, rep.Exec.Idle.Round(time.Microsecond))
+	}
+	if *pipeline > 0 {
+		fmt.Printf("pipelined executor (depth %d, %d fields): %d split-phase ops, %d issued with another in flight, %v un-hidden exchange idle\n",
+			*pipeline, *fields, rep.Exec.Overlapped, rep.Exec.Pipelined, rep.Exec.Idle.Round(time.Microsecond))
 	}
 	fmt.Println("rank  compute     comm        items")
 	for r, u := range rep.Ranks {

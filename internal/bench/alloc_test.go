@@ -121,40 +121,102 @@ func TestExecutorZeroAlloc(t *testing.T) {
 		{"ScatterAddAll", func(rt *core.Runtime, vs []*core.Vector) error {
 			return rt.ScatterAddAll(vs...)
 		}},
-		{"ExchangeStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
-			if err := rt.ExchangeStart(vs[0]); err != nil {
+		{"ExchangeStartWait", func(rt *core.Runtime, vs []*core.Vector) error {
+			h, err := rt.ExchangeStart(vs[0])
+			if err != nil {
 				return err
 			}
-			return rt.ExchangeFinish()
+			return h.Wait()
 		}},
-		{"ScatterAddStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
-			if err := rt.ScatterAddStart(vs[0]); err != nil {
+		{"ScatterAddStartWait", func(rt *core.Runtime, vs []*core.Vector) error {
+			h, err := rt.ScatterAddStart(vs[0])
+			if err != nil {
 				return err
 			}
-			return rt.ScatterAddFinish()
+			return h.Wait()
 		}},
-		{"ExchangeAllStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
-			if err := rt.ExchangeAllStart(vs...); err != nil {
+		{"ExchangeAllStartWait", func(rt *core.Runtime, vs []*core.Vector) error {
+			h, err := rt.ExchangeAllStart(vs...)
+			if err != nil {
 				return err
 			}
-			return rt.ExchangeAllFinish()
+			return h.Wait()
 		}},
-		{"ScatterAddAllStartFinish", func(rt *core.Runtime, vs []*core.Vector) error {
-			if err := rt.ScatterAddAllStart(vs...); err != nil {
+		{"ScatterAddAllStartWait", func(rt *core.Runtime, vs []*core.Vector) error {
+			h, err := rt.ScatterAddAllStart(vs...)
+			if err != nil {
 				return err
 			}
-			return rt.ScatterAddAllFinish()
+			return h.Wait()
+		}},
+		// Multi-handle pipelining: two independent ops in flight at
+		// once, drained out of start order — the regime PR 7 adds. Both
+		// must stay allocation-free too: handles come from the pool and
+		// the rotating-tag mailbox slots are warm.
+		{"TwoExchangesPipelined", func(rt *core.Runtime, vs []*core.Vector) error {
+			h0, err := rt.ExchangeStart(vs[0])
+			if err != nil {
+				return err
+			}
+			h1, err := rt.ExchangeStart(vs[1])
+			if err != nil {
+				return err
+			}
+			if err := h1.Wait(); err != nil {
+				return err
+			}
+			return h0.Wait()
+		}},
+		{"ExchangeScatterPipelined", func(rt *core.Runtime, vs []*core.Vector) error {
+			h0, err := rt.ExchangeStart(vs[0])
+			if err != nil {
+				return err
+			}
+			h1, err := rt.ScatterAddStart(vs[1])
+			if err != nil {
+				return err
+			}
+			if err := h1.Wait(); err != nil {
+				return err
+			}
+			return h0.Wait()
 		}},
 	}
 	for _, p := range []int{2, 4} {
 		h := newAllocHarness(t, p, 3)
 		// Warm every path first: wire buffers grow to the coalesced
-		// size, receive pools fill, split-phase scratch is retained.
+		// size, receive pools fill, handle pools and scratch are
+		// retained.
 		for _, op := range ops {
 			for i := 0; i < 4; i++ {
 				h.run(t, op.op)
 			}
 		}
+		// Handle-based ops rotate through the 64-tag wire window and the
+		// transport allocates its per-(source, tag) mailbox slot lazily,
+		// so spin the full window once for each replay direction before
+		// measuring.
+		h.run(t, func(rt *core.Runtime, vs []*core.Vector) error {
+			for i := 0; i < 64; i++ {
+				hd, err := rt.ExchangeStart(vs[0])
+				if err != nil {
+					return err
+				}
+				if err := hd.Wait(); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 64; i++ {
+				hd, err := rt.ScatterAddStart(vs[0])
+				if err != nil {
+					return err
+				}
+				if err := hd.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		for _, op := range ops {
 			op := op
 			avg := testing.AllocsPerRun(20, func() { h.run(t, op.op) })

@@ -38,6 +38,15 @@ type Options struct {
 	// Results are bit-for-bit identical; only the schedule of
 	// communication against computation changes.
 	Overlap bool
+	// Pipeline runs the solver tables (4 and 5) on the handle-based
+	// software-pipelined executor at the given depth (0 = off). Like
+	// Overlap — which it subsumes and is mutually exclusive with — the
+	// results stay bit-for-bit identical.
+	Pipeline int
+	// Fields is the number of independent solution fields the solver
+	// advances per iteration (0 or 1 = the paper's single field). With
+	// Pipeline set and Fields >= 2, several exchanges fly concurrently.
+	Fields int
 	// Clock runs the solver tables (4 and 5) on an explicit clock (nil
 	// means the real clock). With a vtime.Sim the tables measure exact
 	// virtual durations and complete instantly — the deterministic mode

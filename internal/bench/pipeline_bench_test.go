@@ -1,0 +1,152 @@
+package bench
+
+// Pipeline benchmarks: the handle-based software-pipelined executor
+// against Phase C′ overlap and the synchronous baseline under an
+// injected delivery delay, on a multi-field kernel. Overlap hides one
+// exchange behind one field's interior sweep but still serializes the
+// fields' exchanges — each field waits out its own delay when the
+// sweep is shorter than the flight time. The pipelined executor keeps
+// every field's exchange in flight at once (and, at depth >= 2,
+// restarts a field's exchange the moment its update completes), so the
+// per-iteration delay exposure collapses from fields × delay to one
+// delay. This is PR 7's measured-win acceptance criterion — compare
+// executor=overlap with executor=pipeline in bench.json.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stance/internal/comm"
+	"stance/internal/mesh"
+	"stance/internal/session"
+	"stance/internal/vtime"
+)
+
+// pipelineModes are the three executor configurations the benchmarks
+// sweep, all on the same two-field kernel so the compute is identical.
+var pipelineModes = []struct {
+	name     string
+	overlap  bool
+	pipeline int
+}{
+	{"executor=sync", false, 0},
+	{"executor=overlap", true, 0},
+	{"executor=pipeline", false, 2},
+}
+
+// BenchmarkPipelineLatencyHiding measures whole two-field solver
+// iterations under the injected delivery delay, with compute too small
+// to cover the flight time: the overlapped executor pays ~2 delays per
+// iteration (one per field, serialized), the pipelined one ~1 (both
+// exchanges in flight together).
+func BenchmarkPipelineLatencyHiding(b *testing.B) {
+	for _, mode := range pipelineModes {
+		b.Run(mode.name, func(b *testing.B) {
+			g, err := mesh.Honeycomb(60, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := session.New(context.Background(), g, session.Config{
+				Procs:     4,
+				Model:     &comm.Model{Delay: benchDelay},
+				OrderName: "rcb",
+				Fields:    2,
+				Overlap:   mode.overlap,
+				Pipeline:  mode.pipeline,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// Warm the plan's wire buffers, handle pools and the
+			// rotating-tag mailbox slots.
+			if _, err := s.Run(2); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			rep, err := s.Run(b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if mode.overlap || mode.pipeline > 0 {
+				b.ReportMetric(float64(rep.Exec.Idle.Nanoseconds())/float64(b.N), "idle-ns/op")
+			}
+			if mode.pipeline > 0 && rep.Exec.Pipelined == 0 {
+				b.Fatal("pipelined run recorded no pipelined ops")
+			}
+		})
+	}
+}
+
+// TestPipelineLatencyHidingVirtual is the exact acceptance assertion
+// on a simulated clock: a 4-rank two-field session under a 5ms one-way
+// delay with compute far smaller than the flight time. Every quantity
+// is virtual and deterministic, so the bounds cannot flake. The
+// pipelined executor must beat Phase C′ overlap by at least 10%
+// virtual wall time, with the aggregate handle Idle shrinking, because
+// overlap serializes the two fields' exchanges (≈2 delays/iteration)
+// while the pipeline flies them together (≈1 delay/iteration).
+func TestPipelineLatencyHidingVirtual(t *testing.T) {
+	const iters = 30
+	run := func(overlap bool, pipeline int) *session.RunReport {
+		g, err := mesh.Honeycomb(60, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := session.New(context.Background(), g, session.Config{
+			Procs:       4,
+			Model:       &comm.Model{Delay: benchDelay},
+			Clock:       vtime.NewSim(),
+			OrderName:   "rcb",
+			ComputeCost: 500 * time.Nanosecond,
+			Fields:      2,
+			Overlap:     overlap,
+			Pipeline:    pipeline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Run(2); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	wall := time.Now()
+	sync := run(false, 0)
+	ov := run(true, 0)
+	pipe := run(false, 2)
+	t.Logf("virtual: sync %v, overlap %v (idle %v), pipeline %v (idle %v, %d pipelined of %d ops) in %v real",
+		sync.Wall, ov.Wall, ov.Exec.Idle, pipe.Wall, pipe.Exec.Idle,
+		pipe.Exec.Pipelined, pipe.Exec.Ops, time.Since(wall))
+	if pipe.Exec.Pipelined == 0 {
+		t.Fatal("pipelined run recorded no ops issued while another was in flight")
+	}
+	if ov.Exec.Pipelined != 0 || sync.Exec.Pipelined != 0 {
+		t.Fatalf("non-pipelined runs recorded pipelined ops: overlap %d, sync %d",
+			ov.Exec.Pipelined, sync.Exec.Pipelined)
+	}
+	// The headline acceptance bound: >= 10% virtual wall reduction over
+	// the overlapped executor on the same kernel and network.
+	if pipe.Wall > ov.Wall-ov.Wall/10 {
+		t.Errorf("pipelined run took %v virtual, overlapped %v; pipelining should beat overlap by >=10%% under a %v one-way delay",
+			pipe.Wall, ov.Wall, benchDelay)
+	}
+	if pipe.Wall > sync.Wall-sync.Wall/10 {
+		t.Errorf("pipelined run took %v virtual, synchronous %v; pipelining should beat synchronous by >=10%%",
+			pipe.Wall, sync.Wall)
+	}
+	// Flying the fields' exchanges together also shrinks the blocked
+	// drain time itself: only the first Wait of an iteration eats the
+	// delay, the others find their arrivals already queued.
+	if pipe.Exec.Idle >= ov.Exec.Idle {
+		t.Errorf("pipelined handles idled %v, overlap idled %v; concurrent flights should shrink the blocked drain time",
+			pipe.Exec.Idle, ov.Exec.Idle)
+	}
+}

@@ -57,6 +57,8 @@ func measureRun(g *graph.Graph, env *hetero.Env, p, iters, workRep int,
 		Env:         env,
 		WorkRep:     workRep,
 		Overlap:     opts.Overlap,
+		Pipeline:    opts.Pipeline,
+		Fields:      opts.Fields,
 		Balancer:    bal,
 	})
 	if err != nil {
@@ -90,6 +92,9 @@ func Table4(opts Options) (*Table, error) {
 	}
 	if opts.Overlap {
 		t.Notes = append(t.Notes, "split-phase overlapped executor (Phase C′)")
+	}
+	if opts.Pipeline > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("software-pipelined executor, depth %d", opts.Pipeline))
 	}
 	var t1 float64
 	for _, p := range []int{1, 2, 3, 4, 5} {

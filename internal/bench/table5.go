@@ -138,6 +138,9 @@ func Table5(opts Options) (*Table, error) {
 	if opts.Overlap {
 		t.Notes = append(t.Notes, "split-phase overlapped executor (Phase C′)")
 	}
+	if opts.Pipeline > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("software-pipelined executor, depth %d", opts.Pipeline))
+	}
 	// The single loaded workstation row.
 	g, err := benchMesh(opts)
 	if err != nil {

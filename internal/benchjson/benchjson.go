@@ -122,3 +122,13 @@ func (s *Summary) Write(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
 }
+
+// Read decodes a summary previously produced by Write — the format of
+// bench.json and the committed BENCH_baseline.json.
+func Read(r io.Reader) (*Summary, error) {
+	var s Summary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchjson: malformed summary: %w", err)
+	}
+	return &s, nil
+}

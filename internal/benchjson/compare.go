@@ -1,0 +1,108 @@
+package benchjson
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gatedUnits are the metrics the regression gate checks. Timings catch
+// gross slowdowns; allocation counts are deterministic, so with a zero
+// baseline any increase is flagged regardless of tolerance.
+var gatedUnits = []string{"ns/op", "allocs/op"}
+
+// Regression is one benchmark metric that got worse beyond tolerance.
+type Regression struct {
+	// Pkg and Name identify the benchmark (Result fields).
+	Pkg  string `json:"pkg"`
+	Name string `json:"name"`
+	// Unit is the metric that regressed ("ns/op" or "allocs/op").
+	Unit string `json:"unit"`
+	// Old and New are the baseline and current values.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+}
+
+// Delta is the fractional increase over the baseline; +Inf when the
+// baseline was zero.
+func (r Regression) Delta() float64 {
+	if r.Old == 0 {
+		return math.Inf(1)
+	}
+	return (r.New - r.Old) / r.Old
+}
+
+// String renders the regression the way the CLI reports it.
+func (r Regression) String() string {
+	if r.Old == 0 {
+		return fmt.Sprintf("%s %s: %s %v -> %v (baseline was zero)",
+			r.Pkg, r.Name, r.Unit, r.Old, r.New)
+	}
+	return fmt.Sprintf("%s %s: %s %v -> %v (+%.1f%%)",
+		r.Pkg, r.Name, r.Unit, r.Old, r.New, 100*(r.New-r.Old)/r.Old)
+}
+
+// Compare checks cur against base and returns every gated metric that
+// regressed beyond tol, a fractional tolerance (0.10 = a 10% increase
+// is still acceptable). A zero baseline tolerates nothing: the
+// allocation gates pin 0 allocs/op, and any increase from 0 is a real
+// regression no matter the percentage asked for. Benchmarks present in
+// only one summary are skipped — new benchmarks are not regressions,
+// and deleted ones have nothing to measure. Results come back sorted
+// by package, name, then unit.
+func Compare(base, cur *Summary, tol float64) []Regression {
+	type key struct{ pkg, name string }
+	old := make(map[key]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[key{r.Pkg, r.Name}] = r
+	}
+	var regs []Regression
+	for _, r := range cur.Benchmarks {
+		b, ok := old[key{r.Pkg, r.Name}]
+		if !ok {
+			continue
+		}
+		for _, unit := range gatedUnits {
+			nv, nok := r.Metrics[unit]
+			ov, ook := b.Metrics[unit]
+			if !nok || !ook {
+				continue
+			}
+			if (ov == 0 && nv > 0) || (ov > 0 && nv > ov*(1+tol)) {
+				regs = append(regs, Regression{Pkg: r.Pkg, Name: r.Name, Unit: unit, Old: ov, New: nv})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		a, b := regs[i], regs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Unit < b.Unit
+	})
+	return regs
+}
+
+// ParseTolerance reads a tolerance argument: either a percentage with
+// a trailing '%' ("10%") or a bare fraction ("0.1"). Both examples
+// mean the same bound.
+func ParseTolerance(s string) (float64, error) {
+	raw := strings.TrimSpace(s)
+	pct := strings.HasSuffix(raw, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(raw, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("benchjson: bad tolerance %q (want \"10%%\" or \"0.1\")", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 || v != v {
+		return 0, fmt.Errorf("benchjson: tolerance %q is negative", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,98 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func sum(results ...Result) *Summary { return &Summary{Benchmarks: results} }
+
+func res(pkg, name string, metrics map[string]float64) Result {
+	return Result{Pkg: pkg, Name: name, N: 1, Metrics: metrics}
+}
+
+func TestCompare(t *testing.T) {
+	base := sum(
+		res("p", "BenchmarkA-8", map[string]float64{"ns/op": 1000, "allocs/op": 0}),
+		res("p", "BenchmarkB-8", map[string]float64{"ns/op": 1000, "allocs/op": 4}),
+		res("p", "BenchmarkGone-8", map[string]float64{"ns/op": 50}),
+	)
+	cur := sum(
+		// Exactly at the 10% bound: not a regression (the gate is >).
+		res("p", "BenchmarkA-8", map[string]float64{"ns/op": 1100, "allocs/op": 0}),
+		// 20% slower and one extra alloc: two regressions.
+		res("p", "BenchmarkB-8", map[string]float64{"ns/op": 1200, "allocs/op": 5}),
+		// Only in the new run: ignored.
+		res("p", "BenchmarkNew-8", map[string]float64{"ns/op": 1e9}),
+	)
+	regs := Compare(base, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkB-8" || regs[0].Unit != "allocs/op" || regs[0].New != 5 {
+		t.Errorf("first regression %+v, want BenchmarkB allocs/op 4 -> 5", regs[0])
+	}
+	if regs[1].Name != "BenchmarkB-8" || regs[1].Unit != "ns/op" || regs[1].Old != 1000 || regs[1].New != 1200 {
+		t.Errorf("second regression %+v, want BenchmarkB ns/op 1000 -> 1200", regs[1])
+	}
+	if d := regs[1].Delta(); d < 0.199 || d > 0.201 {
+		t.Errorf("ns/op delta %v, want 0.2", d)
+	}
+	if got := regs[1].String(); !strings.Contains(got, "+20.0%") {
+		t.Errorf("regression rendered as %q, want the percentage in it", got)
+	}
+
+	// Generous tolerance lets the timing slide but a zero-alloc
+	// baseline still tolerates nothing.
+	cur2 := sum(res("p", "BenchmarkA-8", map[string]float64{"ns/op": 4000, "allocs/op": 1}))
+	regs = Compare(base, cur2, 5.0)
+	if len(regs) != 1 || regs[0].Unit != "allocs/op" || regs[0].Old != 0 {
+		t.Fatalf("got %v, want exactly the 0 -> 1 allocs/op regression", regs)
+	}
+	if got := regs[0].String(); !strings.Contains(got, "baseline was zero") {
+		t.Errorf("zero-baseline regression rendered as %q", got)
+	}
+
+	if regs := Compare(base, base, 0); len(regs) != 0 {
+		t.Errorf("summary regressed against itself: %v", regs)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"10%", 0.10}, {"0.1", 0.10}, {" 400% ", 4.0}, {"0", 0}, {"0%", 0},
+	} {
+		got, err := ParseTolerance(tc.in)
+		if err != nil {
+			t.Errorf("ParseTolerance(%q): %v", tc.in, err)
+		} else if diff := got - tc.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("ParseTolerance(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "%", "-5%", "-0.1", "NaN"} {
+		if v, err := ParseTolerance(bad); err == nil {
+			t.Errorf("ParseTolerance(%q) = %v, want error", bad, v)
+		}
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	s := sum(res("p", "BenchmarkA-8", map[string]float64{"ns/op": 1.5}))
+	var buf strings.Builder
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].Metrics["ns/op"] != 1.5 {
+		t.Fatalf("round-trip lost data: %+v", got)
+	}
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage summary read without error")
+	}
+}

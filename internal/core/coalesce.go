@@ -34,8 +34,8 @@ func (rt *Runtime) ScatterAddAll(vecs ...*Vector) error {
 	return rt.scatter(rt.vecScratch)
 }
 
-// collect validates ownership and refreshes the reused [][]float64
-// view of the vectors' data.
+// collect validates ownership, checks the vectors against the live op
+// handles and refreshes the reused [][]float64 view of their data.
 func (rt *Runtime) collect(vecs []*Vector) error {
 	rt.vecScratch = rt.vecScratch[:0]
 	for _, v := range vecs {
@@ -44,5 +44,5 @@ func (rt *Runtime) collect(vecs []*Vector) error {
 		}
 		rt.vecScratch = append(rt.vecScratch, v.Data)
 	}
-	return nil
+	return rt.checkLiveConflict("a coalesced synchronous op", vecs)
 }

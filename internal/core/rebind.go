@@ -64,8 +64,8 @@ func (rt *Runtime) Rebind(rb Rebind) (RebindStats, error) {
 	if rb.Carrier == nil {
 		return stats, fmt.Errorf("core: rebind without a carrier")
 	}
-	if rt.inflight.active() {
-		return stats, fmt.Errorf("core: rebind while a split-phase operation is in flight")
+	if n := len(rt.live); n > 0 {
+		return stats, fmt.Errorf("core: rebind while %d split-phase op(s) are in flight; Wait on their handles first", n)
 	}
 	if rb.Old == nil || rb.New == nil {
 		return stats, fmt.Errorf("core: rebind without layouts")

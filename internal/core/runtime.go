@@ -125,18 +125,27 @@ type Runtime struct {
 	// (redistribution).
 	wireScratch []byte
 
-	// inflight is the split-phase operation currently between Start and
-	// Finish, if any; it owns the plan's pending mask and the vector
-	// views until Finish drains it.
-	inflight splitOp
+	// live are the handle-based operations currently between Start and
+	// Wait, in start order; each owns its arrival mask, parked payloads
+	// and wire tag. opPool recycles completed handles and opSeq drives
+	// the rotating tag window (reset on every rebuild — see
+	// splitphase.go). vsetScratch is the reused single-vector view the
+	// one-vector Starts hand to beginOp.
+	live        []*OpHandle
+	opPool      []*OpHandle
+	opSeq       int
+	vsetScratch []*Vector
 
 	// Executor traffic counters (see ExecStats).
 	execOps, execMsgs, execBytes int64
-	// Split-phase counters: execOverlap counts Start/Finish operation
-	// pairs, execIdle accumulates the time Finish spent blocked waiting
-	// for arrivals — the latency the interior compute failed to hide.
-	execOverlap int64
-	execIdle    time.Duration
+	// Split-phase counters: execOverlap counts Start/Wait operation
+	// pairs, execPipelined counts the Starts issued while another
+	// handle was already live, execIdle accumulates the time Wait spent
+	// blocked waiting for arrivals — the latency the overlapped compute
+	// failed to hide.
+	execOverlap   int64
+	execPipelined int64
+	execIdle      time.Duration
 
 	lastInspector time.Duration
 }
@@ -154,9 +163,13 @@ type ExecStats struct {
 	Msgs  int64 `json:"msgs"`
 	Bytes int64 `json:"bytes"`
 	// Overlapped counts the replay operations that ran split-phase
-	// (one per Start/Finish pair); they are included in Ops.
+	// (one per Start/Wait pair); they are included in Ops.
 	Overlapped int64 `json:"overlapped"`
-	// Idle is the total time Finish calls spent blocked waiting for
+	// Pipelined counts the split-phase operations started while
+	// another handle was already in flight — the ops the single-slot
+	// executor would have serialized; they are included in Overlapped.
+	Pipelined int64 `json:"pipelined"`
+	// Idle is the total time Wait calls spent blocked waiting for
 	// arrivals — the communication latency the overlapped interior
 	// compute did not hide. Zero idle means the split-phase pipeline
 	// hid the exchange entirely.
@@ -169,6 +182,7 @@ func (s *ExecStats) Add(o ExecStats) {
 	s.Msgs += o.Msgs
 	s.Bytes += o.Bytes
 	s.Overlapped += o.Overlapped
+	s.Pipelined += o.Pipelined
 	s.Idle += o.Idle
 }
 
@@ -176,7 +190,8 @@ func (s *ExecStats) Add(o ExecStats) {
 func (s ExecStats) Sub(o ExecStats) ExecStats {
 	return ExecStats{
 		Ops: s.Ops - o.Ops, Msgs: s.Msgs - o.Msgs, Bytes: s.Bytes - o.Bytes,
-		Overlapped: s.Overlapped - o.Overlapped, Idle: s.Idle - o.Idle,
+		Overlapped: s.Overlapped - o.Overlapped, Pipelined: s.Pipelined - o.Pipelined,
+		Idle: s.Idle - o.Idle,
 	}
 }
 
@@ -337,6 +352,11 @@ func (rt *Runtime) rebuild() error {
 	rt.lastInspector = rt.clock.Now().Sub(start)
 	rt.sch = s
 	rt.plan = sched.Compile(s)
+	// The rotating op-tag counter restarts with the schedule: every
+	// rebuild site (Bind, Remap, Rebind) requires zero live handles,
+	// and resetting here keeps a freshly admitted rank's tag sequence
+	// aligned with the survivors'.
+	rt.opSeq = 0
 	if err := rt.localize(refs); err != nil {
 		return err
 	}
@@ -404,7 +424,7 @@ func (rt *Runtime) Plan() *sched.Plan { return rt.plan }
 func (rt *Runtime) ExecStats() ExecStats {
 	return ExecStats{
 		Ops: rt.execOps, Msgs: rt.execMsgs, Bytes: rt.execBytes,
-		Overlapped: rt.execOverlap, Idle: rt.execIdle,
+		Overlapped: rt.execOverlap, Pipelined: rt.execPipelined, Idle: rt.execIdle,
 	}
 }
 

@@ -80,11 +80,12 @@ func splitScript(t *testing.T, p int, split bool) [][][]float64 {
 		runOnce := func() error {
 			// Exchange with interior compute between the halves.
 			if split {
-				if err := rt.ExchangeStart(v); err != nil {
+				h, err := rt.ExchangeStart(v)
+				if err != nil {
 					return err
 				}
 				interiorMix()
-				if err := rt.ExchangeFinish(); err != nil {
+				if err := h.Wait(); err != nil {
 					return err
 				}
 			} else {
@@ -105,10 +106,11 @@ func splitScript(t *testing.T, p int, split bool) [][][]float64 {
 				}
 			}
 			if split {
-				if err := rt.ScatterAddStart(w); err != nil {
+				h, err := rt.ScatterAddStart(w)
+				if err != nil {
 					return err
 				}
-				if err := rt.ScatterAddFinish(); err != nil {
+				if err := h.Wait(); err != nil {
 					return err
 				}
 			} else {
@@ -121,11 +123,12 @@ func splitScript(t *testing.T, p int, split bool) [][][]float64 {
 
 			// Coalesced exchange, split vs sync.
 			if split {
-				if err := rt.ExchangeAllStart(v, w); err != nil {
+				h, err := rt.ExchangeAllStart(v, w)
+				if err != nil {
 					return err
 				}
 				interiorMix()
-				if err := rt.ExchangeAllFinish(); err != nil {
+				if err := h.Wait(); err != nil {
 					return err
 				}
 			} else {
@@ -200,11 +203,12 @@ func TestSplitPhaseMatchesSyncBitForBit(t *testing.T) {
 	}
 }
 
-// TestSplitPhaseGuards covers the misuse surface: a Finish without a
-// Start, a second Start while one is in flight, synchronous and
-// layout-changing operations during an open split-phase window, and
-// split-phase calls on a parked runtime — all must fail loudly instead
-// of corrupting the plan's scratch state.
+// TestSplitPhaseGuards covers the misuse surface of the handle-based
+// executor: conflicting Starts on a vector with a live op, synchronous
+// and layout-changing operations that would race an in-flight handle,
+// Wait on an already-completed handle, and split-phase calls on a
+// parked runtime — all must fail loudly instead of corrupting state.
+// Independent-vector ops, by contrast, must be allowed to coexist.
 func TestSplitPhaseGuards(t *testing.T) {
 	g := testMesh(t)
 	ws, err := comm.NewWorld(2, nil)
@@ -217,32 +221,63 @@ func TestSplitPhaseGuards(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		v := rt.NewVector()
+		v, w := rt.NewVector(), rt.NewVector()
 		v.SetByGlobal(initValue)
+		w.SetByGlobal(func(gid int64) float64 { return float64(gid) * 0.5 })
 
-		mustErr := func(what string, err error) error {
+		mustErr := func(what string, err error) {
 			if err == nil {
 				t.Errorf("rank %d: %s succeeded, want error", c.Rank(), what)
 			}
-			return nil
 		}
-		mustErr("ExchangeFinish without Start", rt.ExchangeFinish())
-		mustErr("ScatterAddFinish without Start", rt.ScatterAddFinish())
 
-		if err := rt.ExchangeStart(v); err != nil {
+		h, err := rt.ExchangeStart(v)
+		if err != nil {
 			return err
 		}
-		mustErr("second ExchangeStart while in flight", rt.ExchangeStart(v))
-		mustErr("sync Exchange while in flight", rt.Exchange(v))
-		mustErr("sync ScatterAdd while in flight", rt.ScatterAdd(v))
+		if rt.LiveOps() != 1 {
+			t.Errorf("rank %d: LiveOps=%d after one Start, want 1", c.Rank(), rt.LiveOps())
+		}
+		if _, err := rt.ExchangeStart(v); err == nil {
+			t.Errorf("rank %d: second ExchangeStart on the same vector succeeded, want error", c.Rank())
+		}
+		if _, err := rt.ScatterAddStart(v); err == nil {
+			t.Errorf("rank %d: ScatterAddStart on a vector with a live Exchange succeeded, want error", c.Rank())
+		}
+		mustErr("sync Exchange on a vector with a live op", rt.Exchange(v))
+		mustErr("sync ScatterAdd on a vector with a live op", rt.ScatterAdd(v))
+		mustErr("coalesced ExchangeAll overlapping a live op", rt.ExchangeAll(v, w))
 		if _, err := rt.Remap([]float64{1, 2}); err == nil {
 			t.Errorf("rank %d: Remap while in flight succeeded, want error", c.Rank())
 		}
-		mustErr("ScatterAddFinish against an in-flight Exchange", rt.ScatterAddFinish())
-		if err := rt.ExchangeFinish(); err != nil {
+		// An op on an unrelated vector is independent and must be
+		// admitted alongside the live one, and sync ops on unrelated
+		// vectors stay legal too.
+		hw, err := rt.ExchangeStart(w)
+		if err != nil {
+			t.Errorf("rank %d: independent ExchangeStart failed: %v", c.Rank(), err)
 			return err
 		}
-		// The runtime must be fully usable again after a clean Finish.
+		if rt.LiveOps() != 2 {
+			t.Errorf("rank %d: LiveOps=%d with two live handles, want 2", c.Rank(), rt.LiveOps())
+		}
+		// Drain out of start order: handles carry their own tags, so
+		// waiting on the younger one first must not steal messages.
+		if err := hw.Wait(); err != nil {
+			return err
+		}
+		mustErr("second Wait on a completed handle", hw.Wait())
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		if !h.Done() || rt.LiveOps() != 0 {
+			t.Errorf("rank %d: Done=%v LiveOps=%d after draining, want true/0", c.Rank(), h.Done(), rt.LiveOps())
+		}
+		mustErr("Wait on a nil handle", (*OpHandle)(nil).Wait())
+		// The runtime must be fully usable again after a clean drain.
+		if _, err := rt.Remap([]float64{1, 2}); err != nil {
+			return err
+		}
 		return rt.Exchange(v)
 	})
 	if err != nil {
@@ -261,12 +296,62 @@ func TestSplitPhaseGuards(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := rt.NewVector()
-	if err := rt.ExchangeStart(v); err == nil || !strings.Contains(err.Error(), "parked") {
+	if _, err := rt.ExchangeStart(v); err == nil || !strings.Contains(err.Error(), "parked") {
 		t.Errorf("ExchangeStart on parked runtime: err=%v, want parked error", err)
 	}
-	if err := rt.ScatterAddStart(v); err == nil || !strings.Contains(err.Error(), "parked") {
+	if _, err := rt.ScatterAddStart(v); err == nil || !strings.Contains(err.Error(), "parked") {
 		t.Errorf("ScatterAddStart on parked runtime: err=%v, want parked error", err)
 	}
+}
+
+// TestOpTagWindowExhaustion pins the in-flight capacity contract: the
+// rotating tag window admits up to tagOpWindow concurrent handles, and
+// the next Start fails with an actionable error instead of silently
+// reusing a live tag.
+func TestOpTagWindowExhaustion(t *testing.T) {
+	g := testMesh(t)
+	ws, err := comm.NewWorld(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseWorld(ws)
+	rt, err := New(ws[0], g, Config{Order: order.RCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*OpHandle, 0, tagOpWindow)
+	vecs := make([]*Vector, 0, tagOpWindow)
+	for i := 0; i < tagOpWindow; i++ {
+		v := rt.NewVector()
+		v.SetByGlobal(initValue)
+		h, err := rt.ExchangeStart(v)
+		if err != nil {
+			t.Fatalf("Start %d: %v", i, err)
+		}
+		handles = append(handles, h)
+		vecs = append(vecs, v)
+	}
+	extra := rt.NewVector()
+	if _, err := rt.ExchangeStart(extra); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("Start past the tag window: err=%v, want window-exhaustion error", err)
+	}
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.LiveOps() != 0 {
+		t.Fatalf("LiveOps=%d after draining, want 0", rt.LiveOps())
+	}
+	// Slots recycle once their owners retire.
+	h, err := rt.ExchangeStart(vecs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	_ = extra
 }
 
 // checkSplit asserts the classification invariant on one rank: the

@@ -57,6 +57,10 @@ func (rt *Runtime) Exchange(v *Vector) error {
 	if rt.Parked() {
 		return fmt.Errorf("core: Exchange on a parked runtime")
 	}
+	rt.vsetScratch = append(rt.vsetScratch[:0], v)
+	if err := rt.checkLiveConflict("Exchange", rt.vsetScratch); err != nil {
+		return err
+	}
 	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
 	return rt.gather(rt.vecScratch)
 }
@@ -72,16 +76,19 @@ func (rt *Runtime) ScatterAdd(v *Vector) error {
 	if rt.Parked() {
 		return fmt.Errorf("core: ScatterAdd on a parked runtime")
 	}
+	rt.vsetScratch = append(rt.vsetScratch[:0], v)
+	if err := rt.checkLiveConflict("ScatterAdd", rt.vsetScratch); err != nil {
+		return err
+	}
 	rt.vecScratch = append(rt.vecScratch[:0], v.Data)
 	return rt.scatter(rt.vecScratch)
 }
 
 // gather replays the Exchange direction of the plan for one or more
-// vectors coalesced onto the same wire messages.
+// vectors coalesced onto the same wire messages. Callers have already
+// checked the vectors against the live handles; the fixed tag and the
+// plan-owned pending scratch never collide with handle-based ops.
 func (rt *Runtime) gather(vecs [][]float64) error {
-	if rt.inflight.active() {
-		return fmt.Errorf("core: synchronous exchange while a split-phase operation is in flight")
-	}
 	p := rt.plan
 	rt.execOps++
 	pending := p.Pending()
@@ -100,33 +107,33 @@ func (rt *Runtime) gather(vecs [][]float64) error {
 		// Overlap: unpack whatever has already arrived before packing
 		// the next message.
 		var err error
-		nPending, err = rt.drainGather(pending, nPending, vecs, false)
+		nPending, err = rt.drainGather(tagExchange, pending, nPending, vecs, false)
 		if err != nil {
 			return err
 		}
 	}
-	_, err := rt.drainGather(pending, nPending, vecs, true)
+	_, err := rt.drainGather(tagExchange, pending, nPending, vecs, true)
 	return err
 }
 
-// drainGather consumes Exchange payloads in arrival order, unpacking
-// each straight into the ghost sections (safe out of order: ghost
-// slots are disjoint assignments). With block unset it only takes
-// messages that are already in the mailbox.
-func (rt *Runtime) drainGather(pending []bool, nPending int, vecs [][]float64, block bool) (int, error) {
+// drainGather consumes Exchange payloads on the given tag in arrival
+// order, unpacking each straight into the ghost sections (safe out of
+// order: ghost slots are disjoint assignments). With block unset it
+// only takes messages that are already in the mailbox.
+func (rt *Runtime) drainGather(tag int, pending []bool, nPending int, vecs [][]float64, block bool) (int, error) {
 	p := rt.plan
 	for nPending > 0 {
 		var src int
 		var data []byte
 		var err error
 		if block {
-			src, data, err = rt.c.RecvAnyOf(tagExchange, pending)
+			src, data, err = rt.c.RecvAnyOf(tag, pending)
 			if err != nil {
 				return nPending, err
 			}
 		} else {
 			var ok bool
-			src, data, ok, err = rt.c.PollAnyOf(tagExchange, pending)
+			src, data, ok, err = rt.c.PollAnyOf(tag, pending)
 			if err != nil {
 				return nPending, err
 			}
@@ -151,9 +158,6 @@ func (rt *Runtime) drainGather(pending []bool, nPending int, vecs [][]float64, b
 // contribute to the same owned element, and floating-point addition is
 // not associative, so apply order must not depend on network timing.
 func (rt *Runtime) scatter(vecs [][]float64) error {
-	if rt.inflight.active() {
-		return fmt.Errorf("core: synchronous scatter while a split-phase operation is in flight")
-	}
 	p := rt.plan
 	rt.execOps++
 	pending := p.Pending()
@@ -171,12 +175,12 @@ func (rt *Runtime) scatter(vecs [][]float64) error {
 		rt.execMsgs++
 		rt.execBytes += int64(len(buf))
 		var err error
-		nPending, err = rt.drainScatter(pending, nPending, false)
+		nPending, err = rt.drainScatter(tagScatter, pending, nPending, p.Held(), false)
 		if err != nil {
 			return err
 		}
 	}
-	if _, err := rt.drainScatter(pending, nPending, true); err != nil {
+	if _, err := rt.drainScatter(tagScatter, pending, nPending, p.Held(), true); err != nil {
 		return err
 	}
 	for _, q := range p.SendPeers() {
@@ -190,22 +194,22 @@ func (rt *Runtime) scatter(vecs [][]float64) error {
 	return nil
 }
 
-// drainScatter completes ScatterAdd receives in arrival order, parking
-// each payload on the plan until the deterministic apply pass.
-func (rt *Runtime) drainScatter(pending []bool, nPending int, block bool) (int, error) {
-	p := rt.plan
+// drainScatter completes ScatterAdd receives on the given tag in
+// arrival order, parking each payload in held (indexed by source) until
+// the deterministic apply pass.
+func (rt *Runtime) drainScatter(tag int, pending []bool, nPending int, held [][]byte, block bool) (int, error) {
 	for nPending > 0 {
 		var src int
 		var data []byte
 		var err error
 		if block {
-			src, data, err = rt.c.RecvAnyOf(tagScatter, pending)
+			src, data, err = rt.c.RecvAnyOf(tag, pending)
 			if err != nil {
 				return nPending, err
 			}
 		} else {
 			var ok bool
-			src, data, ok, err = rt.c.PollAnyOf(tagScatter, pending)
+			src, data, ok, err = rt.c.PollAnyOf(tag, pending)
 			if err != nil {
 				return nPending, err
 			}
@@ -213,7 +217,7 @@ func (rt *Runtime) drainScatter(pending []bool, nPending int, block bool) (int, 
 				return nPending, nil
 			}
 		}
-		p.Hold(src, data)
+		held[src] = data
 		pending[src] = false
 		nPending--
 	}

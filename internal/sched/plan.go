@@ -55,7 +55,7 @@ type Plan struct {
 	// overlapped executor: interior elements reference no ghost value,
 	// so a kernel can compute them while Exchange messages are still in
 	// flight; boundary elements read at least one ghost and must wait
-	// for ExchangeFinish. Both are ascending; together they partition
+	// for the exchange handle's Wait. Both are ascending; together they partition
 	// the local index set exactly. Populated by Classify (core calls it
 	// on every rebuild, so the split survives remaps and rebinds on the
 	// recompiled plan).
@@ -103,7 +103,7 @@ func Compile(s *Schedule) *Plan {
 // ghost section): a local element is boundary iff any of its
 // references is a ghost. The classification is what the split-phase
 // executor computes against — interior work overlaps in-flight
-// Exchange messages, boundary work runs after ExchangeFinish.
+// Exchange messages, boundary work runs after the handle's Wait.
 func (p *Plan) Classify(xadj, adj []int32) error {
 	if len(xadj) != p.nlocal+1 {
 		return fmt.Errorf("sched: classify with %d-row CSR for %d local elements", len(xadj)-1, p.nlocal)
@@ -183,6 +183,12 @@ func (p *Plan) TakeHeld(q int) []byte {
 	p.held[q] = nil
 	return d
 }
+
+// Held exposes the plan's parked-payload slots (indexed by peer) for
+// the synchronous executor's arrival-order drain. Handle-based ops own
+// their per-handle counterpart instead, so several ScatterAdds can be
+// in flight without sharing parking space.
+func (p *Plan) Held() [][]byte { return p.held }
 
 // wireFor returns peer q's send wire buffer resized to n bytes,
 // growing (and retaining) it only when a coalesced operation needs

@@ -112,7 +112,7 @@ type Config struct {
 	// are treated as 1).
 	WorkRep int
 	// Kernel is the solver's compute body (nil means the built-in
-	// Figure 8 kernel). With Overlap set it must be a
+	// Figure 8 kernel). With Overlap or Pipeline set it must be a
 	// solver.SubsetKernel — a kernel that can sweep the interior and
 	// boundary strips separately.
 	Kernel solver.Kernel
@@ -123,8 +123,23 @@ type Config struct {
 	// synchronous executor; RunReport.Exec.Overlapped and .Idle report
 	// how much latency the overlap hid. Requires a kernel with a
 	// boundary split — New fails loudly otherwise, it never falls back
-	// to synchronous.
+	// to synchronous. Mutually exclusive with Pipeline.
 	Overlap bool
+	// Pipeline, when positive, runs the solver software-pipelined on op
+	// handles: every field's ghost exchange is in flight at once, and at
+	// depth >= 2 a field's next-iteration exchange is posted as soon as
+	// its update completes, so the pipeline spans iteration boundaries.
+	// Results stay bit-for-bit identical; RunReport.Exec.Pipelined
+	// counts the ops issued while another was already in flight. Like
+	// Overlap it requires a solver.SubsetKernel and never falls back
+	// silently; the two modes are mutually exclusive (pipelining
+	// subsumes the overlap).
+	Pipeline int
+	// Fields is the number of independent solution fields the solver
+	// advances per iteration (0 means 1). Extra fields give the
+	// pipelined executor independent exchanges to keep in flight; field
+	// 0 is the solution vector Result returns.
+	Fields int
 	// Balancer enables Phase D adaptive load balancing (nil disables
 	// it). A zero Horizon defaults to CheckEvery.
 	Balancer *loadbal.Config
@@ -252,6 +267,22 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		if _, ok := cfg.Kernel.(solver.SubsetKernel); !ok {
 			return nil, fmt.Errorf("session: overlapped mode requires a kernel with a boundary split (solver.SubsetKernel); %T has none", cfg.Kernel)
 		}
+	}
+	if cfg.Pipeline < 0 {
+		return nil, fmt.Errorf("session: negative pipeline depth %d", cfg.Pipeline)
+	}
+	if cfg.Pipeline > 0 {
+		if cfg.Overlap {
+			return nil, fmt.Errorf("session: Overlap and Pipeline are mutually exclusive (pipelining subsumes the overlap)")
+		}
+		if cfg.Kernel != nil {
+			if _, ok := cfg.Kernel.(solver.SubsetKernel); !ok {
+				return nil, fmt.Errorf("session: pipelined mode requires a kernel with a boundary split (solver.SubsetKernel); %T has none", cfg.Kernel)
+			}
+		}
+	}
+	if cfg.Fields < 0 {
+		return nil, fmt.Errorf("session: negative field count %d", cfg.Fields)
 	}
 	if cfg.ComputeCost < 0 {
 		return nil, fmt.Errorf("session: negative compute cost %v", cfg.ComputeCost)
@@ -403,10 +434,10 @@ func (s *Session) activeWeights(active []int) []float64 {
 	return w
 }
 
-// newSolver builds a rank's solver with the configured kernel and
-// executor mode. SetOverlap runs last: it is the check that rejects a
-// kernel without a boundary split instead of silently running the
-// synchronous path.
+// newSolver builds a rank's solver with the configured kernel, field
+// count and executor mode. SetOverlap/SetPipeline run last: they are
+// the checks that reject a kernel without a boundary split instead of
+// silently running the synchronous path.
 func (s *Session) newSolver(rt *core.Runtime) (*solver.Solver, error) {
 	sol, err := solver.New(rt, s.cfg.Env, s.cfg.WorkRep)
 	if err != nil {
@@ -417,8 +448,18 @@ func (s *Session) newSolver(rt *core.Runtime) (*solver.Solver, error) {
 			return nil, err
 		}
 	}
+	if s.cfg.Fields > 1 {
+		if err := sol.SetFields(s.cfg.Fields); err != nil {
+			return nil, err
+		}
+	}
 	if s.cfg.Overlap {
 		if err := sol.SetOverlap(true); err != nil {
+			return nil, err
+		}
+	}
+	if s.cfg.Pipeline > 0 {
+		if err := sol.SetPipeline(s.cfg.Pipeline); err != nil {
 			return nil, err
 		}
 	}
@@ -616,23 +657,33 @@ func (s *Session) runFixed(c *comm.Comm, rep *RunReport, first, last int, pendin
 			return err
 		}
 	}
-	err := rk.sol.Run(last-first, func(iter int) error {
-		// The session context is also checked between iterations, not
-		// only at blocking receives: a rank that never blocks (a
-		// one-rank world has no ghosts) must still notice cancellation.
-		if err := s.ctx.Err(); err != nil {
+	// Iterate in segments between check boundaries, mirroring the
+	// elastic path: a check may Remap, and the pipelined solver keeps op
+	// handles in flight inside a Run call, so layout changes must fall
+	// between Run calls (every Run returns with the pipeline drained).
+	// The per-iteration callback only polls cancellation: a rank that
+	// never blocks (a one-rank world has no ghosts) must still notice
+	// it.
+	for iter := first; iter < last; {
+		next := iter + s.cfg.CheckEvery - iter%s.cfg.CheckEvery
+		if next > last {
+			next = last
+		}
+		if err := rk.sol.Run(next-iter, func(int) error { return s.ctx.Err() }); err != nil {
 			return err
 		}
-		if rk.bal == nil || iter%s.cfg.CheckEvery != 0 || iter == last {
-			return nil
+		iter = next
+		if rk.bal == nil || iter == last {
+			// A check on the final iteration is deferred to the next Run
+			// (its remap could not pay off within this one).
+			continue
 		}
 		tm := rk.sol.TakeTimings()
 		usage.Add(tm)
 		rk.window = tm
-		return s.check(me, rep, iter, tm)
-	})
-	if err != nil {
-		return err
+		if err := s.check(me, rep, iter, tm); err != nil {
+			return err
+		}
 	}
 	if err := c.Barrier(tagRunEnd); err != nil {
 		return err

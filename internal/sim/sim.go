@@ -62,6 +62,11 @@ type Scenario struct {
 	HasBalancer bool
 	Elastic     bool
 	Overlap     bool
+	// Pipeline and Fields mirror the session config: a positive
+	// Pipeline runs the handle-based pipelined executor at that depth,
+	// over Fields independent solution fields.
+	Pipeline int
+	Fields   int
 }
 
 // Result carries a completed scenario run.
@@ -190,8 +195,24 @@ func Generate(seed int64) (*Scenario, error) {
 		sc.HasBalancer = true
 	}
 
-	cfg.Overlap = rng.Intn(2) == 0
+	// Executor mode: synchronous, split-phase overlapped, or pipelined
+	// on op handles with a random depth and field count — the modes are
+	// mutually exclusive. Multi-field pipelined runs keep several
+	// exchanges in flight at once, exercising the dependency tracker and
+	// rotating wire tags under every network model and churn pattern.
+	switch rng.Intn(3) {
+	case 1:
+		cfg.Overlap = true
+	case 2:
+		cfg.Pipeline = 1 + rng.Intn(2)
+		cfg.Fields = 1 + rng.Intn(3)
+	}
 	sc.Overlap = cfg.Overlap
+	sc.Pipeline = cfg.Pipeline
+	sc.Fields = cfg.Fields
+	if sc.Fields == 0 {
+		sc.Fields = 1
+	}
 
 	// Segmentation and explicit elastic resizes: split the run into
 	// 1..3 Session.Run calls; sometimes shrink the active set before a
@@ -218,9 +239,9 @@ func Generate(seed int64) (*Scenario, error) {
 	sc.Cfg = cfg
 
 	sc.Desc = fmt.Sprintf(
-		"seed=%d n=%d procs=%d iters=%v order=%s check=%d cost=%v model=%+v overlap=%v balancer=%v elastic=%v loads=%d traces=%d outages=%d resizes=%v",
+		"seed=%d n=%d procs=%d iters=%v order=%s check=%d cost=%v model=%+v overlap=%v pipeline=%d fields=%d balancer=%v elastic=%v loads=%d traces=%d outages=%d resizes=%v",
 		seed, g.N, procs, sc.Segments, cfg.OrderName, checkEvery, cfg.ComputeCost,
-		cfg.Model, cfg.Overlap, sc.HasBalancer, sc.Elastic,
+		cfg.Model, cfg.Overlap, cfg.Pipeline, sc.Fields, sc.HasBalancer, sc.Elastic,
 		len(env.Loads), len(env.Traces), len(env.Outages), sc.Resizes)
 	return sc, nil
 }
@@ -377,11 +398,18 @@ func checkInvariants(sc *Scenario, res *Result, ref []float64) error {
 		if rep.Exec.Overlapped > rep.Exec.Ops {
 			return fmt.Errorf("segment %d: %d overlapped ops of %d total", si, rep.Exec.Overlapped, rep.Exec.Ops)
 		}
-		if rep.Exec.Ops < 0 || rep.Exec.Msgs < 0 || rep.Exec.Bytes < 0 || rep.Exec.Idle < 0 {
+		if rep.Exec.Pipelined > rep.Exec.Overlapped {
+			return fmt.Errorf("segment %d: %d pipelined ops exceed %d overlapped (pipelined is a subset)",
+				si, rep.Exec.Pipelined, rep.Exec.Overlapped)
+		}
+		if rep.Exec.Ops < 0 || rep.Exec.Msgs < 0 || rep.Exec.Bytes < 0 || rep.Exec.Idle < 0 || rep.Exec.Pipelined < 0 {
 			return fmt.Errorf("segment %d: negative executor counters %+v", si, rep.Exec)
 		}
-		if !sc.Overlap && rep.Exec.Overlapped != 0 {
+		if !sc.Overlap && sc.Pipeline == 0 && rep.Exec.Overlapped != 0 {
 			return fmt.Errorf("segment %d: synchronous run recorded %d overlapped ops", si, rep.Exec.Overlapped)
+		}
+		if sc.Pipeline == 0 && rep.Exec.Pipelined != 0 {
+			return fmt.Errorf("segment %d: non-pipelined run recorded %d pipelined ops", si, rep.Exec.Pipelined)
 		}
 		if rep.Iters > 0 && rep.Wall <= 0 {
 			return fmt.Errorf("segment %d: non-positive virtual wall %v for %d iters", si, rep.Wall, rep.Iters)
@@ -413,9 +441,9 @@ func checkInvariants(sc *Scenario, res *Result, ref []float64) error {
 	if iters != int64(sc.Iters) {
 		return fmt.Errorf("segments ran %d iterations, scenario has %d", iters, sc.Iters)
 	}
-	if want := int64(sc.Graph.N) * iters; items != want {
-		return fmt.Errorf("element conservation violated: %d items computed, want %d (N=%d × %d iters)",
-			items, want, sc.Graph.N, iters)
+	if want := int64(sc.Graph.N) * iters * int64(sc.Fields); items != want {
+		return fmt.Errorf("element conservation violated: %d items computed, want %d (N=%d × %d iters × %d fields)",
+			items, want, sc.Graph.N, iters, sc.Fields)
 	}
 	return nil
 }

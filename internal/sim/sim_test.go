@@ -44,6 +44,7 @@ func TestSimSeeds(t *testing.T) {
 // cover.
 func TestSimScenarioDiversity(t *testing.T) {
 	var delay, balancer, elastic, overlap, traces, multiSeg, resize int
+	var pipeline, pipelineMulti, syncMode int
 	for seed := int64(0); seed < simSeeds; seed++ {
 		sc, err := Generate(seed)
 		if err != nil {
@@ -60,6 +61,15 @@ func TestSimScenarioDiversity(t *testing.T) {
 		}
 		if sc.Overlap {
 			overlap++
+		}
+		if sc.Pipeline > 0 {
+			pipeline++
+			if sc.Fields > 1 {
+				// Several exchanges genuinely in flight at once.
+				pipelineMulti++
+			}
+		} else if !sc.Overlap {
+			syncMode++
 		}
 		if len(sc.Cfg.Env.Traces) > 0 {
 			traces++
@@ -78,6 +88,9 @@ func TestSimScenarioDiversity(t *testing.T) {
 		"delay models": delay, "balancers": balancer, "elastic churn": elastic,
 		"overlap executors": overlap, "capability traces": traces,
 		"multi-segment runs": multiSeg, "explicit resizes": resize,
+		"pipelined executors":         pipeline,
+		"multi-field pipelined runs":  pipelineMulti,
+		"plain synchronous executors": syncMode,
 	} {
 		if n == 0 {
 			t.Errorf("no scenario in the %d-seed CI list exercises %s", simSeeds, name)

@@ -22,10 +22,10 @@ type Kernel interface {
 
 // SubsetKernel is implemented by kernels that can sweep an arbitrary
 // ascending subset of the local elements. This is the boundary split
-// the overlapped executor mode needs: the solver sweeps the plan's
-// interior elements while Exchange messages are in flight and the
-// boundary elements after ExchangeFinish. A kernel without it can only
-// run synchronously.
+// the overlapped and pipelined executor modes need: the solver sweeps
+// the plan's interior elements while Exchange messages are in flight
+// and the boundary elements after the handle's Wait. A kernel without
+// it can only run synchronously.
 type SubsetKernel interface {
 	Kernel
 	// SweepIdx computes tv[u] for each u in idx, in idx order.

@@ -25,12 +25,28 @@ type Solver struct {
 	y     *core.Vector
 	t     []float64
 
+	// fields are the independent solution vectors the loop advances
+	// each iteration; fields[0] is y. A multi-field solver models the
+	// paper's multi-vector kernels: every field runs the same sweep on
+	// its own data, so their exchanges are independent ops the
+	// pipelined executor can keep in flight together.
+	fields []*core.Vector
+	// handles are the per-field in-flight exchanges of the pipelined
+	// mode, reused across iterations.
+	handles []*core.OpHandle
+
 	// kern is the per-iteration compute body (Figure8 by default).
 	kern Kernel
 	// overlap selects the split-phase executor mode: ExchangeStart,
-	// interior sweep while messages fly, ExchangeFinish, boundary
-	// sweep. Requires a SubsetKernel.
+	// interior sweep while messages fly, Wait, boundary sweep — one op
+	// in flight at a time. Requires a SubsetKernel.
 	overlap bool
+	// pipeline, when positive, selects the asynchronous dataflow mode:
+	// every field's exchange is a live handle and, at depth >= 2, a
+	// field's next-iteration exchange departs while the remaining
+	// fields still drain the current one. Mutually exclusive with
+	// overlap; requires a SubsetKernel.
+	pipeline int
 
 	// workRep is the number of times each element's kernel body is
 	// repeated per iteration at work factor 1. Amplifying per-element
@@ -84,6 +100,7 @@ func New(rt *core.Runtime, env *hetero.Env, workRep int) (*Solver, error) {
 		kern:    Figure8{},
 		workRep: workRep,
 	}
+	s.fields = []*core.Vector{s.y}
 	s.InitDefault()
 	return s, nil
 }
@@ -91,15 +108,16 @@ func New(rt *core.Runtime, env *hetero.Env, workRep int) (*Solver, error) {
 // Kernel returns the solver's compute body.
 func (s *Solver) Kernel() Kernel { return s.kern }
 
-// SetKernel replaces the compute body. With the overlapped mode
-// enabled the kernel must support the boundary split (SubsetKernel).
+// SetKernel replaces the compute body. With the overlapped or
+// pipelined mode enabled the kernel must support the boundary split
+// (SubsetKernel).
 func (s *Solver) SetKernel(k Kernel) error {
 	if k == nil {
 		return fmt.Errorf("solver: nil kernel")
 	}
-	if s.overlap {
+	if s.overlap || s.pipeline > 0 {
 		if _, ok := k.(SubsetKernel); !ok {
-			return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); disable the overlapped mode or use a split-capable kernel", k)
+			return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); disable the overlapped/pipelined mode or use a split-capable kernel", k)
 		}
 	}
 	s.kern = k
@@ -118,8 +136,8 @@ func (s *Solver) Overlap() bool { return s.overlap }
 
 // SetOverlap switches the solver between the synchronous executor
 // (Exchange, then the full sweep) and the split-phase overlapped one
-// (ExchangeStart, interior sweep while messages are in flight,
-// ExchangeFinish, boundary sweep). The numerical result is identical
+// (ExchangeStart, interior sweep while messages are in flight, the
+// handle's Wait, boundary sweep). The numerical result is identical
 // bit for bit; only the schedule of communication against computation
 // changes. Enabling it fails — loudly, never falling back — when the
 // kernel has no boundary split.
@@ -127,7 +145,73 @@ func (s *Solver) SetOverlap(on bool) error {
 	if on && !s.CanOverlap() {
 		return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); cannot run overlapped", s.kern)
 	}
+	if on && s.pipeline > 0 {
+		return fmt.Errorf("solver: overlapped and pipelined modes are mutually exclusive (pipelining subsumes the overlap)")
+	}
 	s.overlap = on
+	return nil
+}
+
+// Pipeline returns the configured pipeline depth (zero when the
+// pipelined mode is off).
+func (s *Solver) Pipeline() int { return s.pipeline }
+
+// SetPipeline switches the solver to the asynchronous dataflow
+// executor: every field's exchange becomes a live op handle serviced
+// fairly while the kernel computes. Depth 1 keeps all handles within
+// one iteration (start every field, then sweep and drain each); depth
+// 2 — the default when the session enables pipelining — additionally
+// lets a field's next-iteration exchange depart while the remaining
+// fields still drain the current one (software pipelining across
+// iterations). The kernel's dependency chain (a field's exchange needs
+// its previous divide) bounds the useful depth at 2; larger values
+// behave like 2. The numerical result is bit-for-bit identical to the
+// synchronous executor. Depth 0 restores the synchronous/overlapped
+// dispatch. Requires a SubsetKernel; mutually exclusive with
+// SetOverlap.
+func (s *Solver) SetPipeline(depth int) error {
+	if depth < 0 {
+		return fmt.Errorf("solver: negative pipeline depth %d", depth)
+	}
+	if depth == 0 {
+		s.pipeline = 0
+		return nil
+	}
+	if s.overlap {
+		return fmt.Errorf("solver: overlapped and pipelined modes are mutually exclusive (pipelining subsumes the overlap)")
+	}
+	if !s.CanOverlap() {
+		return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); cannot run pipelined", s.kern)
+	}
+	s.pipeline = depth
+	return nil
+}
+
+// Fields returns the number of independent solution fields.
+func (s *Solver) Fields() int { return len(s.fields) }
+
+// Field returns the f-th solution vector (field 0 is Y).
+func (s *Solver) Field(f int) *core.Vector { return s.fields[f] }
+
+// SetFields grows the solver to n independent solution fields. Field 0
+// keeps the canonical initial condition, so its trajectory is
+// bit-identical to a single-field run; field f starts from the offset
+// condition y_f(g) = (g mod 97) + 1 + f. Collective — every rank must
+// call it with the same n (vector creation pairs across ranks), before
+// the first Step. Fields cannot be dropped.
+func (s *Solver) SetFields(n int) error {
+	if n < 1 {
+		return fmt.Errorf("solver: field count must be at least 1, got %d", n)
+	}
+	if n < len(s.fields) {
+		return fmt.Errorf("solver: cannot drop fields (have %d, want %d)", len(s.fields), n)
+	}
+	for f := len(s.fields); f < n; f++ {
+		v := s.rt.NewVector()
+		off := float64(f)
+		v.SetByGlobal(func(g int64) float64 { return float64(g%97) + 1 + off })
+		s.fields = append(s.fields, v)
+	}
 	return nil
 }
 
@@ -175,9 +259,14 @@ func (s *Solver) Iter() int { return s.iter }
 // check boundaries to line up.
 func (s *Solver) SetIter(iter int) { s.iter = iter }
 
-// InitDefault sets the canonical initial condition y(g) = (g mod 97) + 1.
+// InitDefault sets the canonical initial condition y(g) = (g mod 97) + 1
+// on field 0 and the offset condition y_f(g) = (g mod 97) + 1 + f on
+// every additional field.
 func (s *Solver) InitDefault() {
-	s.y.SetByGlobal(func(g int64) float64 { return float64(g%97) + 1 })
+	for f, v := range s.fields {
+		off := float64(f)
+		v.SetByGlobal(func(g int64) float64 { return float64(g%97) + 1 + off })
+	}
 }
 
 // reps returns this iteration's work amplification as whole passes
@@ -204,7 +293,7 @@ func (s *Solver) scratch(nLocal int) []float64 {
 	return s.t[:nLocal]
 }
 
-// Step executes one phase of the Figure 8 loop:
+// Step executes one phase of the Figure 8 loop on every field:
 //
 //	gather ghosts; t[i] = sum_k y[ia[k]]; y[i] = t[i]/deg(i)
 //
@@ -213,19 +302,34 @@ func (s *Solver) scratch(nLocal int) []float64 {
 // independent of the environment — only the time changes, exactly like
 // a slower workstation. With the overlapped mode enabled the exchange
 // is split-phase and the interior sweep hides the message flight time;
-// the result is bit-for-bit the same either way.
+// the result is bit-for-bit the same either way. In pipelined mode the
+// in-flight handles span iterations, so stepping one iteration at a
+// time is not meaningful — use Run.
 func (s *Solver) Step() error {
-	if s.overlap {
-		return s.stepOverlap()
+	if s.pipeline > 0 {
+		return fmt.Errorf("solver: Step is unavailable in pipelined mode (op handles span iterations); use Run")
 	}
-	return s.stepSync()
+	for _, v := range s.fields {
+		var err error
+		if s.overlap {
+			err = s.fieldOverlap(v)
+		} else {
+			err = s.fieldSync(v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.items += int64(s.rt.LocalN() * len(s.fields))
+	s.iter++
+	return nil
 }
 
-// stepSync is the paper's synchronous phase: gather every ghost, then
-// sweep all local elements.
-func (s *Solver) stepSync() error {
+// fieldSync is the paper's synchronous phase for one field: gather
+// every ghost, then sweep all local elements.
+func (s *Solver) fieldSync(v *core.Vector) error {
 	t0 := s.clock.Now()
-	if err := s.rt.Exchange(s.y); err != nil {
+	if err := s.rt.Exchange(v); err != nil {
 		return err
 	}
 	s.commTime += s.clock.Now().Sub(t0)
@@ -233,7 +337,7 @@ func (s *Solver) stepSync() error {
 	nLocal := s.rt.LocalN()
 	tv := s.scratch(nLocal)
 	xadj, adj := s.rt.LocalAdj()
-	data := s.y.Data
+	data := v.Data
 
 	if s.costPerItem > 0 {
 		// Virtual compute: one real sweep for the numerics, one exact
@@ -258,24 +362,25 @@ func (s *Solver) stepSync() error {
 		s.divide(data, xadj, tv, nLocal)
 		s.computeTime += s.clock.Now().Sub(t1)
 	}
-	s.items += int64(nLocal)
-	s.iter++
 	return nil
 }
 
-// stepOverlap is the split-phase variant (Phase C′): post the exchange,
-// sweep the interior strip while the messages are in flight, drain the
-// arrivals, then sweep the boundary strip. The per-element sums read
-// exactly the same values as the synchronous step — interior elements
-// touch no ghost, boundary sums run after every ghost has landed — so
-// the result is bit-for-bit identical.
-func (s *Solver) stepOverlap() error {
+// fieldOverlap is the split-phase variant (Phase C′) for one field:
+// post the exchange, sweep the interior strip while the messages are
+// in flight, drain the arrivals, then sweep the boundary strip. One op
+// in flight at a time — fields serialize, which is what the pipelined
+// mode improves on. The per-element sums read exactly the same values
+// as the synchronous step — interior elements touch no ghost, boundary
+// sums run after every ghost has landed — so the result is bit-for-bit
+// identical.
+func (s *Solver) fieldOverlap(v *core.Vector) error {
 	kern, ok := s.kern.(SubsetKernel)
 	if !ok {
 		return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); cannot run overlapped", s.kern)
 	}
 	t0 := s.clock.Now()
-	if err := s.rt.ExchangeStart(s.y); err != nil {
+	h, err := s.rt.ExchangeStart(v)
+	if err != nil {
 		return err
 	}
 	s.commTime += s.clock.Now().Sub(t0)
@@ -283,13 +388,13 @@ func (s *Solver) stepOverlap() error {
 	nLocal := s.rt.LocalN()
 	tv := s.scratch(nLocal)
 	xadj, adj := s.rt.LocalAdj()
-	data := s.y.Data
+	data := v.Data
 	plan := s.rt.Plan()
 	interior, boundary := plan.Interior(), plan.Boundary()
 
 	if s.costPerItem > 0 {
 		// Virtual compute: the interior charge happens between Start
-		// and Finish, so in virtual time the interior sweep hides the
+		// and Wait, so in virtual time the interior sweep hides the
 		// message flight exactly like real interior compute would —
 		// the in-flight deliveries land while this rank sleeps.
 		kern.SweepIdx(data, xadj, adj, tv, interior)
@@ -298,7 +403,7 @@ func (s *Solver) stepOverlap() error {
 		s.computeTime += d
 
 		t2 := s.clock.Now()
-		if err := s.rt.ExchangeFinish(); err != nil {
+		if err := h.Wait(); err != nil {
 			return err
 		}
 		s.commTime += s.clock.Now().Sub(t2)
@@ -308,8 +413,6 @@ func (s *Solver) stepOverlap() error {
 		d = s.virtualCost(len(boundary))
 		s.clock.Sleep(d)
 		s.computeTime += d
-		s.items += int64(nLocal)
-		s.iter++
 		return nil
 	}
 
@@ -326,7 +429,7 @@ func (s *Solver) stepOverlap() error {
 	s.computeTime += s.clock.Now().Sub(t1)
 
 	t2 := s.clock.Now()
-	if err := s.rt.ExchangeFinish(); err != nil {
+	if err := h.Wait(); err != nil {
 		return err
 	}
 	s.commTime += s.clock.Now().Sub(t2)
@@ -342,8 +445,6 @@ func (s *Solver) stepOverlap() error {
 	kern.SweepIdx(data, xadj, adj, tv, boundary)
 	s.divide(data, xadj, tv, nLocal)
 	s.computeTime += s.clock.Now().Sub(t3)
-	s.items += int64(nLocal)
-	s.iter++
 	return nil
 }
 
@@ -393,9 +494,15 @@ func (s *Solver) TakeTimings() Timings {
 }
 
 // Run executes n iterations, invoking afterIter (if non-nil) once per
-// completed iteration — the hook the load balancer's periodic check
-// uses.
+// completed iteration — the hook the session's cancellation poll and
+// the load balancer's periodic check use. In pipelined mode afterIter
+// may run while next-iteration handles are in flight, so it must not
+// trigger a Remap or Rebind; the session segments its runs so checks
+// fall between Run calls, by which point every handle has drained.
 func (s *Solver) Run(n int, afterIter func(iter int) error) error {
+	if s.pipeline > 0 {
+		return s.runPipelined(n, afterIter)
+	}
 	for i := 0; i < n; i++ {
 		if err := s.Step(); err != nil {
 			return err
@@ -409,8 +516,158 @@ func (s *Solver) Run(n int, afterIter func(iter int) error) error {
 	return nil
 }
 
+// runPipelined drives n iterations of the asynchronous dataflow loop.
+// At depth 1 every field's exchange is posted at the top of each
+// iteration and drained within it; at depth >= 2 the prologue posts
+// the first iteration's exchanges and each field re-posts its next
+// exchange as soon as its divide completes, so iteration k+1's
+// messages fly while the remaining fields still drain iteration k. The
+// final iteration never re-posts: Run always returns with zero live
+// handles, which is what lets the session remap, rebind or gather at
+// segment boundaries.
+func (s *Solver) runPipelined(n int, afterIter func(iter int) error) error {
+	kern, ok := s.kern.(SubsetKernel)
+	if !ok {
+		return fmt.Errorf("solver: kernel %T has no boundary split (SubsetKernel); cannot run pipelined", s.kern)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if cap(s.handles) < len(s.fields) {
+		s.handles = make([]*core.OpHandle, len(s.fields))
+	}
+	s.handles = s.handles[:len(s.fields)]
+	cross := s.pipeline >= 2
+	if cross {
+		if err := s.startAll(); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < n; k++ {
+		if !cross {
+			if err := s.startAll(); err != nil {
+				return err
+			}
+		}
+		if err := s.stepPipelined(kern, cross && k < n-1); err != nil {
+			return err
+		}
+		if afterIter != nil {
+			if err := afterIter(s.iter); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// startAll posts every field's exchange, one live handle per field.
+func (s *Solver) startAll() error {
+	t0 := s.clock.Now()
+	for f, v := range s.fields {
+		h, err := s.rt.ExchangeStart(v)
+		if err != nil {
+			return err
+		}
+		s.handles[f] = h
+	}
+	s.commTime += s.clock.Now().Sub(t0)
+	return nil
+}
+
+// stepPipelined completes one iteration over all fields against their
+// already-posted exchanges: per field, sweep the interior strip (its
+// own exchange and every other live handle make progress meanwhile),
+// Wait, sweep the boundary strip, divide — and, with restart set,
+// immediately post the field's next-iteration exchange. The values
+// each sum reads are exactly the synchronous schedule's, so the result
+// is bit-for-bit identical; only the communication overlap changes.
+func (s *Solver) stepPipelined(kern SubsetKernel, restart bool) error {
+	nLocal := s.rt.LocalN()
+	tv := s.scratch(nLocal)
+	xadj, adj := s.rt.LocalAdj()
+	plan := s.rt.Plan()
+	interior, boundary := plan.Interior(), plan.Boundary()
+
+	for f, v := range s.fields {
+		data := v.Data
+		if s.costPerItem > 0 {
+			kern.SweepIdx(data, xadj, adj, tv, interior)
+			d := s.virtualCost(len(interior))
+			s.clock.Sleep(d)
+			s.computeTime += d
+		} else {
+			full, frac := s.reps()
+			t1 := s.clock.Now()
+			for rep := 0; rep <= full; rep++ {
+				limit := len(interior)
+				if rep == full {
+					limit = int(frac * float64(limit))
+				}
+				kern.SweepIdx(data, xadj, adj, tv, interior[:limit])
+			}
+			kern.SweepIdx(data, xadj, adj, tv, interior)
+			s.computeTime += s.clock.Now().Sub(t1)
+		}
+
+		t2 := s.clock.Now()
+		h := s.handles[f]
+		s.handles[f] = nil
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		s.commTime += s.clock.Now().Sub(t2)
+
+		if s.costPerItem > 0 {
+			kern.SweepIdx(data, xadj, adj, tv, boundary)
+			s.divide(data, xadj, tv, nLocal)
+			d := s.virtualCost(len(boundary))
+			s.clock.Sleep(d)
+			s.computeTime += d
+		} else {
+			full, frac := s.reps()
+			t3 := s.clock.Now()
+			for rep := 0; rep <= full; rep++ {
+				limit := len(boundary)
+				if rep == full {
+					limit = int(frac * float64(limit))
+				}
+				kern.SweepIdx(data, xadj, adj, tv, boundary[:limit])
+			}
+			kern.SweepIdx(data, xadj, adj, tv, boundary)
+			s.divide(data, xadj, tv, nLocal)
+			s.computeTime += s.clock.Now().Sub(t3)
+		}
+
+		if restart {
+			// The field's next-iteration exchange departs while the
+			// remaining fields still drain this iteration — the
+			// cross-iteration software pipeline.
+			t4 := s.clock.Now()
+			nh, err := s.rt.ExchangeStart(v)
+			if err != nil {
+				return err
+			}
+			s.handles[f] = nh
+			s.commTime += s.clock.Now().Sub(t4)
+		}
+	}
+	s.items += int64(nLocal * len(s.fields))
+	s.iter++
+	return nil
+}
+
 // SequentialReference runs the same kernel single-rank and returns the
 // gathered result; see core's tests for the bit-exactness argument.
 func (s *Solver) GatherResult(root int) ([]float64, error) {
 	return s.rt.GatherGlobal(root, s.y)
+}
+
+// GatherField assembles field f on root in transformed-global order
+// (field 0 is the GatherResult vector). Collective.
+func (s *Solver) GatherField(root, f int) ([]float64, error) {
+	if f < 0 || f >= len(s.fields) {
+		return nil, fmt.Errorf("solver: field %d of %d", f, len(s.fields))
+	}
+	return s.rt.GatherGlobal(root, s.fields[f])
 }

@@ -189,21 +189,50 @@ func WithOnMembership(f func(MembershipEvent)) Option {
 // WithOverlap runs the executor split-phase (Phase C′): each iteration
 // posts its ghost exchange with ExchangeStart, computes the interior
 // elements — which reference no ghost value — while the messages are
-// in flight, then drains the arrivals with ExchangeFinish and computes
-// the boundary strip. The numerical result is bit-for-bit identical to
-// the synchronous executor; on a latency-bound network the interior
-// sweep hides the message flight time. RunReport.Exec.Overlapped
-// counts the split-phase operations and RunReport.Exec.Idle is the
-// latency the overlap failed to hide. The kernel must support the
-// boundary split (SubsetKernel; the built-in Figure8 does) — NewSession
-// fails loudly otherwise instead of silently running synchronously.
+// in flight, then drains the arrivals with the handle's Wait and
+// computes the boundary strip. The numerical result is bit-for-bit
+// identical to the synchronous executor; on a latency-bound network
+// the interior sweep hides the message flight time.
+// RunReport.Exec.Overlapped counts the split-phase operations and
+// RunReport.Exec.Idle is the latency the overlap failed to hide. The
+// kernel must support the boundary split (SubsetKernel; the built-in
+// Figure8 does) — NewSession fails loudly otherwise instead of
+// silently running synchronously. Mutually exclusive with
+// WithPipeline.
 func WithOverlap() Option {
 	return func(c *session.Config) { c.Overlap = true }
 }
 
+// WithPipeline software-pipelines the solver on op handles: every
+// field's ghost exchange is a live handle at once, and at depth >= 2
+// the pipeline spans iteration boundaries — a field's next exchange is
+// posted as soon as its update completes, so its flight time hides
+// behind the other fields' compute. The numerical result stays
+// bit-for-bit identical; RunReport.Exec.Pipelined counts the
+// operations issued while another was already in flight. Like
+// WithOverlap it requires a SubsetKernel and fails loudly at
+// NewSession otherwise; the two options are mutually exclusive
+// (pipelining subsumes the overlap). Combine with WithFields to give
+// the pipeline independent exchanges to keep in flight:
+//
+//	s, err := stance.NewSession(ctx, g, 4,
+//	    stance.WithFields(2),
+//	    stance.WithPipeline(2))
+func WithPipeline(depth int) Option {
+	return func(c *session.Config) { c.Pipeline = depth }
+}
+
+// WithFields makes the solver advance n independent solution fields
+// per iteration (default 1). Field 0 is the solution vector Result
+// returns, so existing results are unchanged; the extra fields give
+// the pipelined executor independent exchanges to keep in flight.
+func WithFields(n int) Option {
+	return func(c *session.Config) { c.Fields = n }
+}
+
 // WithKernel replaces the solver's compute body (the built-in Figure8
-// kernel by default). With WithOverlap the kernel must implement
-// SubsetKernel.
+// kernel by default). With WithOverlap or WithPipeline the kernel must
+// implement SubsetKernel.
 func WithKernel(k Kernel) Option {
 	return func(c *session.Config) { c.Kernel = k }
 }

@@ -94,8 +94,12 @@ type (
 	// Kernel is the solver's per-iteration compute body.
 	Kernel = solver.Kernel
 	// SubsetKernel is a kernel with the interior/boundary split the
-	// overlapped executor mode (WithOverlap) requires.
+	// overlapped and pipelined executor modes (WithOverlap,
+	// WithPipeline) require.
 	SubsetKernel = solver.SubsetKernel
+	// OpHandle is one in-flight split-phase executor operation; Start
+	// calls on the Runtime return one and its Wait completes the op.
+	OpHandle = core.OpHandle
 	// Figure8 is the paper's default kernel, split-capable.
 	Figure8 = solver.Figure8
 	// Figure8Fused is the same computation without a boundary split —
@@ -103,7 +107,7 @@ type (
 	// overlapped.
 	Figure8Fused = solver.Figure8Fused
 	// ExecStats counts the executor data path's traffic, including the
-	// overlapped mode's Overlapped/Idle counters.
+	// overlapped/pipelined modes' Overlapped/Pipelined/Idle counters.
 	ExecStats = core.ExecStats
 	// Balancer drives the periodic load-balance check.
 	Balancer = loadbal.Balancer
