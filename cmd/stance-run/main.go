@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"stance/internal/ckpt"
 	"stance/internal/comm"
 	"stance/internal/core"
 	"stance/internal/hetero"
@@ -44,6 +45,28 @@ import (
 	"stance/internal/solver"
 	"stance/internal/vtime"
 )
+
+type killFlags []ckpt.Kill
+
+func (k *killFlags) String() string { return fmt.Sprint(*k) }
+
+// Set parses "rank:iter".
+func (k *killFlags) Set(s string) error {
+	var kl ckpt.Kill
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return fmt.Errorf("kill %q: want rank:iter", s)
+	}
+	var err error
+	if kl.Rank, err = strconv.Atoi(parts[0]); err != nil {
+		return fmt.Errorf("kill rank %q: %v", parts[0], err)
+	}
+	if kl.Iter, err = strconv.Atoi(parts[1]); err != nil {
+		return fmt.Errorf("kill iter %q: %v", parts[1], err)
+	}
+	*k = append(*k, kl)
+	return nil
+}
 
 type loadFlags []hetero.Load
 
@@ -102,8 +125,11 @@ func main() {
 	scenario := flag.String("scenario", "", "JSON file with the full simulated environment (speeds, loads, outages, traces); conflicts with -load and fixes -p")
 	virtual := flag.Bool("virtual", false, "run on the simulated clock: deterministic virtual time, instant wall time (inproc transport only)")
 	cost := flag.Duration("cost", 10*time.Microsecond, "virtual compute cost per element per work repetition (with -virtual)")
+	ckptTimeout := flag.Duration("ckpt", 0, "enable crash-stop fault tolerance with this failure-detection timeout (0 = off); ranks buddy-checkpoint at every check boundary and survivors restart from the last checkpoint when a rank dies")
 	var loads loadFlags
 	flag.Var(&loads, "load", "competing load rank:factor[:from[:until]] (repeatable)")
+	var kills killFlags
+	flag.Var(&kills, "kill", "inject a crash rank:iter — the rank goes permanently silent at that iteration's checkpoint gate (repeatable, requires -ckpt)")
 	flag.Parse()
 	explicitFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicitFlags[f.Name] = true })
@@ -119,6 +145,9 @@ func main() {
 	}
 	if !*virtual && explicitFlags["cost"] {
 		log.Fatalf("-cost only applies with -virtual")
+	}
+	if len(kills) > 0 && *ckptTimeout <= 0 {
+		log.Fatalf("-kill requires -ckpt: without checkpoints a killed rank is just a hang")
 	}
 
 	// A scenario file owns the whole environment description: flags
@@ -199,6 +228,9 @@ func main() {
 		// same invocation reproduces the same report byte for byte.
 		cfg.Clock = vtime.NewSim()
 		cfg.ComputeCost = *cost
+	}
+	if *ckptTimeout > 0 {
+		cfg.Checkpoint = &ckpt.Config{DetectTimeout: *ckptTimeout, Kills: kills}
 	}
 	switch *strategy {
 	case "sort1":
@@ -308,6 +340,15 @@ func main() {
 	}
 	if *lb {
 		fmt.Printf("load-balance checks: %d, remaps: %d\n", len(rep.Checks), len(rep.Remaps()))
+	}
+	if len(rep.Recoveries) > 0 {
+		fmt.Printf("crash recoveries: %d\n", len(rep.Recoveries))
+		for _, rc := range rep.Recoveries {
+			fmt.Printf("  iter %d: ranks %v died, %v survive (epoch %d); rolled back %d iters to %d, "+
+				"detected in %v, restored %d bytes in %v\n",
+				rc.Iter, rc.Dead, rc.Active, rc.Epoch, rc.RollbackDepth, rc.RestoredIter,
+				rc.DetectLatency.Round(time.Microsecond), rc.RestoredBytes, rc.Duration.Round(time.Microsecond))
+		}
 	}
 	if len(rep.Members) > 0 {
 		var moved int64

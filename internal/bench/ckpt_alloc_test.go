@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"stance/internal/ckpt"
+	"stance/internal/mesh"
+	"stance/internal/session"
+	"stance/internal/vtime"
+)
+
+// TestCheckpointSteadyAlloc extends the allocation gate to
+// checkpoint-enabled runs: with buddy checkpoints taken at every check
+// boundary and heartbeat gates guarding each one, steady-state
+// iterations between boundaries must stay as allocation-free as the
+// plain replay path, and the boundaries themselves must reuse the
+// store's persistent encode/mirror buffers rather than allocate per
+// take. The bound is per-iteration averaged across the whole run —
+// gates, takes and all — so either regression trips it.
+func TestCheckpointSteadyAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector; CI runs this in a no-race step")
+	}
+	g, err := mesh.Honeycomb(20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := session.New(context.Background(), g, session.Config{
+		Procs:       3,
+		Clock:       vtime.NewSim(),
+		OrderName:   "rcb",
+		CheckEvery:  10,
+		ComputeCost: time.Microsecond,
+		Checkpoint:  &ckpt.Config{DetectTimeout: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(50); err != nil { // warm pools, plans, snapshot buffers
+		t.Fatal(err)
+	}
+	const iters = 300
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if _, err := s.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	perIter := (m1.Mallocs - m0.Mallocs) / iters
+	t.Logf("checkpointed steady state: %d allocs/iteration across 3 ranks", perIter)
+	if perIter > 150 {
+		t.Errorf("checkpointed steady state allocates %d objects/iteration; takes must reuse the store's persistent buffers", perIter)
+	}
+}

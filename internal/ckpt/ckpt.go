@@ -1,0 +1,116 @@
+// Package ckpt implements crash-stop fault tolerance for a session:
+// lightweight peer checkpoints of vector state taken at check
+// boundaries, heartbeat-based failure detection with receive
+// deadlines, and the recovery plan survivors follow to re-cut a dead
+// rank's interval onto themselves and roll back to the last
+// checkpoint.
+//
+// The protocol is buddy mirroring on a ring: at each checkpoint every
+// active rank snapshots its own interval (all fields, plus the solver
+// iteration) and mirrors the encoded snapshot to its successor in the
+// active set. When rank r dies, its predecessor's successor — r's
+// buddy, succ(r) — holds r's last snapshot and replays it into the
+// survivors' re-cut layout during the recovery epoch. A failure is
+// unrecoverable only when a rank and its buddy die inside the same
+// detection window, or when the coordinator (world rank 0) dies.
+package ckpt
+
+import (
+	"errors"
+	"time"
+)
+
+// Wire tags used by the checkpoint/recovery protocol, in the 0x7xx
+// block (core uses 0x2xx, loadbal 0x4xx, session 0x5xx, elastic 0x6xx,
+// op handles 0x1000+).
+const (
+	// TagSnap carries encoded snapshots around the buddy ring.
+	TagSnap = 0x701
+	// TagHB carries heartbeats from members to the coordinator at
+	// every checkpoint gate.
+	TagHB = 0x702
+	// TagCtl carries the coordinator's gate verdict (alive, recover,
+	// or abort) to the members.
+	TagCtl = 0x703
+	// TagRestoreBase + i tags restore transfers whose data
+	// originates from the rank at position i of the pre-failure
+	// active set, so a buddy relaying a dead rank's state to the
+	// same receiver as its own never creates FIFO ambiguity.
+	TagRestoreBase = 0x710
+)
+
+// ErrUnrecoverable marks a crash the protocol cannot recover from: the
+// coordinator died, or a dead rank's checkpoint buddy died with it.
+// Sessions fail loudly with this cause rather than continuing on lost
+// state.
+var ErrUnrecoverable = errors.New("ckpt: unrecoverable rank failure")
+
+// Kill schedules an injected crash for testing and chaos runs: the
+// rank goes silent at the first checkpoint gate at or after Iter.
+type Kill struct {
+	Rank int `json:"rank"`
+	Iter int `json:"iter"`
+}
+
+// Config enables crash-stop fault tolerance on a session.
+type Config struct {
+	// DetectTimeout is the receive deadline the coordinator applies
+	// to each member's heartbeat at a checkpoint gate; a missed
+	// deadline declares the member dead. Members wait
+	// (active+2)*DetectTimeout for the verdict before presuming the
+	// coordinator dead. It must comfortably exceed the per-segment
+	// compute skew between ranks. Zero means 50ms.
+	DetectTimeout time.Duration `json:"detect_timeout_ns"`
+	// Kills is the injected crash schedule (empty in production).
+	Kills []Kill `json:"kills,omitempty"`
+}
+
+// WithDefaults returns the config with zero fields resolved.
+func (c Config) WithDefaults() Config {
+	if c.DetectTimeout <= 0 {
+		c.DetectTimeout = 50 * time.Millisecond
+	}
+	return c
+}
+
+// RecoveryEvent records one completed recovery epoch, appended to
+// RunReport.Recoveries by the coordinator.
+type RecoveryEvent struct {
+	// Iter is the iteration of the checkpoint gate that detected
+	// the failure.
+	Iter int `json:"iter"`
+	// RestoredIter is the checkpoint iteration the survivors rolled
+	// back to (0 when the run restarted from initial conditions).
+	RestoredIter int `json:"restored_iter"`
+	// RollbackDepth is Iter - RestoredIter: the number of
+	// iterations of lost work replayed after the restore.
+	RollbackDepth int `json:"rollback_depth"`
+	// Dead lists the world ranks declared dead at this gate.
+	Dead []int `json:"dead"`
+	// Active lists the surviving active set the run continued on.
+	Active []int `json:"active"`
+	// Epoch is the membership epoch after the recovery transition.
+	Epoch int `json:"epoch"`
+	// DetectLatency is the virtual (or wall) time the coordinator
+	// spent between reaching the gate and declaring the verdict.
+	DetectLatency time.Duration `json:"detect_latency_ns"`
+	// RestoredBytes is the total checkpoint payload written back
+	// into vectors across all survivors (N * fields * 8 for a full
+	// restore, 0 for a restart from initial conditions).
+	RestoredBytes int64 `json:"restored_bytes"`
+	// Duration is the time the recovery epoch itself took (rebind +
+	// restore + re-checkpoint), excluding detection.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Holder returns the world rank holding r's mirrored snapshot: r's
+// successor on the ring over active. With a single active rank there
+// is no buddy and Holder returns r itself.
+func Holder(r int, active []int) int {
+	for i, a := range active {
+		if a == r {
+			return active[(i+1)%len(active)]
+		}
+	}
+	return r
+}

@@ -1,0 +1,120 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"stance/internal/comm"
+)
+
+// Snapshot is one rank's checkpoint: the owned interval [Lo,Hi) of
+// every field at solver iteration Iter. On the wire it is
+//
+//	[u32 iter][u64 lo][u64 hi][u32 nFields][nFields*(hi-lo) float64s]
+//
+// little-endian, fields concatenated in order — the same raw-float
+// framing as the comm codecs, so encode/decode reuse PutF64s/GetF64s
+// and a receive into a persistent buffer allocates nothing.
+type Snapshot struct {
+	Iter   int
+	Lo, Hi int64
+	Fields [][]float64 // one slice per field, each of length Hi-Lo
+}
+
+const snapHeaderLen = 4 + 8 + 8 + 4
+
+// EncodedLen returns the wire size of a snapshot with nFields fields
+// over an interval of n elements.
+func EncodedLen(nFields int, n int64) int {
+	return snapHeaderLen + nFields*int(n)*8
+}
+
+// AppendSnapshot appends s's wire encoding to dst and returns the
+// extended slice. Each field must have exactly Hi-Lo elements.
+func AppendSnapshot(dst []byte, s *Snapshot) ([]byte, error) {
+	if s.Iter < 0 || int64(s.Iter) > int64(^uint32(0)) {
+		return dst, fmt.Errorf("ckpt: iteration %d does not fit the wire format", s.Iter)
+	}
+	if s.Lo < 0 || s.Hi < s.Lo {
+		return dst, fmt.Errorf("ckpt: bad interval [%d,%d)", s.Lo, s.Hi)
+	}
+	n := s.Hi - s.Lo
+	for f, vals := range s.Fields {
+		if int64(len(vals)) != n {
+			return dst, fmt.Errorf("ckpt: field %d has %d elements, interval has %d", f, len(vals), n)
+		}
+	}
+	base := len(dst)
+	need := EncodedLen(len(s.Fields), n)
+	if cap(dst) < base+need {
+		grown := make([]byte, base+need)
+		copy(grown, dst[:base])
+		dst = grown
+	} else {
+		dst = dst[:base+need]
+	}
+	binary.LittleEndian.PutUint32(dst[base:], uint32(s.Iter))
+	binary.LittleEndian.PutUint64(dst[base+4:], uint64(s.Lo))
+	binary.LittleEndian.PutUint64(dst[base+12:], uint64(s.Hi))
+	binary.LittleEndian.PutUint32(dst[base+20:], uint32(len(s.Fields)))
+	off := base + snapHeaderLen
+	for _, vals := range s.Fields {
+		comm.PutF64s(dst[off:off+len(vals)*8], vals)
+		off += len(vals) * 8
+	}
+	return dst, nil
+}
+
+// DecodeSnapshot decodes a wire snapshot. The field data is copied out
+// of data, so the caller may release the transport buffer afterwards.
+// Every count is validated against the bytes actually present before
+// any allocation is sized from it, so corrupt input fails with an
+// error rather than an over-allocation.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapHeaderLen {
+		return nil, fmt.Errorf("ckpt: %d-byte snapshot, header is %d", len(data), snapHeaderLen)
+	}
+	iter := binary.LittleEndian.Uint32(data)
+	lo := int64(binary.LittleEndian.Uint64(data[4:]))
+	hi := int64(binary.LittleEndian.Uint64(data[12:]))
+	nf := binary.LittleEndian.Uint32(data[20:])
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("ckpt: bad interval [%d,%d)", lo, hi)
+	}
+	rem := len(data) - snapHeaderLen
+	if rem%8 != 0 {
+		return nil, fmt.Errorf("ckpt: %d payload bytes, not a multiple of 8", rem)
+	}
+	// Count bound: a snapshot never promises more fields than it has
+	// bytes, so a corrupt count cannot size an allocation.
+	if uint64(nf) > uint64(len(data)) {
+		return nil, fmt.Errorf("ckpt: %d fields promised in %d bytes", nf, len(data))
+	}
+	n := hi - lo
+	if n == 0 || nf == 0 {
+		if rem != 0 {
+			return nil, fmt.Errorf("ckpt: %d payload bytes for %d fields of %d elements", rem, nf, n)
+		}
+	} else {
+		// n is bounded by the bytes present before n*8 is ever
+		// computed, so a huge interval cannot overflow the size math.
+		if uint64(n) > uint64(rem)/8 {
+			return nil, fmt.Errorf("ckpt: interval of %d elements in %d payload bytes", n, rem)
+		}
+		per := uint64(n) * 8
+		if uint64(rem)%per != 0 || uint64(rem)/per != uint64(nf) {
+			return nil, fmt.Errorf("ckpt: %d payload bytes for %d fields of %d elements", rem, nf, n)
+		}
+	}
+	s := &Snapshot{Iter: int(iter), Lo: lo, Hi: hi, Fields: make([][]float64, nf)}
+	off := snapHeaderLen
+	for f := range s.Fields {
+		vals, err := comm.BytesToF64s(data[off : off+int(n)*8])
+		if err != nil {
+			return nil, err
+		}
+		s.Fields[f] = vals
+		off += int(n) * 8
+	}
+	return s, nil
+}

@@ -3,6 +3,7 @@ package comm
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"stance/internal/vtime"
 )
@@ -128,6 +129,13 @@ func (t *subTransport) Recv(src, tag int) ([]byte, error) {
 
 func (t *subTransport) RecvContext(ctx context.Context, src, tag int) ([]byte, error) {
 	return t.parent.RecvContext(ctx, t.toWorld[src], tag)
+}
+
+// recvTimeout delegates the timed receive to the parent endpoint, so
+// failure detection works on sub-worlds whenever the root transport
+// has a mailbox (both built-in transports do).
+func (t *subTransport) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
+	return t.parent.RecvTimeout(t.toWorld[src], tag, d)
 }
 
 // RecvAny admits only members: a non-member's message with the same

@@ -314,6 +314,9 @@ func (rt *Runtime) Bind(c *comm.Comm, layout *partition.Layout) error {
 	if layout.N() != rt.n {
 		return fmt.Errorf("core: layout covers %d elements, want %d", layout.N(), rt.n)
 	}
+	if n := len(rt.live); n > 0 {
+		return fmt.Errorf("core: bind while %d split-phase op(s) are in flight; Wait on their handles first", n)
+	}
 	rt.c = c
 	rt.layout = layout
 	if err := rt.rebuild(); err != nil {

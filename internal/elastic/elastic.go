@@ -303,8 +303,10 @@ func (ct *Controller) Park() (*Proposal, error) {
 
 // ReleaseParked ends the run for every parked rank (coordinator only):
 // each gets a run-end verdict and returns from its Park call. The
-// parked set stays parked across runs.
-func (ct *Controller) ReleaseParked() error {
+// parked set stays parked across runs. Ranks in skip get nothing —
+// they are known dead (crash-stop), so a message to them would sit
+// unconsumed in their mailbox forever.
+func (ct *Controller) ReleaseParked(skip []int) error {
 	if ct.c.Rank() != 0 {
 		return fmt.Errorf("elastic: ReleaseParked on rank %d", ct.c.Rank())
 	}
@@ -312,6 +314,16 @@ func (ct *Controller) ReleaseParked() error {
 	payload := encodeOp(opRunEnd)
 	for r := 0; r < ct.c.Size(); r++ {
 		if cur.Contains(r) {
+			continue
+		}
+		dead := false
+		for _, d := range skip {
+			if d == r {
+				dead = true
+				break
+			}
+		}
+		if dead {
 			continue
 		}
 		if err := ct.c.Send(r, tagCtl, payload); err != nil {
@@ -373,6 +385,18 @@ func (ct *Controller) Transition(prop *Proposal, oldSub *comm.Comm, rt *core.Run
 	ct.mu.Unlock()
 	ev.Duration = clock.Now().Sub(start)
 	return ev, newSub, nil
+}
+
+// Force advances the membership without the propose/drain/commit
+// protocol — the recovery epoch's transition, where the departed
+// ranks cannot drain or migrate anything and the survivors have
+// already agreed on the next membership out of band (the coordinator's
+// recovery verdict). Every survivor must call Force with the same
+// membership.
+func (ct *Controller) Force(next Membership) {
+	ct.mu.Lock()
+	ct.cur = next
+	ct.mu.Unlock()
 }
 
 // CrossCost returns the total migration bytes and transfer count of a

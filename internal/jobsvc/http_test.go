@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"stance/client"
+	"stance/internal/ckpt"
 	"stance/internal/jobsvc"
 )
 
@@ -84,6 +85,44 @@ func TestHTTPLifecycle(t *testing.T) {
 	}
 	if len(m.Decisions) == 0 {
 		t.Fatal("no scheduler decisions over the wire")
+	}
+}
+
+// TestHTTPRecoveryReport: a checkpointed job that loses a rank and
+// recovers serves the recovery story over GET /v1/jobs/{id} — the
+// wire status carries Report.Recoveries, not just the local struct.
+func TestHTTPRecoveryReport(t *testing.T) {
+	c, _ := newServer(t, jobsvc.Config{PoolRanks: 2})
+	ctx := context.Background()
+
+	spec := client.Spec{
+		Name:       "phoenix-http",
+		Graph:      client.GraphSpec{Kind: "honeycomb", Rows: 6, Cols: 8},
+		Iters:      20,
+		Ranks:      2,
+		CheckEvery: 5,
+		Checkpoint: &ckpt.Config{
+			DetectTimeout: time.Second,
+			Kills:         []ckpt.Kill{{Rank: 1, Iter: 10}},
+		},
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.Done {
+		t.Fatalf("job ended %q: %s", final.State, final.Error)
+	}
+	if final.Report == nil || len(final.Report.Recoveries) != 1 {
+		t.Fatalf("report over the wire: %+v, want one recovery", final.Report)
+	}
+	rec := final.Report.Recoveries[0]
+	if len(rec.Dead) != 1 || rec.Dead[0] != 1 || rec.Iter != 10 {
+		t.Fatalf("recovery over the wire: %+v, want rank 1 dead at iteration 10", rec)
 	}
 }
 

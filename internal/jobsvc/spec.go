@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"stance/internal/ckpt"
 	"stance/internal/comm"
 	"stance/internal/graph"
 	"stance/internal/loadbal"
@@ -107,6 +108,14 @@ type Spec struct {
 	// into the job status when the job completes. Large for big
 	// meshes; off by default.
 	ReturnResult bool `json:"return_result,omitempty"`
+	// Checkpoint enables crash-stop fault tolerance for the job: buddy
+	// checkpoints at every check boundary, kill detection under
+	// DetectTimeout, and survivor-side restart. Recovered jobs finish
+	// with Report.Recoveries telling the story; an unrecoverable
+	// failure fails the job with its cause, never a hung grant.
+	// Injected kills naming ranks the scheduler did not grant are
+	// dropped (the rank never existed).
+	Checkpoint *ckpt.Config `json:"checkpoint,omitempty"`
 }
 
 // withDefaults returns the spec with zero optional fields resolved.
@@ -145,6 +154,19 @@ func (sp Spec) validate(maxRanks int) error {
 			return fmt.Errorf("jobsvc: %w", err)
 		}
 	}
+	if sp.Checkpoint != nil {
+		if sp.Checkpoint.DetectTimeout < 0 {
+			return fmt.Errorf("jobsvc: negative checkpoint detect timeout %v", sp.Checkpoint.DetectTimeout)
+		}
+		for _, k := range sp.Checkpoint.Kills {
+			if k.Rank < 0 || k.Rank >= sp.Ranks {
+				return fmt.Errorf("jobsvc: kill names rank %d of the %d requested", k.Rank, sp.Ranks)
+			}
+			if k.Iter < 0 {
+				return fmt.Errorf("jobsvc: kill at negative iteration %d", k.Iter)
+			}
+		}
+	}
 	return nil
 }
 
@@ -170,6 +192,19 @@ func (sp Spec) sessionConfig(world *comm.World) (session.Config, error) {
 	}
 	if sp.Balance {
 		cfg.Balancer = &loadbal.Config{}
+	}
+	if sp.Checkpoint != nil {
+		// The scheduler may have granted fewer ranks than requested;
+		// kills naming sub-ranks beyond the grant are dropped — the
+		// rank they would crash never existed.
+		ck := *sp.Checkpoint
+		ck.Kills = nil
+		for _, k := range sp.Checkpoint.Kills {
+			if k.Rank < world.Size() {
+				ck.Kills = append(ck.Kills, k)
+			}
+		}
+		cfg.Checkpoint = &ck
 	}
 	return cfg, nil
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"stance/internal/ckpt"
 	"stance/internal/comm"
 	"stance/internal/core"
 	"stance/internal/elastic"
@@ -156,6 +157,14 @@ type Config struct {
 	// OnMembership, if non-nil, is called on rank 0 immediately after
 	// each committed membership transition. Same rules as OnCheck.
 	OnMembership func(MembershipEvent)
+	// Checkpoint enables crash-stop fault tolerance (internal/ckpt):
+	// buddy checkpoints at every check boundary, heartbeat failure
+	// detection with the configured receive deadline, and survivor-side
+	// restart from the last checkpoint. It implies the elastic path
+	// (recovery is a membership transition). The DetectTimeout must
+	// exceed the compute skew between ranks within one check segment,
+	// or a slow rank is mistaken for a dead one.
+	Checkpoint *ckpt.Config
 }
 
 // rankState is one rank's slice of the session.
@@ -166,6 +175,9 @@ type rankState struct {
 	// window is the rank's most recent measurement window, kept so a
 	// check deferred across a Run boundary still has a rate estimate.
 	window solver.Timings
+	// fieldBufs is persistent scratch for the checkpoint path's
+	// per-field data views.
+	fieldBufs [][]float64
 }
 
 // Session owns a world and the per-rank runtime/solver/balancer stack
@@ -202,6 +214,13 @@ type Session struct {
 	// stopped at different iterations, so any further collective would
 	// misalign and deadlock. Only Close remains usable.
 	broken bool
+	// Crash-stop state (nil/empty without Config.Checkpoint): each
+	// rank's checkpoint store, the per-rank killed flags (written only
+	// by the rank's own SPMD goroutine when its injected kill fires),
+	// and the preencoded all-alive gate verdict.
+	cks          []*ckpt.Store
+	killed       []bool
+	aliveVerdict []byte
 }
 
 // New builds a session collectively: opens the world on the configured
@@ -287,6 +306,18 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 	if cfg.ComputeCost < 0 {
 		return nil, fmt.Errorf("session: negative compute cost %v", cfg.ComputeCost)
 	}
+	if cfg.Checkpoint != nil {
+		resolved := cfg.Checkpoint.WithDefaults()
+		for _, k := range resolved.Kills {
+			if k.Rank < 0 || k.Rank >= cfg.Procs {
+				return nil, fmt.Errorf("session: kill names rank %d of %d", k.Rank, cfg.Procs)
+			}
+			if k.Iter < 0 {
+				return nil, fmt.Errorf("session: kill at negative iteration %d", k.Iter)
+			}
+		}
+		cfg.Checkpoint = &resolved
+	}
 	world := cfg.World
 	ownWorld := world == nil
 	if ownWorld {
@@ -312,9 +343,14 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		world:    world,
 		ownWorld: ownWorld,
 		ranks:    make([]*rankState, cfg.Procs),
-		elastic:  cfg.Elastic || (cfg.Env != nil && cfg.Env.Elastic()),
+		elastic:  cfg.Elastic || (cfg.Env != nil && cfg.Env.Elastic()) || cfg.Checkpoint != nil,
 	}
 	var err error
+	if cfg.Checkpoint != nil {
+		s.cks = make([]*ckpt.Store, cfg.Procs)
+		s.killed = make([]bool, cfg.Procs)
+		s.aliveVerdict = ckpt.EncodeAlive()
+	}
 	if s.elastic {
 		s.ctls = make([]*elastic.Controller, cfg.Procs)
 		s.subs = make([]*comm.Comm, cfg.Procs)
@@ -376,6 +412,13 @@ func (s *Session) buildElasticRank(c *comm.Comm) error {
 		return err
 	}
 	s.ctls[c.Rank()] = ctl
+	if s.ckptOn() {
+		fields := s.cfg.Fields
+		if fields < 1 {
+			fields = 1
+		}
+		s.cks[c.Rank()] = ckpt.NewStore(c, fields)
+	}
 	rt, err := core.NewParked(c, s.g, s.coreConfig())
 	if err != nil {
 		return err
@@ -525,6 +568,11 @@ type RunReport struct {
 	// on fixed-membership sessions), each with its migration byte
 	// count.
 	Members []MembershipEvent `json:"members,omitempty"`
+	// Recoveries are the crash-stop recovery epochs in iteration order
+	// (empty without Config.Checkpoint or when nothing died): who was
+	// declared dead, the detection latency, the checkpoint rolled back
+	// to and how many iterations were replayed.
+	Recoveries []ckpt.RecoveryEvent `json:"recoveries,omitempty"`
 	// Msgs and Bytes count the messages and payload bytes sent by all
 	// ranks during the run.
 	Msgs  int64 `json:"msgs"`
@@ -710,9 +758,35 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 	rk := s.ranks[me]
 	ctl := s.ctls[me]
 	usage := &rep.Ranks[me]
+	if s.killed != nil && s.killed[me] {
+		// A rank whose injected kill fired in an earlier Run stays
+		// silent forever; its own controller still lists it as active
+		// (it never saw the recovery verdict), so it must not fall
+		// into the active path below.
+		return nil
+	}
 
 	var start time.Time
 	if ctl.ActiveHere() {
+		// The Run start is a checkpoint gate: ranks that died at the
+		// end of the previous Run (or whose kill names iteration 0)
+		// are detected before any survivor blocks in a barrier with
+		// them. A recovery here voids the deferred boundary and check:
+		// it re-cut, rolled back and re-checkpointed already.
+		transitioned := false
+		if s.ckptOn() {
+			res, err := s.ckptGate(c, rep, rk.sol.Iter())
+			if err != nil {
+				return err
+			}
+			switch res {
+			case gateDied:
+				return nil
+			case gateRecovered:
+				transitioned = true
+				pendingB, pending = false, false
+			}
+		}
 		if err := s.subs[me].Barrier(tagRunStart); err != nil {
 			return err
 		}
@@ -734,10 +808,21 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 					return err
 				}
 				pending = false
+				transitioned = true
 			}
 		}
 		if pending && rk.bal != nil {
 			if err := s.check(me, rep, rk.sol.Iter(), rk.window); err != nil {
+				return err
+			}
+		}
+		// Checkpoint under the Run-start layout and membership. After
+		// a transition or recovery the commit/recovery itself took
+		// one, collectively with any admitted ranks, so taking again
+		// here would misalign the buddy ring. A retired rank is no
+		// longer active and parks at the top of the loop instead.
+		if s.ckptOn() && !transitioned && ctl.ActiveHere() {
+			if err := s.ckptTake(me, rk.sol.Iter()); err != nil {
 				return err
 			}
 		}
@@ -778,6 +863,23 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 		tm := rk.sol.TakeTimings()
 		usage.Add(tm)
 		rk.window = tm
+		// The checkpoint gate runs first at every interior boundary —
+		// after the segment's timings are recorded, so a dying rank's
+		// last segment is still accounted. A recovery voids the rest
+		// of this boundary: membership and balance restart fresh on
+		// the survivor world at the next one.
+		if s.ckptOn() {
+			res, err := s.ckptGate(c, rep, next)
+			if err != nil {
+				return err
+			}
+			switch res {
+			case gateDied:
+				return nil
+			case gateRecovered:
+				continue
+			}
+		}
 		prop, err := ctl.Boundary(next, rk.rt.Layout(), s.desiredFn(ctl, next), s.cutFn(rk))
 		if err != nil {
 			return err
@@ -793,6 +895,15 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 				return err
 			}
 		}
+		// Checkpoint after the balance check, so the snapshot always
+		// matches the layout the next segment runs on (a check may
+		// remap). On a transition the commit takes instead — jointly
+		// with any admitted ranks.
+		if s.ckptOn() {
+			if err := s.ckptTake(me, next); err != nil {
+				return err
+			}
+		}
 	}
 	// Run end: only reached by ranks active in the final epoch.
 	tm := rk.sol.TakeTimings()
@@ -803,7 +914,14 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 	}
 	if me == 0 {
 		*wall = s.clock.Now().Sub(start)
-		if err := ctl.ReleaseParked(); err != nil {
+		// Dead ranks get no run-end verdict: nobody would ever consume
+		// it, and on a shared pool (jobsvc) the stale message could
+		// leak into a later tenant of the same rank.
+		var dead []int
+		if s.ckptOn() {
+			dead = s.cks[me].Dead()
+		}
+		if err := ctl.ReleaseParked(dead); err != nil {
 			return err
 		}
 	}
@@ -815,13 +933,17 @@ func (s *Session) runElastic(c *comm.Comm, rep *RunReport, last int, pending, pe
 // availability windows name the set; nil means no change.
 func (s *Session) desiredFn(ctl *elastic.Controller, iter int) func() []int {
 	return func() []int {
-		if req := ctl.TakeResize(); req != nil {
-			return req
+		want := ctl.TakeResize()
+		if want == nil && s.cfg.Env != nil && s.cfg.Env.Elastic() {
+			want = s.cfg.Env.ActiveSet(iter)
 		}
-		if s.cfg.Env != nil && s.cfg.Env.Elastic() {
-			return s.cfg.Env.ActiveSet(iter)
+		if want != nil && s.ckptOn() {
+			// A dead rank can never be re-admitted: the environment
+			// and Resize callers don't know who died, so the
+			// coordinator filters them here. Only invoked on rank 0.
+			want = s.cks[0].FilterDead(want)
 		}
-		return nil
+		return want
 	}
 }
 
@@ -864,6 +986,15 @@ func (s *Session) commit(me int, rep *RunReport, prop *elastic.Proposal, oldSub 
 		rep.Members = append(rep.Members, ev)
 		if s.cfg.OnMembership != nil {
 			s.cfg.OnMembership(ev)
+		}
+	}
+	// Every committed transition re-checkpoints under the new
+	// membership and layout — survivors here, admitted ranks in their
+	// Park-side commit — so the buddy ring always matches the world
+	// the next segment runs on. Retired ranks are out of the ring.
+	if s.ckptOn() && sub != nil {
+		if err := s.ckptTake(me, prop.Iter); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -958,6 +1089,11 @@ func (s *Session) Result() ([]float64, error) {
 	}
 	var out []float64
 	err := s.world.SPMD(s.ctx, func(c *comm.Comm) error {
+		if s.killed != nil && s.killed[c.Rank()] {
+			// A killed rank's own controller still lists it as active;
+			// it contributes nothing and must stay silent.
+			return nil
+		}
 		if s.elastic && !s.ctls[c.Rank()].ActiveHere() {
 			return nil
 		}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stance/internal/ckpt"
+)
+
+// The chaos harness: seeded kill schedules layered over the scenario
+// generator, including schedules that are unrecoverable by
+// construction (a dead coordinator, a rank and its checkpoint buddy
+// dying together). The invariant every chaos seed must satisfy is the
+// crash-stop contract itself: a recoverable schedule completes
+// bit-exact to the fixed-world reference, an unrecoverable one fails
+// loudly with a cause chain wrapping ckpt.ErrUnrecoverable — and
+// nothing ever hangs, because the virtual clock's stall watchdog
+// converts a hang into an immediate ErrDeadlock.
+
+// chaosSalt decorrelates the kill-schedule draws from the scenario
+// draws, so chaos seed s shares Generate(s)'s graph, network model and
+// executor mode but explores an independent failure axis.
+const chaosSalt = 0x6368616f73 // "chaos"
+
+// ChaosScenario is a Scenario plus the outcome its kill schedule
+// forces.
+type ChaosScenario struct {
+	*Scenario
+	// ExpectUnrecoverable: the schedule kills the coordinator or a
+	// buddy pair, so the run must fail with ckpt.ErrUnrecoverable in
+	// its cause chain.
+	ExpectUnrecoverable bool
+	// MinRecoveries is the number of kills guaranteed to fire at a
+	// gate before the run ends (a kill scheduled past the last gate
+	// never fires, which is a legitimate no-op).
+	MinRecoveries int
+}
+
+// GenerateChaos derives a chaos scenario from a seed: the base
+// scenario of Generate(seed) with its churn stripped (a dead rank must
+// stay dead — readmission races belong to the elastic tests) and a
+// freshly drawn kill schedule forced on top.
+func GenerateChaos(seed int64) (*ChaosScenario, error) {
+	sc, err := Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	cs := &ChaosScenario{Scenario: sc}
+	rng := rand.New(rand.NewSource(seed ^ chaosSalt))
+
+	cfg := &sc.Cfg
+	procs := cfg.Procs
+	checkEvery := cfg.CheckEvery
+	cfg.Env.Outages = nil
+	cfg.Elastic = false
+	for i := range sc.Resizes {
+		sc.Resizes[i] = nil
+	}
+	for ti := range cfg.Env.Traces {
+		for si, st := range cfg.Env.Traces[ti].Steps {
+			if st.Capability == 0 {
+				cfg.Env.Traces[ti].Steps[si].Capability = 0.25
+			}
+		}
+	}
+	sc.Elastic = cfg.Env.Elastic()
+
+	// The detection timeout is huge in virtual time: gates are at most
+	// CheckEvery iterations apart, so honest skew stays far below it
+	// and only an injected kill can trip it.
+	ckCfg := &ckpt.Config{DetectTimeout: 5 * time.Second}
+	switch mode := rng.Intn(8); {
+	case mode == 7 || (mode == 6 && procs < 3):
+		// Kill the coordinator. It has no backup: the members' verdict
+		// deadline expires and every survivor unwinds with a wrapped
+		// ErrUnrecoverable.
+		ckCfg.Kills = []ckpt.Kill{{Rank: 0, Iter: 1 + rng.Intn(checkEvery)}}
+		cs.ExpectUnrecoverable = true
+	case mode == 6:
+		// Kill a rank and its checkpoint buddy (the ring successor) in
+		// the same detection window. The checkpoint dies with them and
+		// the coordinator must abort the run on every survivor.
+		r := 1 + rng.Intn(procs-2)
+		iter := 1 + rng.Intn(checkEvery) // after the run-start checkpoint
+		ckCfg.Kills = []ckpt.Kill{{Rank: r, Iter: iter}, {Rank: r + 1, Iter: iter}}
+		cs.ExpectUnrecoverable = true
+	default:
+		// One or two recoverable kills at distinct gates. Iters >=
+		// 3*CheckEvery always, so gates at CheckEvery and 2*CheckEvery
+		// both exist and both kills are guaranteed to fire.
+		first := ckpt.Kill{Rank: 1 + rng.Intn(procs-1), Iter: 1 + rng.Intn(checkEvery)}
+		ckCfg.Kills = []ckpt.Kill{first}
+		cs.MinRecoveries = 1
+		if procs > 2 && rng.Intn(2) == 0 {
+			second := ckpt.Kill{Iter: 2 * checkEvery}
+			for second.Rank == 0 || second.Rank == first.Rank {
+				second.Rank = 1 + rng.Intn(procs-1)
+			}
+			ckCfg.Kills = append(ckCfg.Kills, second)
+			cs.MinRecoveries = 2
+		}
+	}
+	cfg.Checkpoint = ckCfg
+	sc.Checkpoint = true
+	sc.Kills = ckCfg.Kills
+
+	sc.Desc = fmt.Sprintf("%s chaos-kills=%v expect-unrecoverable=%v",
+		sc.Desc, ckCfg.Kills, cs.ExpectUnrecoverable)
+	return cs, nil
+}
+
+// RunChaos generates and executes the chaos scenario for seed and
+// verifies the crash-stop contract. A nil error means the contract
+// held: either the run completed with every invariant of Run intact
+// (recoverable schedules, with at least MinRecoveries recorded), or it
+// failed loudly with ckpt.ErrUnrecoverable in the chain (unrecoverable
+// schedules). A hang, a silent success of an unrecoverable schedule,
+// or a wrong result all come back as errors naming the scenario.
+func RunChaos(seed int64) (*Result, error) {
+	cs, err := GenerateChaos(seed)
+	if err != nil {
+		return nil, err
+	}
+	sc := cs.Scenario
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("sim: %s: %s", sc.Desc, fmt.Sprintf(format, args...))
+	}
+
+	res, err := execute(sc)
+	if cs.ExpectUnrecoverable {
+		if err == nil {
+			return nil, fail("unrecoverable kill schedule completed successfully")
+		}
+		if errors.Is(err, ErrDeadlock) {
+			return nil, fail("unrecoverable kill schedule hung instead of failing loudly: %v", err)
+		}
+		if !errors.Is(err, ckpt.ErrUnrecoverable) {
+			return nil, fail("failure does not wrap ckpt.ErrUnrecoverable: %v", err)
+		}
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fail("recoverable kill schedule failed: %v", err)
+	}
+	ref, err := reference(sc)
+	if err != nil {
+		return nil, fail("reference run: %v", err)
+	}
+	if err := checkInvariants(sc, res, ref); err != nil {
+		return nil, fail("%v", err)
+	}
+	recoveries := 0
+	for _, rep := range res.Reports {
+		recoveries += len(rep.Recoveries)
+	}
+	if recoveries < cs.MinRecoveries {
+		return nil, fail("%d recoveries recorded, schedule guarantees %d", recoveries, cs.MinRecoveries)
+	}
+	return res, nil
+}

@@ -25,12 +25,14 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"time"
 
+	"stance/internal/ckpt"
 	"stance/internal/comm"
 	"stance/internal/core"
 	"stance/internal/graph"
@@ -39,6 +41,7 @@ import (
 	"stance/internal/mesh"
 	"stance/internal/redist"
 	"stance/internal/session"
+	"stance/internal/solver"
 	"stance/internal/vtime"
 )
 
@@ -67,6 +70,13 @@ type Scenario struct {
 	// over Fields independent solution fields.
 	Pipeline int
 	Fields   int
+	// Kernel names a non-default compute body ("" means the built-in
+	// Figure8). Checkpoint reports crash-stop fault tolerance enabled;
+	// Kills is its injected kill schedule (empty means checkpointing
+	// overhead only — gates and buddy mirrors with nobody dying).
+	Kernel     string
+	Checkpoint bool
+	Kills      []ckpt.Kill
 }
 
 // Result carries a completed scenario run.
@@ -235,13 +245,60 @@ func Generate(seed int64) (*Scenario, error) {
 			sc.Resizes[2] = full
 		}
 	}
+	// Kernel: mostly the paper's Figure 8 neighbor sum, sometimes the
+	// sparse CG smoothing kernel — subset-capable, so every executor
+	// mode above still applies. The reference run uses the same kernel,
+	// keeping the bit-equality invariant meaningful.
+	if rng.Intn(3) == 0 {
+		sc.Kernel = "cg"
+		cfg.Kernel = solver.CG{}
+	}
+
+	// Crash-stop fault tolerance: about a third of the multi-rank
+	// seeds enable buddy checkpointing, and most of those inject a
+	// kill. The schedule is always recoverable by construction (a
+	// single non-coordinator rank), so every seed must complete with
+	// the reference result — unrecoverable schedules are the chaos
+	// harness's job (GenerateChaos). DetectTimeout is huge in virtual
+	// time: gates are at most CheckEvery iterations apart, so honest
+	// skew stays far below it and only an injected kill can time out.
+	if procs > 1 && rng.Intn(3) == 0 {
+		sc.Checkpoint = true
+		ckCfg := &ckpt.Config{DetectTimeout: 5 * time.Second}
+		if rng.Intn(3) > 0 {
+			ckCfg.Kills = []ckpt.Kill{{
+				Rank: 1 + rng.Intn(procs-1),
+				Iter: 1 + rng.Intn(sc.Iters-1),
+			}}
+			sc.Kills = ckCfg.Kills
+			// A dead rank leaves the membership for good: drop the
+			// churn that would race recovery to readmit or retire it
+			// (the kill-vs-churn interleavings belong to the session
+			// tests; here every kill seed must stay recoverable).
+			env.Outages = nil
+			cfg.Elastic = false
+			for i := range sc.Resizes {
+				sc.Resizes[i] = nil
+			}
+			for ti := range env.Traces {
+				for si, st := range env.Traces[ti].Steps {
+					if st.Capability == 0 {
+						env.Traces[ti].Steps[si].Capability = 0.25
+					}
+				}
+			}
+		}
+		cfg.Checkpoint = ckCfg
+	}
+
 	sc.Elastic = cfg.Elastic || env.Elastic()
 	sc.Cfg = cfg
 
 	sc.Desc = fmt.Sprintf(
-		"seed=%d n=%d procs=%d iters=%v order=%s check=%d cost=%v model=%+v overlap=%v pipeline=%d fields=%d balancer=%v elastic=%v loads=%d traces=%d outages=%d resizes=%v",
+		"seed=%d n=%d procs=%d iters=%v order=%s check=%d cost=%v model=%+v overlap=%v pipeline=%d fields=%d kernel=%q balancer=%v elastic=%v ckpt=%v kills=%v loads=%d traces=%d outages=%d resizes=%v",
 		seed, g.N, procs, sc.Segments, cfg.OrderName, checkEvery, cfg.ComputeCost,
-		cfg.Model, cfg.Overlap, cfg.Pipeline, sc.Fields, sc.HasBalancer, sc.Elastic,
+		cfg.Model, cfg.Overlap, cfg.Pipeline, sc.Fields, sc.Kernel, sc.HasBalancer, sc.Elastic,
+		sc.Checkpoint, sc.Kills,
 		len(env.Loads), len(env.Traces), len(env.Outages), sc.Resizes)
 	return sc, nil
 }
@@ -261,6 +318,12 @@ func splitIters(rng *rand.Rand, total, n int) []int {
 	segs[n-1] = remaining
 	return segs
 }
+
+// ErrDeadlock marks a virtual-time deadlock: every rank blocked with
+// no event scheduled. execute wraps the session error with it, so
+// harnesses that tolerate loud failures (the chaos tests) can still
+// distinguish a clean abort from a hang.
+var ErrDeadlock = errors.New("virtual-time deadlock")
 
 // Run generates the scenario for seed, executes it on a simulated
 // clock, and checks every invariant. It returns an error naming the
@@ -284,6 +347,20 @@ func Run(seed int64) (*Result, error) {
 		return nil, fail("reference run: %v", err)
 	}
 
+	res, err := execute(sc)
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	if err := checkInvariants(sc, res, ref); err != nil {
+		return nil, fail("%v", err)
+	}
+	return res, nil
+}
+
+// execute runs a scenario on a fresh simulated clock with the stall
+// watchdog armed and gathers the result. Errors are the session's own,
+// except a hang, which is converted into an ErrDeadlock-wrapped error.
+func execute(sc *Scenario) (*Result, error) {
 	clk := vtime.NewSim()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -305,44 +382,34 @@ func Run(seed int64) (*Result, error) {
 	cfg.Clock = clk
 	s, err := session.New(ctx, sc.Graph, cfg)
 	if err != nil {
-		return nil, fail("session: %v", err)
+		return nil, fmt.Errorf("session: %w", err)
 	}
 	defer s.Close()
 
 	res := &Result{Scenario: sc}
-	deadlocked := func() bool {
+	deadlocked := func(err error) error {
 		select {
 		case <-stalled:
-			return true
+			return fmt.Errorf("%w: %v", ErrDeadlock, err)
 		default:
-			return false
+			return err
 		}
 	}
 	for i, iters := range sc.Segments {
 		if req := sc.Resizes[i]; req != nil {
 			if err := s.Resize(req); err != nil {
-				return nil, fail("resize %v: %v", req, err)
+				return nil, fmt.Errorf("resize %v: %w", req, err)
 			}
 		}
 		rep, err := s.Run(iters)
 		if err != nil {
-			if deadlocked() {
-				return nil, fail("virtual-time deadlock during segment %d: %v", i, err)
-			}
-			return nil, fail("segment %d: %v", i, err)
+			return nil, fmt.Errorf("segment %d: %w", i, deadlocked(err))
 		}
 		res.Reports = append(res.Reports, rep)
 	}
 	res.Values, err = s.ResultByVertex()
 	if err != nil {
-		if deadlocked() {
-			return nil, fail("virtual-time deadlock during gather: %v", err)
-		}
-		return nil, fail("gather: %v", err)
-	}
-
-	if err := checkInvariants(sc, res, ref); err != nil {
-		return nil, fail("%v", err)
+		return nil, fmt.Errorf("gather: %w", deadlocked(err))
 	}
 	return res, nil
 }
@@ -353,6 +420,7 @@ func reference(sc *Scenario) ([]float64, error) {
 	s, err := session.New(context.Background(), sc.Graph, session.Config{
 		Procs:     1,
 		OrderName: sc.Cfg.OrderName,
+		Kernel:    sc.Cfg.Kernel,
 	})
 	if err != nil {
 		return nil, err
@@ -377,8 +445,12 @@ func checkInvariants(sc *Scenario, res *Result, ref []float64) error {
 	}
 
 	// Element conservation: exactly N items per iteration, summed over
-	// ranks, across every remap, rebind and epoch transition.
-	var items, iters int64
+	// ranks, across every remap, rebind and epoch transition. A
+	// recovery rolls the survivors back RollbackDepth iterations, and
+	// those re-executed iterations are honestly recomputed work — the
+	// dying rank's last partial segment was accounted before its gate —
+	// so the target grows by N × Fields × depth per recovery.
+	var items, iters, rollback int64
 	prevEpoch := 0
 	for si, rep := range res.Reports {
 		iters += int64(rep.Iters)
@@ -422,6 +494,26 @@ func checkInvariants(sc *Scenario, res *Result, ref []float64) error {
 				return fmt.Errorf("segment %d: negative remap time at iter %d", si, ev.Iter)
 			}
 		}
+		for _, rec := range rep.Recoveries {
+			if len(sc.Kills) == 0 {
+				return fmt.Errorf("segment %d: recovery %+v with no kill scheduled", si, rec)
+			}
+			if rec.RollbackDepth < 0 || rec.RestoredIter < 0 || rec.Iter != rec.RestoredIter+rec.RollbackDepth {
+				return fmt.Errorf("segment %d: inconsistent rollback accounting %+v", si, rec)
+			}
+			if rec.DetectLatency < 0 || rec.Duration < 0 || rec.RestoredBytes < 0 {
+				return fmt.Errorf("segment %d: negative recovery accounting %+v", si, rec)
+			}
+			if len(rec.Dead) == 0 || len(rec.Active) == 0 {
+				return fmt.Errorf("segment %d: recovery with empty dead or survivor set %+v", si, rec)
+			}
+			for _, d := range rec.Dead {
+				if d == 0 {
+					return fmt.Errorf("segment %d: coordinator in the dead set of a successful run %+v", si, rec)
+				}
+			}
+			rollback += int64(rec.RollbackDepth)
+		}
 		for _, ev := range rep.Members {
 			if ev.Epoch <= prevEpoch {
 				return fmt.Errorf("segment %d: epoch went %d -> %d", si, prevEpoch, ev.Epoch)
@@ -441,9 +533,9 @@ func checkInvariants(sc *Scenario, res *Result, ref []float64) error {
 	if iters != int64(sc.Iters) {
 		return fmt.Errorf("segments ran %d iterations, scenario has %d", iters, sc.Iters)
 	}
-	if want := int64(sc.Graph.N) * iters * int64(sc.Fields); items != want {
-		return fmt.Errorf("element conservation violated: %d items computed, want %d (N=%d × %d iters × %d fields)",
-			items, want, sc.Graph.N, iters, sc.Fields)
+	if want := int64(sc.Graph.N) * (iters + rollback) * int64(sc.Fields); items != want {
+		return fmt.Errorf("element conservation violated: %d items computed, want %d (N=%d × (%d iters + %d rolled back) × %d fields)",
+			items, want, sc.Graph.N, iters, rollback, sc.Fields)
 	}
 	return nil
 }

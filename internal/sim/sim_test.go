@@ -45,10 +45,20 @@ func TestSimSeeds(t *testing.T) {
 func TestSimScenarioDiversity(t *testing.T) {
 	var delay, balancer, elastic, overlap, traces, multiSeg, resize int
 	var pipeline, pipelineMulti, syncMode int
+	var cg, ckptOverhead, kills int
 	for seed := int64(0); seed < simSeeds; seed++ {
 		sc, err := Generate(seed)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if sc.Kernel == "cg" {
+			cg++
+		}
+		if sc.Checkpoint && len(sc.Kills) == 0 {
+			ckptOverhead++
+		}
+		if len(sc.Kills) > 0 {
+			kills++
 		}
 		if sc.HasDelay {
 			delay++
@@ -91,6 +101,9 @@ func TestSimScenarioDiversity(t *testing.T) {
 		"pipelined executors":         pipeline,
 		"multi-field pipelined runs":  pipelineMulti,
 		"plain synchronous executors": syncMode,
+		"cg kernels":                  cg,
+		"kill-free checkpointing":     ckptOverhead,
+		"injected kills":              kills,
 	} {
 		if n == 0 {
 			t.Errorf("no scenario in the %d-seed CI list exercises %s", simSeeds, name)

@@ -75,10 +75,47 @@ func (Figure8Fused) Sweep(data []float64, xadj, adj []int32, tv []float64, lo, h
 	Figure8{}.Sweep(data, xadj, adj, tv, lo, hi)
 }
 
+// CG is a sparse conjugate-gradient-style smoothing kernel: each
+// element combines its own value with its neighbor sum, weighting the
+// diagonal by the element's degree. After the solver's
+// divide-by-degree this yields y' = (x + avg(neighbors)) / 2 — a
+// damped Jacobi relaxation step, the smoother at the heart of a CG
+// preconditioner — which contracts smoothly instead of Figure8's pure
+// neighbor averaging. Fully subset-sweep capable, so it runs in the
+// synchronous, overlapped and pipelined executor modes alike.
+type CG struct{}
+
+// Sweep computes the degree-weighted aggregate over the contiguous
+// range.
+func (CG) Sweep(data []float64, xadj, adj []int32, tv []float64, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		sum := 0.0
+		for k := xadj[u]; k < xadj[u+1]; k++ {
+			sum += data[adj[k]]
+		}
+		deg := float64(xadj[u+1] - xadj[u])
+		tv[u] = 0.5 * (deg*data[u] + sum)
+	}
+}
+
+// SweepIdx computes the degree-weighted aggregate for each listed
+// element — the boundary-split form for the overlapped mode.
+func (CG) SweepIdx(data []float64, xadj, adj []int32, tv []float64, idx []int32) {
+	for _, u := range idx {
+		sum := 0.0
+		for k := xadj[u]; k < xadj[u+1]; k++ {
+			sum += data[adj[k]]
+		}
+		deg := float64(xadj[u+1] - xadj[u])
+		tv[u] = 0.5 * (deg*data[u] + sum)
+	}
+}
+
 // kernelRegistry names the built-in kernels for CLI selection.
 var kernelRegistry = map[string]func() Kernel{
 	"figure8":       func() Kernel { return Figure8{} },
 	"figure8-fused": func() Kernel { return Figure8Fused{} },
+	"cg":            func() Kernel { return CG{} },
 }
 
 // KernelByName returns a built-in kernel by registry name.

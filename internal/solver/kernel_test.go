@@ -56,6 +56,48 @@ func TestKernelRegistry(t *testing.T) {
 	}
 }
 
+func TestCGKernel(t *testing.T) {
+	k, err := KernelByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, ok := k.(SubsetKernel)
+	if !ok {
+		t.Fatal("cg kernel has no boundary split")
+	}
+
+	// A 4-cycle: every vertex has degree 2.
+	xadj := []int32{0, 2, 4, 6, 8}
+	adj := []int32{1, 3, 0, 2, 1, 3, 0, 2}
+	data := []float64{1, 2, 3, 4}
+
+	// tv[u] = 0.5*(deg*x[u] + Σ neighbors); after the solver's
+	// divide-by-degree that is (x + avg(neighbors)) / 2.
+	want := []float64{
+		0.5 * (2*1 + (2 + 4)),
+		0.5 * (2*2 + (1 + 3)),
+		0.5 * (2*3 + (2 + 4)),
+		0.5 * (2*4 + (1 + 3)),
+	}
+	tv := make([]float64, 4)
+	k.Sweep(data, xadj, adj, tv, 0, 4)
+	for u := range want {
+		if tv[u] != want[u] {
+			t.Errorf("Sweep tv[%d] = %v, want %v", u, tv[u], want[u])
+		}
+	}
+
+	// The split form must match the contiguous form bit for bit.
+	tv2 := make([]float64, 4)
+	sk.SweepIdx(data, xadj, adj, tv2, []int32{1, 3})
+	sk.SweepIdx(data, xadj, adj, tv2, []int32{0, 2})
+	for u := range want {
+		if tv2[u] != tv[u] {
+			t.Errorf("SweepIdx tv[%d] = %v, Sweep gave %v", u, tv2[u], tv[u])
+		}
+	}
+}
+
 func TestSetOverlapValidation(t *testing.T) {
 	s := testSolver(t)
 	if !s.CanOverlap() {

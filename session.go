@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"stance/internal/ckpt"
 	"stance/internal/comm"
 	"stance/internal/hetero"
 	"stance/internal/session"
@@ -28,6 +29,17 @@ type (
 	// in a RunReport: the new epoch, who left and joined, and the
 	// migration byte count.
 	MembershipEvent = session.MembershipEvent
+	// CheckpointConfig enables crash-stop fault tolerance; see
+	// WithCheckpoint.
+	CheckpointConfig = ckpt.Config
+	// Kill is one injected crash in a CheckpointConfig: the rank goes
+	// permanently silent at the first checkpoint gate at or after the
+	// given iteration.
+	Kill = ckpt.Kill
+	// RecoveryEvent is one completed crash recovery recorded in a
+	// RunReport: who died, who survived, how far the survivors rolled
+	// back and what detection and restoration cost.
+	RecoveryEvent = ckpt.RecoveryEvent
 	// Outage is an availability window during which a workstation
 	// leaves the computation entirely; see WithAvailability.
 	Outage = hetero.Outage
@@ -54,6 +66,12 @@ type (
 	// with RegisterTransport to plug in a new backend by name.
 	TransportFactory = comm.TransportFactory
 )
+
+// ErrUnrecoverable marks a rank failure the checkpoint protocol cannot
+// recover from (the coordinator died, or a rank and its checkpoint
+// buddy died inside one detection window). Session.Run errors wrap it;
+// test with errors.Is.
+var ErrUnrecoverable = ckpt.ErrUnrecoverable
 
 // Option configures NewSession.
 type Option func(*session.Config)
@@ -175,6 +193,34 @@ func WithAvailability(outages ...Outage) Option {
 // active rank set explicitly while the session runs.
 func WithElastic() Option {
 	return func(c *session.Config) { c.Elastic = true }
+}
+
+// WithCheckpoint enables crash-stop fault tolerance (which implies the
+// elastic membership protocol). At every Run start and check boundary
+// the active ranks pass a checkpoint gate: each sends a heartbeat to
+// the coordinator, which collects them under cfg.DetectTimeout and
+// multicasts a verdict. When all answer, every rank snapshots its
+// vector intervals and solver iteration and mirrors the snapshot to
+// its buddy (the next active rank in ring order). When a rank goes
+// silent, the survivors re-cut its intervals, restore the last
+// checkpoint — the dead rank's state replayed by its buddy — roll the
+// solver back and continue; the final result is bit-identical to a run
+// that never failed, and the RunReport records a RecoveryEvent. A
+// failure that cannot be recovered (the coordinator died, or a rank
+// and its buddy died together) fails the Run loudly with an error
+// wrapping ErrUnrecoverable — never a hang. cfg.Kills injects
+// deterministic crashes for testing:
+//
+//	s, err := stance.NewSession(ctx, g, 4,
+//	    stance.WithClock(stance.NewSimClock()),
+//	    stance.WithVirtualCompute(10*time.Microsecond),
+//	    stance.WithCheckpoint(stance.CheckpointConfig{
+//	        DetectTimeout: 50 * time.Millisecond,
+//	        Kills:         []stance.Kill{{Rank: 2, Iter: 30}},
+//	    }))
+//	report, err := s.Run(60) // rank 2 dies at iteration 30; report.Recoveries has the story
+func WithCheckpoint(cfg CheckpointConfig) Option {
+	return func(c *session.Config) { c.Checkpoint = &cfg }
 }
 
 // WithOnMembership registers a callback invoked on rank 0 immediately
