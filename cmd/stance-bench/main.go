@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"stance/internal/bench"
+	"stance/internal/comm"
 )
 
 func main() {
@@ -30,6 +31,10 @@ func main() {
 	fields := flag.Int("fields", 1, "independent solution fields per iteration (>=2 lets -pipeline fly several exchanges at once)")
 	virtual := flag.Bool("virtual", false, "run the solver tables (4, 5) on the simulated clock: exact, deterministic virtual durations in milliseconds of real time")
 	cost := flag.Duration("cost", time.Microsecond, "virtual compute cost per element per work repetition (with -virtual)")
+	transport := flag.String("transport", "", "comm transport for the solver tables (default inproc)")
+	flushPeriod := flag.Duration("flush", 0, "tcp tx batching linger (0 = flush immediately)")
+	batchBytes := flag.Int("batch", 0, "tcp tx batch cap in bytes (0 = transport default)")
+	compress := flag.String("compress", "", "tcp per-batch compression codec: none, flate or gzip")
 	flag.Parse()
 
 	if *pipeline > 0 && *overlap {
@@ -38,8 +43,22 @@ func main() {
 	opts := bench.Options{
 		Quick: *quick, NetScale: *netScale, Seed: *seed,
 		Overlap: *overlap, Pipeline: *pipeline, Fields: *fields,
+		Transport: *transport,
+	}
+	if *flushPeriod > 0 || *batchBytes > 0 || *compress != "" {
+		opts.Tuning = &comm.TransportOptions{
+			FlushPeriod: *flushPeriod,
+			BatchBytes:  *batchBytes,
+			Compression: *compress,
+		}
+		if err := opts.Tuning.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *virtual {
+		if *transport != "" && *transport != "inproc" {
+			log.Fatalf("-virtual requires the inproc transport (real %s sockets deliver on the wall clock, which a simulated clock cannot see)", *transport)
+		}
 		opts = opts.Virtual(*cost)
 	}
 	gens := map[string]func(bench.Options) (*bench.Table, error){

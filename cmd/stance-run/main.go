@@ -126,6 +126,11 @@ func main() {
 	virtual := flag.Bool("virtual", false, "run on the simulated clock: deterministic virtual time, instant wall time (inproc transport only)")
 	cost := flag.Duration("cost", 10*time.Microsecond, "virtual compute cost per element per work repetition (with -virtual)")
 	ckptTimeout := flag.Duration("ckpt", 0, "enable crash-stop fault tolerance with this failure-detection timeout (0 = off); ranks buddy-checkpoint at every check boundary and survivors restart from the last checkpoint when a rank dies")
+	flushPeriod := flag.Duration("flush", 0, "tcp tx batching linger: wait up to this long coalescing sections into one framed write (0 = flush immediately)")
+	batchBytes := flag.Int("batch", 0, "tcp tx batch cap in bytes before a forced flush (0 = transport default)")
+	compress := flag.String("compress", "", "tcp per-batch compression codec: none, flate or gzip")
+	hbInterval := flag.Duration("hb", 0, "tcp heartbeat interval for transport-level liveness (0 = heartbeats off)")
+	hbMiss := flag.Int("hb-miss", 0, "consecutive missed tcp heartbeats before a peer is declared dead (0 = transport default)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "competing load rank:factor[:from[:until]] (repeatable)")
 	var kills killFlags
@@ -232,6 +237,18 @@ func main() {
 	if *ckptTimeout > 0 {
 		cfg.Checkpoint = &ckpt.Config{DetectTimeout: *ckptTimeout, Kills: kills}
 	}
+	if *flushPeriod > 0 || *batchBytes > 0 || *compress != "" || *hbInterval > 0 || *hbMiss > 0 {
+		cfg.Tuning = &comm.TransportOptions{
+			FlushPeriod:       *flushPeriod,
+			BatchBytes:        *batchBytes,
+			Compression:       *compress,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatMiss:     *hbMiss,
+		}
+		if err := cfg.Tuning.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	switch *strategy {
 	case "sort1":
 		cfg.Strategy = core.StrategySort1
@@ -317,6 +334,10 @@ func main() {
 	fmt.Printf("\n%d iterations in %v%s (%.2f ms/iter)\n", *iters, rep.Wall.Round(time.Millisecond),
 		unit, rep.Wall.Seconds()*1e3/float64(*iters))
 	fmt.Printf("messages: %d (%d payload bytes)\n", rep.Msgs, rep.Bytes)
+	if t := rep.Transport; t != nil && t.NFlushes > 0 {
+		fmt.Printf("wire: %d msgs in %d flushes (%.1f msgs/write), %d tx / %d rx bytes, %d hb misses, %d backpressure stalls\n",
+			t.NTx, t.NFlushes, float64(t.NTx)/float64(t.NFlushes), t.NTxByte, t.NRxByte, t.NDroppedHB, t.NTxBackpressure)
+	}
 	if *overlap {
 		fmt.Printf("overlapped executor: %d split-phase ops, %v un-hidden exchange idle\n",
 			rep.Exec.Overlapped, rep.Exec.Idle.Round(time.Microsecond))

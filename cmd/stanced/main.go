@@ -45,6 +45,11 @@ func main() {
 	maxRanks := flag.Int("max-ranks", 0, "max ranks one job may request (0 = pool size)")
 	queue := flag.Int("queue", 64, "admission queue depth (backpressure beyond it)")
 	virtual := flag.Bool("virtual", false, "run the pool on the simulated clock (inproc transport only)")
+	flushPeriod := flag.Duration("flush", 0, "tcp tx batching linger for the pool mesh (0 = flush immediately)")
+	batchBytes := flag.Int("batch", 0, "tcp tx batch cap in bytes (0 = transport default)")
+	compress := flag.String("compress", "", "tcp per-batch compression codec: none, flate or gzip")
+	hbInterval := flag.Duration("hb", 0, "tcp heartbeat interval for transport-level liveness (0 = off)")
+	hbMiss := flag.Int("hb-miss", 0, "consecutive missed tcp heartbeats before a peer is declared dead (0 = default)")
 	flag.Parse()
 
 	if *virtual && *transport != "inproc" {
@@ -58,6 +63,19 @@ func main() {
 	if *latency > 0 || *bandwidth > 0 || *delay > 0 {
 		model = &comm.Model{Latency: *latency, Bandwidth: *bandwidth, Delay: *delay}
 	}
+	var tuning *comm.TransportOptions
+	if *flushPeriod > 0 || *batchBytes > 0 || *compress != "" || *hbInterval > 0 || *hbMiss > 0 {
+		tuning = &comm.TransportOptions{
+			FlushPeriod:       *flushPeriod,
+			BatchBytes:        *batchBytes,
+			Compression:       *compress,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatMiss:     *hbMiss,
+		}
+		if err := tuning.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	svc, err := jobsvc.New(jobsvc.Config{
 		PoolRanks:      *pool,
@@ -67,6 +85,7 @@ func main() {
 		MaxConcurrent:  *maxJobs,
 		MaxRanksPerJob: *maxRanks,
 		QueueDepth:     *queue,
+		Tuning:         tuning,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"stance/internal/comm"
 	"stance/internal/vtime"
 )
 
@@ -58,6 +59,14 @@ type Options struct {
 	// the clock (see session.Config.ComputeCost); zero keeps the real
 	// spinning kernel.
 	ComputeCost time.Duration
+	// Transport names the comm transport the solver tables run on (""
+	// means "inproc"). Real-socket transports ignore most of the
+	// Ethernet model, so absolute numbers shift; the tables stay
+	// comparable within one transport.
+	Transport string
+	// Tuning carries wire-transport options (batching, compression,
+	// heartbeats) for socket transports; nil means library defaults.
+	Tuning *comm.TransportOptions
 }
 
 // Virtual returns deterministic settings for the solver tables: a

@@ -71,7 +71,7 @@ func BenchmarkRebind(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			world, err := comm.Open("inproc", p, comm.TransportConfig{})
+			world, err := comm.Open("inproc", p, comm.TransportOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -51,6 +51,8 @@ func measureRun(g *graph.Graph, env *hetero.Env, p, iters, workRep int,
 	opts Options, bal *loadbal.Config) (*session.RunReport, error) {
 	s, err := session.New(context.Background(), g, session.Config{
 		Procs:       p,
+		Transport:   opts.Transport,
+		Tuning:      opts.Tuning,
 		Model:       comm.Ethernet(opts.netScale()),
 		Clock:       opts.Clock,
 		ComputeCost: opts.ComputeCost,

@@ -21,6 +21,13 @@ import (
 // ErrClosed is returned by operations on a closed communicator.
 var ErrClosed = errors.New("comm: communicator closed")
 
+// ErrKilled is returned by operations on an endpoint whose process was
+// crash-injected with KillEndpoint: the rank is gone, its sends vanish
+// and its receives can never complete. The session driver treats a
+// rank failing with ErrKilled under checkpointing as a crash-stop
+// death — the rank goes silent and the survivors recover.
+var ErrKilled = errors.New("comm: endpoint killed")
+
 // Transport moves raw tagged messages between ranks.
 type Transport interface {
 	// Send delivers data to dst with the given tag. Data is copied

@@ -13,7 +13,7 @@ import (
 func simWorld(t *testing.T, p int, model *Model) (*World, *vtime.Sim) {
 	t.Helper()
 	clk := vtime.NewSim()
-	w, err := Open("inproc", p, TransportConfig{Model: model, Clock: clk})
+	w, err := Open("inproc", p, TransportOptions{Model: model, Clock: clk})
 	if err != nil {
 		t.Fatal(err)
 	}

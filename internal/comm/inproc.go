@@ -47,7 +47,7 @@ type delayedMsg struct {
 
 // NewWorld creates an in-process world of p ranks whose messages cost
 // according to model (nil for a free network) on the real clock. Use
-// Open with a TransportConfig.Clock to run the world on a simulated
+// Open with a TransportOptions.Clock to run the world on a simulated
 // clock.
 func NewWorld(p int, model *Model) ([]*Comm, error) {
 	return newInprocWorld(p, model, vtime.Real{})

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -53,6 +54,19 @@ type mailbox struct {
 	queues map[msgKey]*msgq
 	free   [][]byte
 	closed bool
+	// closeErr is what pending and future receives fail with once the
+	// mailbox is closed: ErrClosed on a normal shutdown, ErrKilled when
+	// the endpoint was crash-injected.
+	closeErr error
+
+	// dead marks sources the transport's liveness layer has declared
+	// failed (missed heartbeats). Queued messages from a dead source
+	// stay receivable — they were delivered before the failure — but a
+	// receive that would block on a dead source fails with ErrPeerDead
+	// instead, turning transport liveness into an immediate failure
+	// signal for the checkpoint gate. Grown lazily; nil when the
+	// transport has no liveness layer.
+	dead []bool
 
 	// clock supplies deadlines; sim is non-nil when it is a simulated
 	// clock, in which case blocked receivers take part in the clock's
@@ -150,6 +164,54 @@ func (m *mailbox) putBuf(b []byte) {
 	m.mu.Unlock()
 }
 
+// markPeerDead records a transport-level death of src and wakes every
+// waiter so receives blocked on src can fail with ErrPeerDead.
+func (m *mailbox) markPeerDead(src int) {
+	m.mu.Lock()
+	if src >= len(m.dead) {
+		grown := make([]bool, src+1)
+		copy(grown, m.dead)
+		m.dead = grown
+	}
+	m.dead[src] = true
+	m.wakeLocked()
+	m.mu.Unlock()
+}
+
+// deadLocked reports whether src has been declared dead.
+func (m *mailbox) deadLocked(src int) bool {
+	return src >= 0 && src < len(m.dead) && m.dead[src]
+}
+
+// allDeadLocked reports whether every source the mask admits is dead —
+// the condition under which a masked receive can never complete. A nil
+// mask admits every source including self, which is never marked, so
+// it always reports false.
+func (m *mailbox) allDeadLocked(mask []bool) bool {
+	if mask == nil {
+		return false
+	}
+	admitted := false
+	for src, on := range mask {
+		if !on {
+			continue
+		}
+		admitted = true
+		if !m.deadLocked(src) {
+			return false
+		}
+	}
+	return admitted
+}
+
+// closedErrLocked is the error receives fail with after close.
+func (m *mailbox) closedErrLocked() error {
+	if m.closeErr != nil {
+		return m.closeErr
+	}
+	return ErrClosed
+}
+
 // deliver appends a message; the payload must already be owned by the
 // mailbox (callers copy user buffers).
 func (m *mailbox) deliver(src, tag int, data []byte) error {
@@ -203,7 +265,10 @@ func (m *mailbox) recv(ctx context.Context, src, tag int) ([]byte, error) {
 			return q.pop(), nil
 		}
 		if m.closed {
-			return nil, ErrClosed
+			return nil, m.closedErrLocked()
+		}
+		if m.deadLocked(src) {
+			return nil, fmt.Errorf("comm: recv from rank %d: %w", src, ErrPeerDead)
 		}
 		if cancellable {
 			if err := ctx.Err(); err != nil {
@@ -237,7 +302,10 @@ func (m *mailbox) recvTimeout(src, tag int, d time.Duration) ([]byte, error) {
 			return q.pop(), nil
 		}
 		if m.closed {
-			return nil, ErrClosed
+			return nil, m.closedErrLocked()
+		}
+		if m.deadLocked(src) {
+			return nil, fmt.Errorf("comm: recv from rank %d: %w", src, ErrPeerDead)
 		}
 		if !m.clock.Now().Before(deadline) {
 			return nil, ErrTimeout
@@ -291,7 +359,10 @@ func (m *mailbox) recvAnyOf(ctx context.Context, tag int, mask []bool) (int, []b
 			return src, m.queues[msgKey{src, tag}].pop(), nil
 		}
 		if m.closed {
-			return 0, nil, ErrClosed
+			return 0, nil, m.closedErrLocked()
+		}
+		if m.allDeadLocked(mask) {
+			return 0, nil, fmt.Errorf("comm: every admitted source is dead: %w", ErrPeerDead)
 		}
 		if cancellable {
 			if err := ctx.Err(); err != nil {
@@ -315,15 +386,22 @@ func (m *mailbox) pollAnyOf(tag int, mask []bool) (src int, data []byte, ok bool
 		return src, m.queues[msgKey{src, tag}].pop(), true, nil
 	}
 	if m.closed {
-		return 0, nil, false, ErrClosed
+		return 0, nil, false, m.closedErrLocked()
 	}
 	return 0, nil, false, nil
 }
 
-// close fails all pending and future receives.
-func (m *mailbox) close() {
+// close fails all pending and future receives with ErrClosed.
+func (m *mailbox) close() { m.closeWith(nil) }
+
+// closeWith is close with an explicit failure cause (nil means
+// ErrClosed); the first close wins.
+func (m *mailbox) closeWith(err error) {
 	m.mu.Lock()
-	m.closed = true
+	if !m.closed {
+		m.closed = true
+		m.closeErr = err
+	}
 	m.wakeLocked()
 	m.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"stance/internal/vtime"
@@ -10,6 +11,14 @@ import (
 // ErrTimeout is returned by RecvTimeout when no message arrives in
 // time.
 var ErrTimeout = errors.New("comm: receive timed out")
+
+// ErrPeerDead is returned by receives that would block on a peer the
+// transport's liveness layer has declared dead (missed heartbeats on
+// the TCP transport). It wraps ErrTimeout, so failure-detection code
+// matching errors.Is(err, ErrTimeout) sees a transport-level death
+// exactly like a protocol-level timeout — just without waiting the
+// protocol deadline out.
+var ErrPeerDead = fmt.Errorf("comm: peer declared dead by transport liveness: %w", ErrTimeout)
 
 // Model emulates the cost of a shared-medium network for the
 // in-process transport: each message pays a fixed latency plus its

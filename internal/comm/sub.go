@@ -119,6 +119,14 @@ type subTransport struct {
 // sub-world is the same timeline as the world it was derived from.
 func (t *subTransport) Clock() vtime.Clock { return t.parent.Clock() }
 
+// transportStats reports the root endpoint's wire counters: a
+// sub-world multiplexes over its root's socket mesh (that is the whole
+// point — one mesh per world, shared by every sub-world and grant), so
+// the root's connections are where its bytes flow.
+func (t *subTransport) transportStats() (TransportStats, bool) {
+	return t.parent.TransportStats()
+}
+
 func (t *subTransport) Send(dst, tag int, data []byte) error {
 	return t.parent.Send(t.toWorld[dst], tag, data)
 }

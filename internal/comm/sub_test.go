@@ -18,7 +18,7 @@ func TestSubCollectives(t *testing.T) {
 }
 
 func testSubCollectives(t *testing.T, transport string) {
-	world, err := Open(transport, 4, TransportConfig{})
+	world, err := Open(transport, 4, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func testSubCollectives(t *testing.T, transport string) {
 // translate the mask and the returned source, and leave non-member
 // traffic queued.
 func TestSubMaskedRecv(t *testing.T) {
-	world, err := Open("inproc", 4, TransportConfig{})
+	world, err := Open("inproc", 4, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestSubMaskedRecv(t *testing.T) {
 // World.SPMD must unblock receives issued through a sub-world created
 // inside the section.
 func TestSubContextCancellation(t *testing.T) {
-	world, err := Open("inproc", 3, TransportConfig{})
+	world, err := Open("inproc", 3, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestSubContextCancellation(t *testing.T) {
 
 // TestSubValidation: malformed member lists must be rejected.
 func TestSubValidation(t *testing.T) {
-	world, err := Open("inproc", 3, TransportConfig{})
+	world, err := Open("inproc", 3, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestSubValidation(t *testing.T) {
 // TestSubStatsCountOnWorld: traffic through a sub-world must count
 // into the root world's statistics.
 func TestSubStatsCountOnWorld(t *testing.T) {
-	world, err := Open("inproc", 2, TransportConfig{})
+	world, err := Open("inproc", 2, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 // state (mailboxes, stats counters) as data-race-free, which is what
 // the job service relies on when it multiplexes sessions on one pool.
 func TestSubConcurrentDisjoint(t *testing.T) {
-	world, err := Open("inproc", 6, TransportConfig{})
+	world, err := Open("inproc", 6, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestSubConcurrentDisjoint(t *testing.T) {
 // own; disjoint sub-worlds are wrapped as independent worlds and each
 // runs its own concurrent SPMD section over the shared endpoints.
 func TestSubConcurrentWrappedWorlds(t *testing.T) {
-	parent, err := Open("inproc", 5, TransportConfig{})
+	parent, err := Open("inproc", 5, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

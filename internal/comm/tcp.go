@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stance/internal/vtime"
@@ -16,116 +18,267 @@ import (
 // maxFrame bounds a single message payload on the TCP transport.
 const maxFrame = 1 << 30
 
-// tcpTransport runs the same tagged-message protocol over loopback TCP
-// sockets: a full mesh of connections, one writer goroutine per peer
-// (so sends never block the application), and reader goroutines
-// feeding the shared mailbox implementation.
+// tcpTransport runs the tagged-message protocol over loopback TCP
+// sockets, rebuilt on the gofast transport patterns: a full mesh of
+// connections; per-peer bounded outboxes drained by writer goroutines
+// that coalesce queued messages into single framed batch writes
+// (optionally compressed per batch); reader goroutines that split
+// batches back into sections and feed the shared mailbox; optional
+// heartbeat traffic with read deadlines, so a silent peer is declared
+// dead at the transport level and blocked receives fail with
+// ErrPeerDead; and per-connection stat counters (n_tx, n_rx,
+// n_flushes, ...) summed into TransportStats.
+//
+// Sub-worlds multiplex over the same mesh for free: a Comm.Sub
+// endpoint translates onto its root endpoint, so every sub-world and
+// jobsvc grant shares the root's socket pair per peer — there is one
+// mesh per world, never one per sub-world.
 type tcpTransport struct {
 	rank  int
 	size  int
 	box   *mailbox
-	model *Model      // optional sender-side cost model (Latency/Bandwidth only)
+	model *Model      // optional sender-side cost model
 	clock vtime.Clock // the clock charges run on (always real today; see newTCPWorld)
+	opts  TransportOptions
+	codec uint8
+
+	stats tcpStats
 
 	mu     sync.Mutex
 	outs   []*outbox // per-peer outgoing queues (nil for self)
 	conns  []net.Conn
 	closed bool
+	killed bool
+
+	// Receive-side couriers apply Model.Delay on the real clock: one
+	// courier per source preserves per-(src, tag) FIFO while messages
+	// sit in modeled flight, additive to the real wire time. nil when
+	// the model carries no delay.
+	couriers    []chan delayedMsg
+	courierStop chan struct{}
+	courierOnce sync.Once
+
+	hbStop chan struct{}
+	hbOnce sync.Once
 }
 
-// outbox is an unbounded FIFO drained by one writer goroutine, so a
-// slow receiver cannot deadlock a sender (the executor sends to all
-// peers before receiving).
+// tcpStats are one endpoint's wire counters, updated lock-free by the
+// writer and reader goroutines.
+type tcpStats struct {
+	nTx, nRx, nFlushes, nTxByte, nRxByte, nDroppedHB, nTxBackpressure atomic.Int64
+}
+
+func (t *tcpTransport) transportStats() (TransportStats, bool) {
+	return TransportStats{
+		NTx:             t.stats.nTx.Load(),
+		NRx:             t.stats.nRx.Load(),
+		NFlushes:        t.stats.nFlushes.Load(),
+		NTxByte:         t.stats.nTxByte.Load(),
+		NRxByte:         t.stats.nRxByte.Load(),
+		NDroppedHB:      t.stats.nDroppedHB.Load(),
+		NTxBackpressure: t.stats.nTxBackpressure.Load(),
+	}, true
+}
+
+// outbox accumulates one peer's outgoing sections directly into a
+// pending batch buffer, double-buffered against the writer goroutine:
+// senders append sections in place (no per-message allocation, no
+// queue), the writer swaps the pending buffer out, frames it and hands
+// the drained buffer back. Backpressure is two-fold, both counted: a
+// high-water mark in messages, and the batch byte cap — a sender that
+// outruns the wire blocks at either bound instead of growing memory
+// without limit. Heartbeat pushes never block — under backpressure the
+// data traffic itself proves liveness.
 type outbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  [][]byte
+	mu    sync.Mutex
+	ready *sync.Cond // signaled when a section or close arrives
+	space *sync.Cond // signaled when the writer swaps the batch out
+
+	buf      []byte        // pending batch: sections appended in place
+	n        int           // sections in buf
+	spare    []byte        // drained buffer returned by the writer
+	hwm      int           // high-water mark in sections
+	maxBytes int           // batch byte cap
+	stall    *atomic.Int64 // the transport's backpressure counter
+
 	closed bool
 }
 
-func newOutbox() *outbox {
-	o := &outbox{}
-	o.cond = sync.NewCond(&o.mu)
+func newOutbox(hwm, maxBytes int, stall *atomic.Int64) *outbox {
+	o := &outbox{hwm: hwm, maxBytes: maxBytes, stall: stall}
+	o.ready = sync.NewCond(&o.mu)
+	o.space = sync.NewCond(&o.mu)
 	return o
 }
 
-func (o *outbox) push(frame []byte) error {
+// fullLocked reports whether a section of secLen more bytes must wait
+// for the writer. A batch always carries at least one section, so an
+// empty buffer admits any size.
+func (o *outbox) fullLocked(secLen int) bool {
+	if len(o.buf) == 0 {
+		return false
+	}
+	return (o.hwm > 0 && o.n >= o.hwm) || len(o.buf)+secLen > o.maxBytes
+}
+
+// push appends one tagged section to the pending batch, blocking at
+// the high-water mark or the batch byte cap until the writer drains.
+func (o *outbox) push(tag int, data []byte) error {
+	secLen := sectionHdr + len(data)
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	stalled := false
+	for o.fullLocked(secLen) && !o.closed {
+		if !stalled {
+			stalled = true
+			if o.stall != nil {
+				o.stall.Add(1)
+			}
+		}
+		o.space.Wait()
+	}
 	if o.closed {
 		return ErrClosed
 	}
-	o.queue = append(o.queue, frame)
-	o.cond.Signal()
+	o.buf = appendTCPSection(o.buf, tag, data)
+	o.n++
+	o.ready.Signal()
 	return nil
 }
 
-func (o *outbox) pop() ([]byte, bool) {
+// tryPush appends a section only if there is room — the heartbeat
+// path, which must never block behind backpressured data traffic.
+func (o *outbox) tryPush(tag int, data []byte) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	for len(o.queue) == 0 && !o.closed {
-		o.cond.Wait()
+	if !o.closed && !o.fullLocked(sectionHdr+len(data)) {
+		o.buf = appendTCPSection(o.buf, tag, data)
+		o.n++
+		o.ready.Signal()
 	}
-	if len(o.queue) == 0 {
-		return nil, false
-	}
-	frame := o.queue[0]
-	o.queue = o.queue[1:]
-	return frame, true
+	o.mu.Unlock()
 }
 
+// popBatch blocks until sections are pending, optionally lingers one
+// flush period to coalesce more, then swaps the whole pending batch
+// out. The writer returns the buffer through recycle once framed.
+// ok=false means the outbox is closed and fully drained.
+func (o *outbox) popBatch(flush time.Duration, clock vtime.Clock) ([]byte, bool) {
+	o.mu.Lock()
+	for len(o.buf) == 0 && !o.closed {
+		o.ready.Wait()
+	}
+	if len(o.buf) == 0 {
+		o.mu.Unlock()
+		return nil, false
+	}
+	if flush > 0 && !o.closed {
+		// Linger: let the sender append more sections so they ride this
+		// same framed write.
+		o.mu.Unlock()
+		clock.Sleep(flush)
+		o.mu.Lock()
+	}
+	batch := o.buf
+	o.buf = o.spare[:0]
+	o.spare = nil
+	o.n = 0
+	o.space.Broadcast()
+	o.mu.Unlock()
+	return batch, true
+}
+
+// recycle hands a drained batch buffer back for the next swap.
+func (o *outbox) recycle(batch []byte) {
+	o.mu.Lock()
+	if o.spare == nil || cap(batch) > cap(o.spare) {
+		o.spare = batch[:0]
+	}
+	o.mu.Unlock()
+}
+
+// close marks the outbox closed; the writer drains what is already
+// pending, then exits.
 func (o *outbox) close() {
 	o.mu.Lock()
 	o.closed = true
-	o.cond.Broadcast()
+	o.ready.Broadcast()
+	o.space.Broadcast()
+	o.mu.Unlock()
+}
+
+// closeDiscard closes the outbox and drops everything pending — the
+// crash path (killed endpoints flush nothing) and the dead-peer path
+// (frames to a dead peer have nowhere to go).
+func (o *outbox) closeDiscard() {
+	o.mu.Lock()
+	o.closed = true
+	o.buf = o.buf[:0]
+	o.n = 0
+	o.ready.Broadcast()
+	o.space.Broadcast()
 	o.mu.Unlock()
 }
 
 // NewTCPWorld creates a world of p ranks connected by a full mesh of
-// loopback TCP connections, demonstrating the runtime over real
-// sockets. The returned closer shuts down all connections.
+// loopback TCP connections with default options, demonstrating the
+// runtime over real sockets. The returned closer shuts down all
+// connections.
 func NewTCPWorld(p int) ([]*Comm, func() error, error) {
-	return newTCPWorld(p, nil, nil)
+	return newTCPWorld(p, TransportOptions{})
 }
 
-// newTCPWorld builds the TCP world with an optional cost model and
-// clock. The model's Latency and Bandwidth charge the sender's clock
-// before each socket write, so a zero-Delay model prices messages
-// identically on inproc and tcp. Two things real sockets cannot do,
-// and the constructor rejects loudly instead of approximating:
-//
-//   - Delay (one-way delivery delay without blocking the sender) would
-//     need a courier between the wire and the receiver's mailbox;
-//     kernel socket delivery happens when it happens.
-//   - A simulated clock: socket reads complete on the wall clock,
-//     invisible to a vtime.Sim, so the sim would advance past
-//     in-flight messages (or declare a deadlock while bytes are on the
-//     wire) and determinism is lost. Virtual time is an inproc-only
-//     feature.
-func newTCPWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, func() error, error) {
+// newTCPWorld builds the TCP world. The model's Latency and Bandwidth
+// charge the sender's clock before each socket write, so a zero-Delay
+// model prices messages identically on inproc and tcp; Model.Delay is
+// applied on the receive side through per-source couriers, additive to
+// the real wire time. One thing real sockets cannot do, and the
+// constructor rejects loudly instead of approximating: a simulated
+// clock. Socket reads complete on the wall clock, invisible to a
+// vtime.Sim, so the sim would advance past in-flight messages (or
+// declare a deadlock while bytes are on the wire) and determinism is
+// lost. Virtual time is an inproc-only feature.
+func newTCPWorld(p int, opts TransportOptions) ([]*Comm, func() error, error) {
 	if p <= 0 {
 		return nil, nil, fmt.Errorf("comm: world size must be positive, got %d", p)
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opts = opts.withDefaults()
+	clock := opts.Clock
 	if clock == nil {
 		clock = vtime.Real{}
 	}
 	if vtime.AsSim(clock) != nil {
 		return nil, nil, fmt.Errorf("comm: the tcp transport cannot run on a simulated clock (real sockets deliver on the wall clock); use the inproc transport for virtual-time runs")
 	}
-	if model != nil && model.Delay > 0 {
-		return nil, nil, fmt.Errorf("comm: the tcp transport cannot simulate Model.Delay (kernel sockets deliver when they deliver); use the inproc transport for delay injection")
+	codec, err := codecOf(opts.Compression)
+	if err != nil {
+		return nil, nil, err
 	}
+	model := opts.Model
 	transports := make([]*tcpTransport, p)
 	for i := range transports {
-		transports[i] = &tcpTransport{
+		t := &tcpTransport{
 			rank:  i,
 			size:  p,
 			box:   newMailbox(clock),
 			model: model,
 			clock: clock,
+			opts:  opts,
+			codec: codec,
 			outs:  make([]*outbox, p),
 			conns: make([]net.Conn, p),
 		}
+		if model != nil && model.Delay > 0 {
+			t.couriers = make([]chan delayedMsg, p)
+			t.courierStop = make(chan struct{})
+			for s := range t.couriers {
+				t.couriers[s] = make(chan delayedMsg, 1024)
+				go courier(t.box, t.couriers[s], t.courierStop)
+			}
+		}
+		transports[i] = t
 	}
 	// Rank i listens; ranks j > i dial i. The dialer announces its
 	// rank in the first 4 bytes.
@@ -145,6 +298,9 @@ func newTCPWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, func() error,
 		go func(i int) {
 			defer wg.Done()
 			for n := 0; n < p-1-i; n++ { // one connection from each higher-ranked dialer
+				if d, ok := listeners[i].(interface{ SetDeadline(time.Time) error }); ok {
+					d.SetDeadline(time.Now().Add(opts.AcceptTimeout))
+				}
 				conn, err := listeners[i].Accept()
 				if err != nil {
 					errCh <- err
@@ -169,7 +325,7 @@ func newTCPWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, func() error,
 		go func(j int) {
 			defer wg.Done()
 			for i := 0; i < j; i++ { // rank j dials every lower rank
-				conn, err := net.Dial("tcp", listeners[i].Addr().String())
+				conn, err := net.DialTimeout("tcp", listeners[i].Addr().String(), opts.DialTimeout)
 				if err != nil {
 					errCh <- err
 					return
@@ -192,6 +348,12 @@ func newTCPWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, func() error,
 			t.Close()
 		}
 		return nil, nil, fmt.Errorf("comm: tcp mesh setup: %w", err)
+	}
+	if opts.HeartbeatInterval > 0 {
+		for _, t := range transports {
+			t.hbStop = make(chan struct{})
+			go t.heartbeater()
+		}
 	}
 	comms := make([]*Comm, p)
 	for i := range comms {
@@ -221,49 +383,254 @@ func closeListeners(ls []net.Listener) {
 	}
 }
 
-// attach wires a peer connection: an outbox+writer for sends and a
-// reader pumping frames into the mailbox.
+// attach wires a peer connection: a bounded outbox drained by a
+// batching writer, and a reader splitting framed batches into the
+// mailbox.
 func (t *tcpTransport) attach(peer int, conn net.Conn) {
-	out := newOutbox()
+	out := newOutbox(t.opts.OutboxHighWater, t.opts.BatchBytes, &t.stats.nTxBackpressure)
 	t.mu.Lock()
 	t.outs[peer] = out
 	t.conns[peer] = conn
 	t.mu.Unlock()
-	go func() { // writer
-		for {
-			frame, ok := out.pop()
-			if !ok {
-				return
-			}
-			if _, err := conn.Write(frame); err != nil {
-				return
-			}
+	go t.writer(conn, out)
+	go t.reader(peer, conn)
+}
+
+// writer drains one peer's outbox in batches: every pass coalesces the
+// queued sections (up to the batch cap, lingering one flush period
+// when configured) into a single framed — optionally compressed —
+// write. One goroutine per connection, so sends never block the
+// application on the socket.
+func (t *tcpTransport) writer(conn net.Conn, out *outbox) {
+	comp := newTCPCompressor(t.codec)
+	var wire []byte
+	for {
+		batch, ok := out.popBatch(t.opts.FlushPeriod, t.clock)
+		if !ok {
+			return
 		}
-	}()
-	go func() { // reader
-		for {
-			var hdr [8]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				return
+		var err error
+		wire, err = comp.frame(wire[:0], batch)
+		out.recycle(batch)
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(wire); err != nil {
+			return
+		}
+		t.stats.nFlushes.Add(1)
+		t.stats.nTxByte.Add(int64(len(wire)))
+	}
+}
+
+// reader pumps one peer's framed batches into the mailbox. With
+// heartbeats enabled it also runs the liveness protocol: every read
+// arms a deadline of one heartbeat interval, an expiry with no bytes
+// read counts as a missed heartbeat, and HeartbeatMiss consecutive
+// misses — or an unexpected end of stream — declare the peer dead.
+func (t *tcpTransport) reader(peer int, conn net.Conn) {
+	hb := t.opts.HeartbeatInterval
+	misses := 0
+	var hdr [frameHdr]byte
+	var body, scratch []byte
+	// The buffered reader turns the header+body syscall pair into one
+	// read for small frames, and drains back-to-back frames that arrived
+	// together in a single syscall. Deadlines still arm on conn: a
+	// timeout with nothing buffered surfaces as a zero-byte ReadFull,
+	// exactly the heartbeat-miss signal below.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		if t.isShutdown() {
+			return
+		}
+		if hb > 0 {
+			conn.SetReadDeadline(time.Now().Add(hb))
+		}
+		n, err := io.ReadFull(br, hdr[:])
+		if err != nil {
+			var ne net.Error
+			if hb > 0 && n == 0 && errors.As(err, &ne) && ne.Timeout() {
+				misses++
+				t.stats.nDroppedHB.Add(1)
+				if misses >= t.opts.HeartbeatMiss {
+					t.declareDead(peer)
+					return
+				}
+				continue
 			}
-			tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
-			n := binary.LittleEndian.Uint32(hdr[4:])
-			if n > maxFrame {
-				return
+			// EOF, reset, or a mid-header expiry: the stream is gone or
+			// desynchronized. With liveness on, that is a death signal
+			// too (unless this endpoint is the one shutting down).
+			if hb > 0 && !t.isShutdown() {
+				t.declareDead(peer)
+			}
+			return
+		}
+		misses = 0
+		codec, blen, err := decodeTCPHeader(hdr[:])
+		if err != nil {
+			if hb > 0 && !t.isShutdown() {
+				t.declareDead(peer)
+			}
+			return
+		}
+		if cap(body) < blen {
+			body = make([]byte, blen)
+		}
+		body = body[:blen]
+		if hb > 0 {
+			conn.SetReadDeadline(time.Now().Add(hb))
+		}
+		if _, err := io.ReadFull(br, body); err != nil {
+			if hb > 0 && !t.isShutdown() {
+				t.declareDead(peer)
+			}
+			return
+		}
+		t.stats.nRxByte.Add(int64(frameHdr + blen))
+		sections, err := decodeTCPBody(codec, body, &scratch)
+		if err != nil {
+			if hb > 0 && !t.isShutdown() {
+				t.declareDead(peer)
+			}
+			return
+		}
+		err = forEachTCPSection(sections, func(tag int, payload []byte) error {
+			if tag == hbTag {
+				return nil // pure liveness traffic
 			}
 			// Payloads come from the mailbox pool so released receive
 			// buffers cycle back to the socket reader.
-			payload := t.box.getBuf(int(n))
-			if _, err := io.ReadFull(conn, payload); err != nil {
-				t.box.putBuf(payload)
-				return
+			buf := t.box.getBuf(len(payload))
+			copy(buf, payload)
+			if err := t.dispatch(peer, tag, buf); err != nil {
+				t.box.putBuf(buf)
+				return err
 			}
-			if err := t.box.deliver(peer, tag, payload); err != nil {
-				t.box.putBuf(payload)
-				return
+			t.stats.nRx.Add(1)
+			return nil
+		})
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch hands a mailbox-owned payload to this rank: directly, or
+// through the source's courier when the model carries a delivery
+// delay.
+func (t *tcpTransport) dispatch(src, tag int, buf []byte) error {
+	if t.couriers != nil {
+		t.couriers[src] <- delayedMsg{src: src, tag: tag, buf: buf,
+			readyAt: time.Now().Add(t.model.Delay)}
+		return nil
+	}
+	return t.box.deliver(src, tag, buf)
+}
+
+// heartbeater queues a heartbeat section to every peer each interval.
+// Heartbeats ride the normal batching path (they are just sections),
+// and never block behind backpressure — when an outbox is full, the
+// data traffic draining it proves liveness by itself.
+func (t *tcpTransport) heartbeater() {
+	ticker := time.NewTicker(t.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-ticker.C:
+			for peer := 0; peer < t.size; peer++ {
+				if peer == t.rank {
+					continue
+				}
+				t.mu.Lock()
+				out := t.outs[peer]
+				t.mu.Unlock()
+				if out != nil {
+					out.tryPush(hbTag, nil)
+				}
 			}
 		}
-	}()
+	}
+}
+
+// declareDead records a transport-level death of peer: pending and
+// future receives from it fail with ErrPeerDead, its connection closes
+// (unblocking a writer stuck on a full socket), and its outbox drops
+// what it still holds.
+func (t *tcpTransport) declareDead(peer int) {
+	t.mu.Lock()
+	conn := t.conns[peer]
+	out := t.outs[peer]
+	t.mu.Unlock()
+	t.box.markPeerDead(peer)
+	if out != nil {
+		out.closeDiscard()
+	}
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func (t *tcpTransport) isShutdown() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed || t.killed
+}
+
+// stopHeartbeat stops the heartbeater, if one was started.
+func (t *tcpTransport) stopHeartbeat() {
+	if t.hbStop != nil {
+		t.hbOnce.Do(func() { close(t.hbStop) })
+	}
+}
+
+// stopCouriers stops the delay couriers, if any were started.
+func (t *tcpTransport) stopCouriers() {
+	if t.courierStop != nil {
+		t.courierOnce.Do(func() { close(t.courierStop) })
+	}
+}
+
+// Kill crash-injects this endpoint: the rank goes silent. Its queued
+// and future sends vanish (no flush — a crashed process flushes
+// nothing), its receives fail with ErrKilled, and its heartbeats stop
+// — but its connections stay open, so peers cannot see a clean end of
+// stream and must detect the death the way a real network partition is
+// detected: by missed heartbeats. Close later reaps the connections.
+func (t *tcpTransport) Kill() {
+	t.mu.Lock()
+	if t.closed || t.killed {
+		t.mu.Unlock()
+		return
+	}
+	t.killed = true
+	outs := append([]*outbox(nil), t.outs...)
+	t.mu.Unlock()
+	t.stopHeartbeat()
+	for _, o := range outs {
+		if o != nil {
+			o.closeDiscard()
+		}
+	}
+	t.stopCouriers()
+	t.box.closeWith(ErrKilled)
+}
+
+// KillEndpoint crash-injects the transport under c (the root endpoint,
+// for sub-world communicators): the rank goes silent without closing
+// its sockets, so peers running heartbeats detect the death by timeout
+// — the crash-stop failure model over a real wire. It fails on
+// transports without kill support (the in-process transport's injected
+// kills live in the session layer instead).
+func KillEndpoint(c *Comm) error {
+	type killer interface{ Kill() }
+	if k, ok := c.Root().tr.(killer); ok {
+		k.Kill()
+		return nil
+	}
+	return fmt.Errorf("comm: transport does not support kill injection")
 }
 
 // Clock returns the clock the transport's charges run on.
@@ -272,6 +639,22 @@ func (t *tcpTransport) Clock() vtime.Clock { return t.clock }
 func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 	if len(data) > maxFrame {
 		return fmt.Errorf("comm: message of %d bytes exceeds frame limit", len(data))
+	}
+	if tag == hbTag {
+		return fmt.Errorf("comm: tag %#x is reserved for transport heartbeats", tag)
+	}
+	t.mu.Lock()
+	killed, closed := t.killed, t.closed
+	var out *outbox
+	if dst != t.rank {
+		out = t.outs[dst]
+	}
+	t.mu.Unlock()
+	if killed {
+		return ErrKilled
+	}
+	if closed || (dst != t.rank && out == nil) {
+		return ErrClosed
 	}
 	// Sender-side model charge, mirroring the inproc transport's cost
 	// accounting so a latency-priced experiment reads the same on both
@@ -284,24 +667,17 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 	if dst == t.rank {
 		buf := t.box.getBuf(len(data))
 		copy(buf, data)
-		if err := t.box.deliver(t.rank, tag, buf); err != nil {
+		if err := t.dispatch(t.rank, tag, buf); err != nil {
 			t.box.putBuf(buf)
 			return err
 		}
 		return nil
 	}
-	t.mu.Lock()
-	out := t.outs[dst]
-	closed := t.closed
-	t.mu.Unlock()
-	if closed || out == nil {
-		return ErrClosed
+	if err := out.push(tag, data); err != nil {
+		return err
 	}
-	frame := make([]byte, 8+len(data))
-	binary.LittleEndian.PutUint32(frame[:4], uint32(int32(tag)))
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
-	copy(frame[8:], data)
-	return out.push(frame)
+	t.stats.nTx.Add(1)
+	return nil
 }
 
 func (t *tcpTransport) Recv(src, tag int) ([]byte, error) {
@@ -348,6 +724,7 @@ func (t *tcpTransport) Close() error {
 	outs := append([]*outbox(nil), t.outs...)
 	conns := append([]net.Conn(nil), t.conns...)
 	t.mu.Unlock()
+	t.stopHeartbeat()
 	var errs []error
 	for _, o := range outs {
 		if o != nil {
@@ -364,6 +741,7 @@ func (t *tcpTransport) Close() error {
 			}
 		}
 	}
+	t.stopCouriers()
 	t.box.close()
 	return errors.Join(errs...)
 }

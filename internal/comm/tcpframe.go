@@ -1,0 +1,264 @@
+package comm
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// TCP wire format. Each framed write carries one batch:
+//
+//	[flags u8][bodyLen u32 LE][body]
+//
+// flags' low two bits tag the body's compression codec; all other bits
+// are reserved and must be zero. The (decompressed) body is a sequence
+// of sections, each one tagged message:
+//
+//	[tag i32 LE][payloadLen u32 LE][payload]
+//
+// Sections must tile the body exactly. The reserved tag hbTag marks a
+// heartbeat section: pure liveness traffic that resets the receiver's
+// read deadline and is never delivered to the mailbox.
+const (
+	codecNone  = 0
+	codecGzip  = 1
+	codecFlate = 2
+	codecBits  = 0x03
+
+	frameHdr   = 5
+	sectionHdr = 8
+
+	// hbTag is the reserved heartbeat section tag; Send rejects it.
+	hbTag = math.MinInt32
+
+	// maxBatch bounds a batch body (compressed or not): one oversized
+	// message may exceed the configured batch cap, so the hard limit is
+	// a single maximal section.
+	maxBatch = maxFrame + sectionHdr
+
+	// compressMin is the smallest body worth compressing; smaller
+	// batches go out raw under whatever codec is configured.
+	compressMin = 128
+)
+
+// maxDecodedBatch caps how far a compressed body may inflate — the
+// zip-bomb guard. A variable only so the bound test can exercise the
+// limit without actually inflating a gigabyte.
+var maxDecodedBatch int64 = maxBatch
+
+// codecOf maps a TransportOptions.Compression name to its wire tag.
+func codecOf(name string) (uint8, error) {
+	switch name {
+	case "", "none":
+		return codecNone, nil
+	case "gzip":
+		return codecGzip, nil
+	case "flate":
+		return codecFlate, nil
+	default:
+		return 0, fmt.Errorf("comm: unknown compression codec %q (want none, gzip or flate)", name)
+	}
+}
+
+// appendTCPSection appends one tagged section to a batch body.
+func appendTCPSection(dst []byte, tag int, payload []byte) []byte {
+	var hdr [sectionHdr]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeTCPHeader parses a frame header.
+func decodeTCPHeader(hdr []byte) (codec uint8, bodyLen int, err error) {
+	if len(hdr) != frameHdr {
+		return 0, 0, fmt.Errorf("comm: %d-byte frame header", len(hdr))
+	}
+	flags := hdr[0]
+	if flags&^byte(codecBits) != 0 {
+		return 0, 0, fmt.Errorf("comm: reserved frame flag bits %#02x set", flags)
+	}
+	codec = flags & codecBits
+	if codec == codecBits {
+		return 0, 0, fmt.Errorf("comm: unknown frame codec tag %d", codec)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxBatch {
+		return 0, 0, fmt.Errorf("comm: %d-byte frame body exceeds the batch limit", n)
+	}
+	return codec, int(n), nil
+}
+
+// forEachTCPSection walks a decompressed batch body, calling fn for
+// every section. It fails if the sections do not tile the body exactly.
+func forEachTCPSection(body []byte, fn func(tag int, payload []byte) error) error {
+	for len(body) > 0 {
+		if len(body) < sectionHdr {
+			return fmt.Errorf("comm: %d-byte section header remnant", len(body))
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(body[:4])))
+		n := binary.LittleEndian.Uint32(body[4:8])
+		if n > maxFrame {
+			return fmt.Errorf("comm: %d-byte section exceeds the frame limit", n)
+		}
+		if uint32(len(body)-sectionHdr) < n {
+			return fmt.Errorf("comm: section of %d bytes in a %d-byte body remnant", n, len(body))
+		}
+		if err := fn(tag, body[sectionHdr:sectionHdr+int(n)]); err != nil {
+			return err
+		}
+		body = body[sectionHdr+int(n):]
+	}
+	return nil
+}
+
+// tcpCompressor compresses batch bodies for one writer goroutine,
+// reusing its codec state and scratch buffer across frames.
+type tcpCompressor struct {
+	codec uint8
+	buf   bytes.Buffer
+	gz    *gzip.Writer
+	fl    *flate.Writer
+}
+
+func newTCPCompressor(codec uint8) *tcpCompressor { return &tcpCompressor{codec: codec} }
+
+// frame appends a complete wire frame for body to dst: the header plus
+// the body, compressed when the writer's codec is set and the body is
+// big enough to be worth it. Each frame records its own codec, so raw
+// and compressed frames interleave freely on one connection.
+func (c *tcpCompressor) frame(dst, body []byte) ([]byte, error) {
+	codec := c.codec
+	out := body
+	if codec != codecNone && len(body) >= compressMin {
+		c.buf.Reset()
+		var err error
+		switch codec {
+		case codecGzip:
+			if c.gz == nil {
+				c.gz = gzip.NewWriter(&c.buf)
+			} else {
+				c.gz.Reset(&c.buf)
+			}
+			_, err = c.gz.Write(body)
+			if err == nil {
+				err = c.gz.Close()
+			}
+		case codecFlate:
+			if c.fl == nil {
+				c.fl, err = flate.NewWriter(&c.buf, flate.DefaultCompression)
+			} else {
+				c.fl.Reset(&c.buf)
+			}
+			if err == nil {
+				_, err = c.fl.Write(body)
+			}
+			if err == nil {
+				err = c.fl.Close()
+			}
+		}
+		if err != nil {
+			return dst, fmt.Errorf("comm: compress batch: %w", err)
+		}
+		if c.buf.Len() < len(body) {
+			out = c.buf.Bytes()
+		} else {
+			codec = codecNone // incompressible; send raw
+		}
+	} else {
+		codec = codecNone
+	}
+	var hdr [frameHdr]byte
+	hdr[0] = codec
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(out)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, out...), nil
+}
+
+// decodeTCPBody returns the decompressed batch body, reusing *scratch
+// for the decompressed bytes. The returned slice aliases body (codec
+// none) or *scratch and is only valid until the next call.
+func decodeTCPBody(codec uint8, body []byte, scratch *[]byte) ([]byte, error) {
+	if codec == codecNone {
+		return body, nil
+	}
+	var r io.Reader
+	switch codec {
+	case codecGzip:
+		gz, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("comm: gzip batch: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	case codecFlate:
+		fl := flate.NewReader(bytes.NewReader(body))
+		defer fl.Close()
+		r = fl
+	default:
+		return nil, fmt.Errorf("comm: unknown frame codec tag %d", codec)
+	}
+	// Bound the decompressed size so a hostile frame cannot balloon
+	// memory: anything past the batch limit is a protocol violation.
+	buf := bytes.NewBuffer((*scratch)[:0])
+	n, err := io.Copy(buf, io.LimitReader(r, maxDecodedBatch+1))
+	*scratch = buf.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("comm: decompress batch: %w", err)
+	}
+	if n > maxDecodedBatch {
+		return nil, fmt.Errorf("comm: decompressed batch exceeds the %d-byte limit", maxDecodedBatch)
+	}
+	return *scratch, nil
+}
+
+// tcpSection is one decoded tagged message, for tests and fuzzing.
+type tcpSection struct {
+	tag     int
+	payload []byte
+}
+
+// encodeTCPBatch builds a complete wire frame from sections — the
+// inverse of decodeTCPFrame, used by tests and the fuzz seed corpus.
+func encodeTCPBatch(sections []tcpSection, codec uint8) ([]byte, error) {
+	var body []byte
+	for _, s := range sections {
+		body = appendTCPSection(body, s.tag, s.payload)
+	}
+	return newTCPCompressor(codec).frame(nil, body)
+}
+
+// decodeTCPFrame parses one complete wire frame (header, optional
+// compression, section boundaries) into its sections. It is the
+// single-buffer form of the reader goroutine's decode path and the
+// fuzzing entry point.
+func decodeTCPFrame(frame []byte) ([]tcpSection, error) {
+	if len(frame) < frameHdr {
+		return nil, fmt.Errorf("comm: %d-byte frame", len(frame))
+	}
+	codec, n, err := decodeTCPHeader(frame[:frameHdr])
+	if err != nil {
+		return nil, err
+	}
+	if len(frame)-frameHdr != n {
+		return nil, fmt.Errorf("comm: frame header claims %d body bytes, frame carries %d", n, len(frame)-frameHdr)
+	}
+	var scratch []byte
+	body, err := decodeTCPBody(codec, frame[frameHdr:], &scratch)
+	if err != nil {
+		return nil, err
+	}
+	var out []tcpSection
+	err = forEachTCPSection(body, func(tag int, payload []byte) error {
+		out = append(out, tcpSection{tag: tag, payload: append([]byte(nil), payload...)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

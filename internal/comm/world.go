@@ -10,26 +10,39 @@ import (
 	"stance/internal/vtime"
 )
 
-// TransportConfig carries the parameters a transport factory may use.
-// Factories ignore fields that do not apply to them.
+// TransportConfig is the legacy flat transport configuration, kept as
+// a compatibility shim over TransportOptions.
+//
+// Deprecated: use TransportOptions with Open. TransportConfig predates
+// the tunable wire transport and can only carry the model and clock;
+// Options converts it, and OpenConfig opens a world from it directly.
 type TransportConfig struct {
-	// Model is the network cost model (nil means a free network). The
-	// in-process transport applies the full model; the TCP transport
-	// charges Latency/Bandwidth cost on the sender's clock before each
-	// real socket write but cannot simulate Delay (see NewTCPWorld).
+	// Model is the network cost model (nil means a free network).
 	Model *Model
-	// Clock is the time source for charges, delays, timeouts and all
-	// runtime measurement (nil means the real clock). A vtime.Sim runs
-	// the world in deterministic virtual time; only the in-process
-	// transport supports it — real sockets deliver on the wall clock,
-	// which a virtual clock cannot see.
+	// Clock is the time source (nil means the real clock).
 	Clock vtime.Clock
 }
 
-// TransportFactory builds the endpoints of a p-rank world. The returned
+// Options maps the legacy configuration onto the options it is a
+// subset of.
+func (c TransportConfig) Options() TransportOptions {
+	return TransportOptions{Model: c.Model, Clock: c.Clock}
+}
+
+// OpenConfig is Open for callers still holding a legacy
+// TransportConfig.
+//
+// Deprecated: use Open with TransportOptions.
+func OpenConfig(transport string, p int, cfg TransportConfig) (*World, error) {
+	return Open(transport, p, cfg.Options())
+}
+
+// TransportFactory builds the endpoints of a p-rank world from
+// validated options (factories ignore fields that do not apply to
+// them; the in-process transport has no sockets to tune). The returned
 // closer (which may be nil) releases resources the individual Comms do
 // not own, such as a shared socket mesh.
-type TransportFactory func(p int, cfg TransportConfig) (comms []*Comm, closer func() error, err error)
+type TransportFactory func(p int, opts TransportOptions) (comms []*Comm, closer func() error, err error)
 
 var (
 	transportMu sync.RWMutex
@@ -66,12 +79,12 @@ func Transports() []string {
 }
 
 func init() {
-	RegisterTransport("inproc", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
-		comms, err := newInprocWorld(p, cfg.Model, cfg.Clock)
+	RegisterTransport("inproc", func(p int, opts TransportOptions) ([]*Comm, func() error, error) {
+		comms, err := newInprocWorld(p, opts.Model, opts.Clock)
 		return comms, nil, err
 	})
-	RegisterTransport("tcp", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
-		return newTCPWorld(p, cfg.Model, cfg.Clock)
+	RegisterTransport("tcp", func(p int, opts TransportOptions) ([]*Comm, func() error, error) {
+		return newTCPWorld(p, opts)
 	})
 }
 
@@ -91,10 +104,14 @@ type World struct {
 
 // Open builds a world of p ranks on the named transport ("" selects
 // "inproc"). The transport must have been registered with
-// RegisterTransport.
-func Open(transport string, p int, cfg TransportConfig) (*World, error) {
+// RegisterTransport. The options are validated here, before any
+// factory runs, so a bad tuning fails identically on every transport.
+func Open(transport string, p int, opts TransportOptions) (*World, error) {
 	if transport == "" {
 		transport = "inproc"
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	transportMu.RLock()
 	factory, ok := transports[transport]
@@ -103,7 +120,7 @@ func Open(transport string, p int, cfg TransportConfig) (*World, error) {
 		return nil, fmt.Errorf("comm: unknown transport %q (registered: %s)",
 			transport, strings.Join(Transports(), ", "))
 	}
-	comms, closer, err := factory(p, cfg)
+	comms, closer, err := factory(p, opts)
 	if err != nil {
 		return nil, fmt.Errorf("comm: transport %q: %w", transport, err)
 	}

@@ -26,17 +26,17 @@ func TestWorldRegistry(t *testing.T) {
 		t.Fatalf("Transports() = %v, want inproc and tcp", names)
 	}
 
-	if _, err := Open("bogus", 2, TransportConfig{}); err == nil {
+	if _, err := Open("bogus", 2, TransportOptions{}); err == nil {
 		t.Fatal("Open(bogus) succeeded")
 	} else if !strings.Contains(err.Error(), "inproc") {
 		t.Errorf("Open(bogus) error %q does not list registered transports", err)
 	}
 
-	RegisterTransport("test-custom", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
-		comms, err := NewWorld(p, cfg.Model)
+	RegisterTransport("test-custom", func(p int, opts TransportOptions) ([]*Comm, func() error, error) {
+		comms, err := NewWorld(p, opts.Model)
 		return comms, nil, err
 	})
-	w, err := Open("test-custom", 3, TransportConfig{})
+	w, err := Open("test-custom", 3, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestRegisterTransportDuplicatePanics(t *testing.T) {
 			t.Error("duplicate registration did not panic")
 		}
 	}()
-	RegisterTransport("inproc", func(p int, cfg TransportConfig) ([]*Comm, func() error, error) {
+	RegisterTransport("inproc", func(p int, opts TransportOptions) ([]*Comm, func() error, error) {
 		return nil, nil, nil
 	})
 }
@@ -62,7 +62,7 @@ func TestRegisterTransportDuplicatePanics(t *testing.T) {
 func TestWorldSPMDRoundTrip(t *testing.T) {
 	for _, transport := range []string{"inproc", "tcp"} {
 		t.Run(transport, func(t *testing.T) {
-			w, err := Open(transport, 3, TransportConfig{})
+			w, err := Open(transport, 3, TransportOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,7 +100,7 @@ func TestWorldSPMDRoundTrip(t *testing.T) {
 func TestWorldCancelUnblocksRecv(t *testing.T) {
 	for _, transport := range []string{"inproc", "tcp"} {
 		t.Run(transport, func(t *testing.T) {
-			w, err := Open(transport, 2, TransportConfig{})
+			w, err := Open(transport, 2, TransportOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -136,7 +136,7 @@ func TestWorldCancelUnblocksRecv(t *testing.T) {
 // down a collective mid-flight: rank 0 waits in a barrier no one else
 // joins.
 func TestWorldCancelUnblocksCollective(t *testing.T) {
-	w, err := Open("inproc", 3, TransportConfig{})
+	w, err := Open("inproc", 3, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestWorldCancelUnblocksCollective(t *testing.T) {
 // TestWorldPreCancelledContext: SPMD under an already-cancelled context
 // must refuse to run.
 func TestWorldPreCancelledContext(t *testing.T) {
-	w, err := Open("inproc", 2, TransportConfig{})
+	w, err := Open("inproc", 2, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestWorldPreCancelledContext(t *testing.T) {
 func TestWorldDoubleClose(t *testing.T) {
 	for _, transport := range []string{"inproc", "tcp"} {
 		t.Run(transport, func(t *testing.T) {
-			w, err := Open(transport, 2, TransportConfig{})
+			w, err := Open(transport, 2, TransportOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -208,7 +208,7 @@ func TestWorldDoubleClose(t *testing.T) {
 // peers blocked waiting for its messages must unwind with an error
 // instead of deadlocking the section.
 func TestWorldRankFailureUnblocksPeers(t *testing.T) {
-	w, err := Open("inproc", 3, TransportConfig{})
+	w, err := Open("inproc", 3, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestWorldRankFailureUnblocksPeers(t *testing.T) {
 // TestWorldConcurrentSPMDRejected: a second SPMD section on a busy
 // world must fail instead of racing on the context binding.
 func TestWorldConcurrentSPMDRejected(t *testing.T) {
-	w, err := Open("inproc", 2, TransportConfig{})
+	w, err := Open("inproc", 2, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestWorldConcurrentSPMDRejected(t *testing.T) {
 // TestWorldCloseUnblocksRecv: closing the world must fail a pending
 // receive rather than leaving it blocked forever.
 func TestWorldCloseUnblocksRecv(t *testing.T) {
-	w, err := Open("inproc", 2, TransportConfig{})
+	w, err := Open("inproc", 2, TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -102,7 +102,7 @@ func ringGraph(t *testing.T, n int) *graph.Graph {
 func TestProtocolShrinkGrow(t *testing.T) {
 	const n = 31
 	g := ringGraph(t, n)
-	world, err := comm.Open("inproc", 3, comm.TransportConfig{})
+	world, err := comm.Open("inproc", 3, comm.TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package jobsvc
 import (
 	"time"
 
+	"stance/internal/comm"
 	"stance/internal/metrics"
 )
 
@@ -63,6 +64,10 @@ type Metrics struct {
 	// PoolMsgs and PoolBytes are the pool world's lifetime traffic.
 	PoolMsgs  int64 `json:"pool_msgs"`
 	PoolBytes int64 `json:"pool_bytes"`
+	// Transport is the pool world's wire-level counters (frames,
+	// flushes, heartbeats, backpressure stalls); nil on transports
+	// without a socket mesh, such as inproc.
+	Transport *comm.TransportStats `json:"transport,omitempty"`
 	// Decisions is the scheduler's recent decision log, oldest first.
 	Decisions []Decision `json:"decisions"`
 }
@@ -70,6 +75,10 @@ type Metrics struct {
 // Metrics snapshots the service.
 func (s *Service) Metrics() Metrics {
 	msgs, bytes := s.pool.Stats()
+	var tr *comm.TransportStats
+	if ts, ok := s.pool.TransportStats(); ok {
+		tr = &ts
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
@@ -87,6 +96,7 @@ func (s *Service) Metrics() Metrics {
 		JobWall:     metrics.Summarize(s.latencies),
 		PoolMsgs:    msgs,
 		PoolBytes:   bytes,
+		Transport:   tr,
 		Decisions:   append([]Decision(nil), s.decisions...),
 	}
 	return m

@@ -45,6 +45,13 @@ type Config struct {
 	// vtime.Sim runs the whole service — every job, every deadline —
 	// in deterministic virtual time.
 	Clock vtime.Clock
+	// Tuning carries wire-transport options (batching, compression,
+	// heartbeats) for the pool world. It is pool-scoped, not per-job:
+	// every session multiplexes over the one shared socket mesh, so
+	// there is exactly one flush loop and one liveness policy to tune.
+	// Model and Clock must stay nil here — set them through the fields
+	// above.
+	Tuning *comm.TransportOptions
 	// MaxConcurrent caps simultaneously running jobs (0: PoolRanks,
 	// the natural bound since every job needs at least one rank).
 	MaxConcurrent int
@@ -105,7 +112,18 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = FairShare{}
 	}
-	pool, err := comm.Open(cfg.Transport, cfg.PoolRanks, comm.TransportConfig{Model: cfg.Model, Clock: cfg.Clock})
+	opts := comm.TransportOptions{}
+	if cfg.Tuning != nil {
+		opts = *cfg.Tuning
+		if opts.Model != nil {
+			return nil, fmt.Errorf("jobsvc: set the network model through Config.Model, not Tuning.Model")
+		}
+		if opts.Clock != nil {
+			return nil, fmt.Errorf("jobsvc: set the clock through Config.Clock, not Tuning.Clock")
+		}
+	}
+	opts.Model, opts.Clock = cfg.Model, cfg.Clock
+	pool, err := comm.Open(cfg.Transport, cfg.PoolRanks, opts)
 	if err != nil {
 		return nil, err
 	}

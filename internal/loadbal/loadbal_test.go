@@ -248,7 +248,7 @@ func TestAdaptiveRunBeatsStaticUnderLoad(t *testing.T) {
 	const totalIters = 40
 	run := func(balance bool) time.Duration {
 		clk := vtime.NewSim()
-		w, err := comm.Open("inproc", 3, comm.TransportConfig{Clock: clk})
+		w, err := comm.Open("inproc", 3, comm.TransportOptions{Clock: clk})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,6 +20,7 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -61,9 +62,18 @@ type Config struct {
 	World *comm.World
 	// Transport names a registered comm transport ("" means "inproc").
 	Transport string
+	// Tuning carries the transport's wire tuning (batching flush
+	// period, batch cap, compression codec, heartbeat liveness, outbox
+	// high-water mark, mesh deadlines) to comm.Open — the facade's
+	// WithTransportTuning. nil means library defaults. Its Model and
+	// Clock fields must stay nil: Config.Model and Config.Clock are the
+	// single source of truth and are injected into the tuning at Open.
+	// Like Transport and Model it conflicts with an adopted World.
+	Tuning *comm.TransportOptions
 	// Model is the network cost model (nil means a free network). The
 	// in-process transport applies it in full; the TCP transport
-	// charges Latency/Bandwidth sender-side but rejects Delay.
+	// charges Latency/Bandwidth sender-side and applies Delay on the
+	// receive side, additive to the real wire time.
 	Model *comm.Model
 	// Clock is the session's time source (nil means the real clock):
 	// network charges, delivery delays, every measured duration in the
@@ -248,6 +258,20 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		if cfg.Model != nil {
 			return nil, fmt.Errorf("session: Model conflicts with an adopted World (the world's transport already has one)")
 		}
+		if cfg.Tuning != nil {
+			return nil, fmt.Errorf("session: Tuning conflicts with an adopted World (the world's transport is already built)")
+		}
+	}
+	if cfg.Tuning != nil {
+		if cfg.Tuning.Model != nil {
+			return nil, fmt.Errorf("session: set the network model through Config.Model, not Tuning.Model")
+		}
+		if cfg.Tuning.Clock != nil {
+			return nil, fmt.Errorf("session: set the clock through Config.Clock, not Tuning.Clock")
+		}
+		if err := cfg.Tuning.Validate(); err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
 	}
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("session: world size must be positive, got %d", cfg.Procs)
@@ -324,8 +348,13 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		if cfg.Clock == nil {
 			cfg.Clock = vtime.Real{}
 		}
+		opts := comm.TransportOptions{}
+		if cfg.Tuning != nil {
+			opts = *cfg.Tuning
+		}
+		opts.Model, opts.Clock = cfg.Model, cfg.Clock
 		var err error
-		world, err = comm.Open(cfg.Transport, cfg.Procs, comm.TransportConfig{Model: cfg.Model, Clock: cfg.Clock})
+		world, err = comm.Open(cfg.Transport, cfg.Procs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -583,6 +612,13 @@ type RunReport struct {
 	// Unlike Msgs/Bytes it excludes barrier, balancer and remap
 	// traffic, so it is the pure schedule-replay cost.
 	Exec core.ExecStats `json:"exec"`
+	// Transport is the wire-counter delta over the run (framed writes,
+	// wire bytes after batching and compression, missed heartbeats,
+	// backpressure stalls), summed over ranks. nil when the transport
+	// keeps no counters (inproc) or the world is adopted — a shared
+	// pool's counters mix every tenant's traffic, so a per-job delta
+	// would lie.
+	Transport *comm.TransportStats `json:"transport,omitempty"`
 }
 
 // Remaps returns the subset of checks that actually remapped.
@@ -640,6 +676,11 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 		return rep, nil
 	}
 	msgs0, bytes0 := s.world.Stats()
+	var trBefore comm.TransportStats
+	trOK := false
+	if s.ownWorld {
+		trBefore, trOK = s.world.TransportStats()
+	}
 	execBefore := make([]core.ExecStats, len(s.ranks))
 	for i, rk := range s.ranks {
 		execBefore[i] = rk.rt.ExecStats()
@@ -653,10 +694,22 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 	s.pendingCheck, s.pendingBoundary = false, false
 	var wall time.Duration
 	err := s.world.SPMD(s.ctx, func(c *comm.Comm) error {
+		var err error
 		if s.elastic {
-			return s.runElastic(c, rep, last, pending, pendingB, &wall)
+			err = s.runElastic(c, rep, last, pending, pendingB, &wall)
+		} else {
+			err = s.runFixed(c, rep, first, last, pending, &wall)
 		}
-		return s.runFixed(c, rep, first, last, pending, &wall)
+		if err != nil && s.ckptOn() && errors.Is(err, comm.ErrKilled) {
+			// The rank's transport endpoint was crash-injected
+			// (comm.KillEndpoint): a crash-stop death, not a program
+			// error. The rank goes silent — exactly like an injected
+			// gate kill — and the survivors' heartbeat detection and
+			// recovery carry the run.
+			s.killed[c.Rank()] = true
+			return nil
+		}
+		return err
 	})
 	if err != nil {
 		s.broken = true
@@ -667,6 +720,11 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 	rep.Wall = wall
 	msgs1, bytes1 := s.world.Stats()
 	rep.Msgs, rep.Bytes = msgs1-msgs0, bytes1-bytes0
+	if trOK {
+		trAfter, _ := s.world.TransportStats()
+		d := trAfter.Sub(trBefore)
+		rep.Transport = &d
+	}
 	for i, rk := range s.ranks {
 		rep.Exec.Add(rk.rt.ExecStats().Sub(execBefore[i]))
 	}

@@ -20,7 +20,7 @@ import (
 // world. CI's -race pass makes this double as the data-race pin for
 // endpoint sharing across concurrent sessions.
 func TestConcurrentSubWorldSessions(t *testing.T) {
-	parent, err := comm.Open("inproc", 7, comm.TransportConfig{})
+	parent, err := comm.Open("inproc", 7, comm.TransportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -168,7 +168,7 @@ func TestSimSeedReplay(t *testing.T) {
 // a wall-clock timeout.
 func TestSimDeadlockWatchdog(t *testing.T) {
 	clk := vtime.NewSim()
-	w, err := comm.Open("inproc", 2, comm.TransportConfig{Clock: clk})
+	w, err := comm.Open("inproc", 2, comm.TransportOptions{Clock: clk})
 	if err != nil {
 		t.Fatal(err)
 	}

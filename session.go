@@ -60,8 +60,20 @@ type (
 	// World is a first-class SPMD world: endpoints plus shared
 	// lifecycle, built from a registered transport.
 	World = comm.World
-	// TransportConfig parameterizes transport factories.
+	// TransportConfig is the legacy flat transport configuration.
+	//
+	// Deprecated: use TransportOptions (see WithTransportTuning and
+	// OpenWorldOptions); the shim converts with its Options method.
 	TransportConfig = comm.TransportConfig
+	// TransportOptions is the composable transport configuration:
+	// model, clock, and the wire tuning (batching, compression,
+	// heartbeat liveness, outbox bounds, mesh deadlines).
+	TransportOptions = comm.TransportOptions
+	// TransportStats are the wire counters a socket transport
+	// accumulates (framed writes, wire bytes, missed heartbeats,
+	// backpressure stalls); RunReport.Transport carries the per-run
+	// delta.
+	TransportStats = comm.TransportStats
 	// TransportFactory builds the endpoints of a world; register one
 	// with RegisterTransport to plug in a new backend by name.
 	TransportFactory = comm.TransportFactory
@@ -89,6 +101,26 @@ func WithTransport(name string) Option {
 // reproduces the paper's 10 Mbit shared medium.
 func WithNetworkModel(m *NetworkModel) Option {
 	return func(c *session.Config) { c.Model = m }
+}
+
+// WithTransportTuning tunes the wire transport the session opens:
+// batching flush period and batch cap, per-batch compression codec,
+// heartbeat interval and miss budget (transport-level failure
+// detection feeding the checkpoint gate), outbox high-water mark, and
+// mesh dial/accept deadlines. Zero fields mean library defaults. The
+// tuning's Model and Clock must stay nil — set them with
+// WithNetworkModel and WithClock; NewSession fails loudly otherwise.
+// The in-process transport has no wire and ignores the tuning.
+//
+//	s, err := stance.NewSession(ctx, g, 4,
+//	    stance.WithTransport("tcp"),
+//	    stance.WithTransportTuning(stance.TransportOptions{
+//	        FlushPeriod:       200 * time.Microsecond,
+//	        Compression:       "flate",
+//	        HeartbeatInterval: 25 * time.Millisecond,
+//	    }))
+func WithTransportTuning(o TransportOptions) Option {
+	return func(c *session.Config) { c.Tuning = &o }
 }
 
 // WithClock sets the session's time source. Everything temporal —
@@ -342,7 +374,13 @@ func NewSimClock() *SimClock { return vtime.NewSim() }
 // means free). Most callers want NewSession instead and never touch
 // the world directly.
 func OpenWorld(transport string, p int, model *NetworkModel) (*World, error) {
-	return comm.Open(transport, p, comm.TransportConfig{Model: model})
+	return comm.Open(transport, p, comm.TransportOptions{Model: model})
+}
+
+// OpenWorldOptions is OpenWorld with the full transport options —
+// model, clock and wire tuning — validated at open.
+func OpenWorldOptions(transport string, p int, o TransportOptions) (*World, error) {
+	return comm.Open(transport, p, o)
 }
 
 // RegisterTransport makes a message-passing backend available to
