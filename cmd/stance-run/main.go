@@ -117,6 +117,9 @@ func main() {
 	kernelName := flag.String("kernel", "figure8", "solver compute body: "+solver.KernelNames())
 	checkEvery := flag.Int("check-every", 10, "iterations between load-balance checks")
 	netScale := flag.Float64("netscale", 0.1, "Ethernet model scale (in-process transport only)")
+	groups := flag.Int("groups", 0, "node-group count for a two-level cluster: ranks split into this many groups over a slower inter-group link (0 = flat); enables the hierarchy-aware cut and leader-aggregated balance checks")
+	interScale := flag.Float64("interscale", 10, "inter-group link slowdown relative to -netscale (with -groups)")
+	flatCut := flag.Bool("flat-cut", false, "keep the two-level pricing but cut the partition flat (the control arm; with -groups)")
 	transport := flag.String("transport", "inproc", "comm transport: "+strings.Join(comm.Transports(), ", "))
 	tcp := flag.Bool("tcp", false, "shorthand for -transport tcp")
 	weighted := flag.Bool("weighted", false, "balance vertex weight (degree) instead of vertex counts")
@@ -153,6 +156,9 @@ func main() {
 	}
 	if len(kills) > 0 && *ckptTimeout <= 0 {
 		log.Fatalf("-kill requires -ckpt: without checkpoints a killed rank is just a hang")
+	}
+	if *groups == 0 && (explicitFlags["interscale"] || *flatCut) {
+		log.Fatalf("-interscale and -flat-cut only apply with -groups")
 	}
 
 	// A scenario file owns the whole environment description: flags
@@ -233,6 +239,15 @@ func main() {
 		// same invocation reproduces the same report byte for byte.
 		cfg.Clock = vtime.NewSim()
 		cfg.ComputeCost = *cost
+	}
+	if *groups > 0 {
+		topo, err := comm.ContiguousGroups(*p, *groups)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Topology = topo
+		cfg.InterModel = comm.Ethernet(*netScale * *interScale)
+		cfg.FlatCut = *flatCut
 	}
 	if *ckptTimeout > 0 {
 		cfg.Checkpoint = &ckpt.Config{DetectTimeout: *ckptTimeout, Kills: kills}
@@ -334,6 +349,9 @@ func main() {
 	fmt.Printf("\n%d iterations in %v%s (%.2f ms/iter)\n", *iters, rep.Wall.Round(time.Millisecond),
 		unit, rep.Wall.Seconds()*1e3/float64(*iters))
 	fmt.Printf("messages: %d (%d payload bytes)\n", rep.Msgs, rep.Bytes)
+	if *groups > 0 {
+		fmt.Printf("inter-group (slow link): %d msgs, %d bytes\n", rep.InterMsgs, rep.InterBytes)
+	}
 	if t := rep.Transport; t != nil && t.NFlushes > 0 {
 		fmt.Printf("wire: %d msgs in %d flushes (%.1f msgs/write), %d tx / %d rx bytes, %d hb misses, %d backpressure stalls\n",
 			t.NTx, t.NFlushes, float64(t.NTx)/float64(t.NFlushes), t.NTxByte, t.NRxByte, t.NDroppedHB, t.NTxBackpressure)

@@ -67,6 +67,9 @@ type Options struct {
 	// Tuning carries wire-transport options (batching, compression,
 	// heartbeats) for socket transports; nil means library defaults.
 	Tuning *comm.TransportOptions
+	// Groups is the node-group count for the hierarchical twins (Tables
+	// H1 and H2); 0 or 1 means the default of 2 groups.
+	Groups int
 }
 
 // Virtual returns deterministic settings for the solver tables: a

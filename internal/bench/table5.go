@@ -174,10 +174,10 @@ func Table5(opts Options) (*Table, error) {
 	return t, nil
 }
 
-// All runs every table.
+// All runs every table, the hierarchical twins included.
 func All(opts Options) ([]*Table, error) {
 	var out []*Table
-	for _, f := range []func(Options) (*Table, error){Table1, Table2, Table3, Table4, Table5} {
+	for _, f := range []func(Options) (*Table, error){Table1, Table2, Table3, Table4, Table5, TableHierStatic, TableHierChecks} {
 		t, err := f(opts)
 		if err != nil {
 			return nil, err

@@ -121,8 +121,17 @@ type Comm struct {
 	from      *Comm
 	worldRank int
 
+	// topo is the world's group topology (nil on flat worlds; set by
+	// Open on world endpoints). Sub-communicators leave it nil and
+	// resolve the root's through Topology().
+	topo *Topology
+
 	sentMsgs  atomic.Int64
 	sentBytes atomic.Int64
+	// interMsgs/interBytes count the sends whose destination lies in a
+	// different group — the traffic on the slow inter-group link.
+	interMsgs  atomic.Int64
+	interBytes atomic.Int64
 }
 
 // NewComm wraps a transport endpoint. Most users obtain Comms from
@@ -223,7 +232,23 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	}
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(len(data)))
+	if c.interCrossing(dst) {
+		c.interMsgs.Add(1)
+		c.interBytes.Add(int64(len(data)))
+	}
 	return nil
+}
+
+// interCrossing reports whether a send from this endpoint to dst (in
+// c's own numbering) crosses a group boundary. Sub-communicator ranks
+// translate to world numbering first — the numbering the topology
+// speaks.
+func (c *Comm) interCrossing(dst int) bool {
+	t := c.Root().topo
+	if t == nil {
+		return false
+	}
+	return !t.SameGroup(c.worldRankOf(c.rank), c.worldRankOf(dst))
 }
 
 // Recv blocks until a message from src with the given tag arrives, the
@@ -351,6 +376,20 @@ func (c *Comm) Multicast(dsts []int, tag int, data []byte) error {
 		}
 		c.sentMsgs.Add(1)
 		c.sentBytes.Add(int64(len(data)))
+		if c.Root().topo != nil {
+			// A multicast is one message on the medium, but each
+			// cross-group destination is one crossing of the slow link.
+			inter := int64(0)
+			for _, d := range dsts {
+				if c.interCrossing(d) {
+					inter++
+				}
+			}
+			if inter > 0 {
+				c.interMsgs.Add(inter)
+				c.interBytes.Add(inter * int64(len(data)))
+			}
+		}
 		return nil
 	}
 	for _, d := range dsts {
@@ -365,6 +404,31 @@ func (c *Comm) Multicast(dsts []int, tag int, data []byte) error {
 // has sent.
 func (c *Comm) Stats() (msgs, bytes int64) {
 	return c.sentMsgs.Load(), c.sentBytes.Load()
+}
+
+// InterStats returns the messages and payload bytes this rank has sent
+// across group boundaries — the slow-link traffic of a two-level
+// world. Always zero on a flat world. Like Stats, a sub-communicator
+// counts its own traffic (its delegated sends also count into the root
+// endpoint, exactly as they do for Stats).
+func (c *Comm) InterStats() (msgs, bytes int64) {
+	return c.interMsgs.Load(), c.interBytes.Load()
+}
+
+// Topology returns the group topology of the world this endpoint
+// belongs to (the root world for a sub-communicator), or nil on a flat
+// world.
+func (c *Comm) Topology() *Topology { return c.Root().topo }
+
+// WorldRankOf translates one of c's ranks into a root-world rank — the
+// numbering a Topology speaks. For a world endpoint it is the
+// identity; for a (possibly nested) sub-communicator it resolves the
+// member's stable workstation identity.
+func (c *Comm) WorldRankOf(rank int) int {
+	if rank < 0 || rank >= c.size {
+		panic(fmt.Sprintf("comm: rank %d of %d", rank, c.size))
+	}
+	return c.worldRankOf(rank)
 }
 
 // Close shuts down the endpoint's transport.

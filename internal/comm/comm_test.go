@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -271,12 +272,58 @@ func TestModelCost(t *testing.T) {
 	if free.cost(1e6) != 0 {
 		t.Error("nil model should be free")
 	}
-	if Ethernet(0).Latency != time.Millisecond {
-		t.Error("scale 0 should default to 1")
-	}
 	fast := Ethernet(0.1)
 	if fast.cost(1250) >= d {
 		t.Error("scaled-down model should be cheaper")
+	}
+}
+
+// Ethernet used to silently default a non-positive scale to 1, so a
+// miscomputed scale (0, a negated value, NaN from 0/0) produced a
+// model the caller never asked for — or, for NaN and +Inf, a garbage
+// bandwidth. An invalid scale is a configuration bug and must panic.
+func TestEthernetInvalidScalePanics(t *testing.T) {
+	for _, scale := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Ethernet(%g) did not panic", scale)
+				}
+			}()
+			Ethernet(scale)
+		}()
+	}
+	// -Inf is caught by the same non-positive check.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Ethernet(-Inf) did not panic")
+			}
+		}()
+		Ethernet(math.Inf(-1))
+	}()
+}
+
+// cost must saturate instead of wrapping: a huge byte count over a tiny
+// bandwidth converts to a float beyond MaxInt64, and a raw
+// time.Duration conversion would come out negative on most
+// architectures — a negative sleep, i.e. a free message, exactly where
+// the model should be at its most expensive.
+func TestModelCostSaturates(t *testing.T) {
+	slow := &Model{Bandwidth: 1e-12}
+	if d := slow.cost(1 << 30); d != maxCost {
+		t.Errorf("cost with overflowing transfer term = %v, want saturation at %v", d, maxCost)
+	}
+	// Saturation on the latency + transfer sum, not just the term.
+	m := &Model{Latency: maxCost - time.Nanosecond, Bandwidth: 1}
+	if d := m.cost(1); d != maxCost {
+		t.Errorf("cost with overflowing sum = %v, want saturation at %v", d, maxCost)
+	}
+	if d := (&Model{Latency: -time.Second}).cost(0); d != 0 {
+		t.Errorf("negative latency cost = %v, want clamp to 0", d)
+	}
+	if d := (&Model{Latency: time.Millisecond, Bandwidth: math.NaN()}).cost(100); d != time.Millisecond {
+		t.Errorf("NaN bandwidth cost = %v, want latency-only pricing", d)
 	}
 }
 

@@ -23,7 +23,18 @@ type inprocTransport struct {
 	rank  int
 	boxes []*mailbox // shared across the world
 	model *Model
-	wire  *sync.Mutex // shared medium; nil when model is nil or the clock is simulated
+	topo  *Topology // group structure; nil on flat worlds
+	inter *Model    // prices cross-group messages; non-nil only with topo
+
+	// The shared media, real clock only (nil slices on a simulated
+	// clock or a free network). A flat world has one wire (wires[0]).
+	// A two-level world (inter != nil) has one wire per group plus a
+	// backbone wire between groups: intra-group traffic in different
+	// groups no longer contends — the fast links are independent — while
+	// all inter-group traffic serializes on the slow shared link.
+	wires     []*sync.Mutex
+	interWire *sync.Mutex
+
 	clock vtime.Clock
 	sim   *vtime.Sim // non-nil when clock is a vtime.Sim
 
@@ -50,14 +61,18 @@ type delayedMsg struct {
 // Open with a TransportOptions.Clock to run the world on a simulated
 // clock.
 func NewWorld(p int, model *Model) ([]*Comm, error) {
-	return newInprocWorld(p, model, vtime.Real{})
+	return newInprocWorld(p, TransportOptions{Model: model})
 }
 
-// newInprocWorld builds the in-process world on an explicit clock.
-func newInprocWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, error) {
+// newInprocWorld builds the in-process world from validated options.
+// Of the options it honors Model, Clock, Topology and InterModel; the
+// socket tunings have nothing to tune here.
+func newInprocWorld(p int, opts TransportOptions) ([]*Comm, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("comm: world size must be positive, got %d", p)
 	}
+	model, clock := opts.Model, opts.Clock
+	topo, inter := opts.Topology, opts.InterModel
 	if clock == nil {
 		clock = vtime.Real{}
 	}
@@ -66,14 +81,27 @@ func newInprocWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, error) {
 	for i := range boxes {
 		boxes[i] = newMailbox(clock)
 	}
-	var wire *sync.Mutex
-	if model != nil && sim == nil {
-		wire = new(sync.Mutex)
+	var wires []*sync.Mutex
+	var interWire *sync.Mutex
+	if sim == nil {
+		switch {
+		case inter != nil:
+			// Two-level world: independent fast media inside the
+			// groups, one shared slow backbone between them.
+			wires = make([]*sync.Mutex, topo.Groups())
+			for g := range wires {
+				wires[g] = new(sync.Mutex)
+			}
+			interWire = new(sync.Mutex)
+		case model != nil:
+			wires = []*sync.Mutex{new(sync.Mutex)}
+		}
 	}
 	var couriers []chan delayedMsg
 	var stop chan struct{}
 	var stopOnce *sync.Once
-	if model != nil && model.Delay > 0 && sim == nil {
+	delayed := (model != nil && model.Delay > 0) || (inter != nil && inter.Delay > 0)
+	if delayed && sim == nil {
 		couriers = make([]chan delayedMsg, p)
 		stop = make(chan struct{})
 		stopOnce = new(sync.Once)
@@ -85,7 +113,8 @@ func newInprocWorld(p int, model *Model, clock vtime.Clock) ([]*Comm, error) {
 	comms := make([]*Comm, p)
 	for i := range comms {
 		c, err := NewComm(i, p, &inprocTransport{
-			rank: i, boxes: boxes, model: model, wire: wire,
+			rank: i, boxes: boxes, model: model, topo: topo, inter: inter,
+			wires: wires, interWire: interWire,
 			clock: clock, sim: sim,
 			couriers: couriers, stop: stop, stopOnce: stopOnce,
 		})
@@ -120,20 +149,52 @@ func courier(box *mailbox, ch chan delayedMsg, stop chan struct{}) {
 // Clock returns the clock the world's charges and delays run on.
 func (t *inprocTransport) Clock() vtime.Clock { return t.clock }
 
-// transmit occupies the medium for the message's modeled cost: the
-// shared wire on the real clock, an independent per-sender charge on a
-// simulated one (see the type comment).
-func (t *inprocTransport) transmit(n int) {
-	if t.model == nil {
+// modelFor returns the model pricing a message from this rank to dst:
+// the inter-group model when one is set and dst lies in another group,
+// the base model otherwise (including always on a flat world).
+func (t *inprocTransport) modelFor(dst int) *Model {
+	if t.inter != nil && !t.topo.SameGroup(t.rank, dst) {
+		return t.inter
+	}
+	return t.model
+}
+
+// wireFor returns the medium a message to dst occupies: the single
+// flat-world wire, this rank's group wire, or the inter-group backbone.
+// nil means contention-free (free network or simulated clock).
+func (t *inprocTransport) wireFor(dst int) *sync.Mutex {
+	if t.interWire == nil {
+		if len(t.wires) == 0 {
+			return nil
+		}
+		return t.wires[0]
+	}
+	if !t.topo.SameGroup(t.rank, dst) {
+		return t.interWire
+	}
+	return t.wires[t.topo.GroupOf(t.rank)]
+}
+
+// transmitOn occupies wire w for the message's cost under model m: the
+// shared medium on the real clock, an independent per-sender charge on
+// a simulated one (see the type comment).
+func (t *inprocTransport) transmitOn(m *Model, w *sync.Mutex, n int) {
+	if m == nil {
 		return
 	}
-	if t.sim != nil {
-		t.model.charge(t.clock, n)
+	if t.sim != nil || w == nil {
+		m.charge(t.clock, n)
 		return
 	}
-	t.wire.Lock()
-	t.model.charge(t.clock, n)
-	t.wire.Unlock()
+	w.Lock()
+	m.charge(t.clock, n)
+	w.Unlock()
+}
+
+// transmit occupies the medium a message to dst travels on, for its
+// modeled cost under the model pricing that pair.
+func (t *inprocTransport) transmit(dst, n int) {
+	t.transmitOn(t.modelFor(dst), t.wireFor(dst), n)
 }
 
 // dispatch hands a copied payload to the destination: directly, or —
@@ -142,10 +203,10 @@ func (t *inprocTransport) transmit(n int) {
 // keep their order on every path, preserving per-(src, tag) FIFO.
 func (t *inprocTransport) dispatch(dst, tag int, buf []byte) error {
 	box := t.boxes[dst]
-	if t.model != nil && t.model.Delay > 0 {
+	if m := t.modelFor(dst); m != nil && m.Delay > 0 {
 		if t.sim != nil {
 			src := t.rank
-			t.sim.AfterFunc(t.model.Delay, func() {
+			t.sim.AfterFunc(m.Delay, func() {
 				if err := box.deliver(src, tag, buf); err != nil {
 					box.putBuf(buf)
 				}
@@ -153,7 +214,7 @@ func (t *inprocTransport) dispatch(dst, tag int, buf []byte) error {
 			return nil
 		}
 		t.couriers[dst] <- delayedMsg{src: t.rank, tag: tag, buf: buf,
-			readyAt: time.Now().Add(t.model.Delay)}
+			readyAt: time.Now().Add(m.Delay)}
 		return nil
 	}
 	if err := box.deliver(t.rank, tag, buf); err != nil {
@@ -164,7 +225,7 @@ func (t *inprocTransport) dispatch(dst, tag int, buf []byte) error {
 }
 
 func (t *inprocTransport) Send(dst, tag int, data []byte) error {
-	t.transmit(len(data))
+	t.transmit(dst, len(data))
 	// The payload copy goes into a buffer recycled from the receiver's
 	// pool, so a steady-state send/receive/Release loop allocates
 	// nothing.
@@ -174,14 +235,48 @@ func (t *inprocTransport) Send(dst, tag int, data []byte) error {
 }
 
 // Multicast delivers to all destinations for a single network charge
-// when the modeled medium supports it; otherwise it charges per
-// destination like repeated sends.
+// per medium when the modeled medium supports it; otherwise it charges
+// per destination like repeated sends. On a two-level world the
+// destinations split into an intra-group part (priced on this group's
+// fast medium) and an inter-group part (priced on the slow backbone),
+// each honoring its own model's Multicast capability.
 func (t *inprocTransport) Multicast(dsts []int, tag int, data []byte) error {
-	if t.model == nil || t.model.Multicast {
-		t.transmit(len(data))
+	n := len(data)
+	if t.inter == nil {
+		// One medium — the flat behaviour.
+		w := t.wireFor(t.rank)
+		if t.model == nil || t.model.Multicast {
+			t.transmitOn(t.model, w, n)
+		} else {
+			for range dsts {
+				t.transmitOn(t.model, w, n)
+			}
+		}
 	} else {
-		for range dsts {
-			t.transmit(len(data))
+		intra, inter := 0, 0
+		for _, d := range dsts {
+			if t.topo.SameGroup(t.rank, d) {
+				intra++
+			} else {
+				inter++
+			}
+		}
+		if intra > 0 {
+			if t.model == nil || t.model.Multicast {
+				intra = 1
+			}
+			w := t.wireFor(t.rank)
+			for i := 0; i < intra; i++ {
+				t.transmitOn(t.model, w, n)
+			}
+		}
+		if inter > 0 {
+			if t.inter.Multicast {
+				inter = 1
+			}
+			for i := 0; i < inter; i++ {
+				t.transmitOn(t.inter, t.interWire, n)
+			}
 		}
 	}
 	for _, d := range dsts {

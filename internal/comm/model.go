@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"stance/internal/vtime"
@@ -47,15 +48,36 @@ type Model struct {
 	Delay time.Duration
 }
 
+// maxCost is the saturation bound for modeled costs: converting a
+// float64 above MaxInt64 to time.Duration wraps to a negative value on
+// most architectures, so an absurd byte count over a tiny bandwidth
+// must clamp here instead of charging a negative (or wrapped) cost.
+const maxCost = time.Duration(math.MaxInt64)
+
 // cost returns the time one message of n payload bytes occupies the
-// sender.
+// sender. The result is saturated: it is never negative, and a
+// transfer term that overflows time.Duration clamps to maxCost. A
+// Bandwidth that is zero, negative or NaN means "infinite" (no
+// transfer term), so a misconfigured model degrades to latency-only
+// pricing instead of producing garbage durations.
 func (m *Model) cost(n int) time.Duration {
 	if m == nil {
 		return 0
 	}
 	d := m.Latency
-	if m.Bandwidth > 0 {
-		d += time.Duration(float64(n) / m.Bandwidth * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	if m.Bandwidth > 0 && n > 0 {
+		t := float64(n) / m.Bandwidth * float64(time.Second)
+		if t >= float64(maxCost) {
+			return maxCost
+		}
+		if td := time.Duration(t); td > maxCost-d {
+			return maxCost
+		} else {
+			d += td
+		}
 	}
 	return d
 }
@@ -72,10 +94,14 @@ func (m *Model) charge(clock vtime.Clock, n int) {
 // Ethernet returns a model of the paper's interconnect: 10 Mbit/s
 // shared Ethernet with ~1 ms message setup and hardware multicast.
 // Scale multiplies both latency and transfer time (scale < 1 speeds
-// the network up, handy for quick benchmark runs).
+// the network up, handy for quick benchmark runs). Scale must be a
+// finite positive number: dividing by zero, a negative value, NaN or
+// an infinity would silently produce a meaningless bandwidth, so an
+// invalid scale panics — a configuration bug, caught loudly at the
+// construction site like a bad regexp in MustCompile.
 func Ethernet(scale float64) *Model {
-	if scale <= 0 {
-		scale = 1
+	if !(scale > 0) || math.IsInf(scale, 1) {
+		panic(fmt.Sprintf("comm: Ethernet scale must be a finite positive number, got %g", scale))
 	}
 	return &Model{
 		Latency:   time.Duration(float64(time.Millisecond) * scale),

@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNestedSubWorlds: a Sub of a Sub must translate ranks, tags and
+// masks through BOTH levels — straight to the root world, with no
+// state left behind in the middle layer — on both built-in transports.
+// The CI test job runs this under the race detector, covering the
+// concurrent two-level translation paths.
+func TestNestedSubWorlds(t *testing.T) {
+	for _, transport := range []string{"inproc", "tcp"} {
+		t.Run(transport, func(t *testing.T) { testNestedSubWorlds(t, transport) })
+	}
+}
+
+func testNestedSubWorlds(t *testing.T, transport string) {
+	world, err := Open(transport, 5, TransportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	outer := []int{0, 2, 3, 4} // world rank 1 parked at level 1
+	inner := []int{1, 2, 3}    // outer ranks -> world ranks {2, 3, 4}
+	const tag = 0x97
+	err = world.SPMD(nil, func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Noise from outside both levels, on the inner tag: must stay
+			// queued on the world comm, invisible to the nested receives.
+			return c.Send(2, tag, []byte{0xee})
+		}
+		sub, err := c.Sub(outer)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			// A level-1 member outside level 2: its traffic on the same
+			// tag must not leak into the inner world either.
+			return sub.Send(1, tag, []byte{0xdd}) // outer rank 1 = world 2
+		}
+		nested, err := sub.Sub(inner)
+		if err != nil {
+			return err
+		}
+		if nested.WorldSize() != 5 || nested.WorldRank() != c.Rank() {
+			return fmt.Errorf("world %d: nested WorldSize=%d WorldRank=%d",
+				c.Rank(), nested.WorldSize(), nested.WorldRank())
+		}
+		// Collective two levels deep: payloads are world ranks, indexed
+		// by inner rank.
+		parts, err := nested.AllGather(tag, []byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		for i, w := range []byte{2, 3, 4} {
+			if len(parts[i]) != 1 || parts[i][0] != w {
+				return fmt.Errorf("world %d: nested allgather[%d] = %v, want [%d]", c.Rank(), i, parts[i], w)
+			}
+		}
+		// Masked receive through two translations: inner rank 0 receives
+		// from inner ranks 1 and 2 only (world 3 and 4).
+		if nested.Rank() == 0 {
+			if err := nestedMaskedRecv(nested, tag); err != nil {
+				return err
+			}
+			// Both outside messages are still queued where they were
+			// addressed: the world comm and the outer sub.
+			if data, err := c.Recv(1, tag); err != nil || data[0] != 0xee {
+				return fmt.Errorf("world noise: data=%v err=%v", data, err)
+			}
+			if data, err := sub.Recv(0, tag); err != nil || data[0] != 0xdd {
+				return fmt.Errorf("outer message: data=%v err=%v", data, err)
+			}
+			return nil
+		}
+		return nested.Send(0, tag, []byte{byte(100 + nested.Rank())})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every send above entered the network exactly once; each endpoint's
+	// counters fold the nested traffic into the root's (TransportStats
+	// and Stats both delegate through the chain).
+	if transport == "tcp" {
+		stats, ok := world.TransportStats()
+		if !ok {
+			t.Fatal("tcp world should report wire counters")
+		}
+		if stats.NTx == 0 || stats.NRx == 0 {
+			t.Errorf("nested traffic invisible to wire counters: %+v", stats)
+		}
+	}
+}
+
+func nestedMaskedRecv(nested *Comm, tag int) error {
+	got := map[int]byte{}
+	mask := []bool{false, true, true}
+	for i := 0; i < 2; i++ {
+		src, data, err := nested.RecvAnyOf(tag, mask)
+		if err != nil {
+			return err
+		}
+		got[src] = data[0]
+		nested.Release(data)
+		mask[src] = false
+	}
+	if got[1] != 101 || got[2] != 102 {
+		return fmt.Errorf("nested masked receives got %v, want 1->101, 2->102", got)
+	}
+	return nil
+}
+
+// TestNestedSubTransportStatsDelegate: a nested sub endpoint reports
+// its root endpoint's wire counters — there is one mesh per world, and
+// the delegation must cross both levels.
+func TestNestedSubTransportStatsDelegate(t *testing.T) {
+	world, err := Open("tcp", 3, TransportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	err = world.SPMD(nil, func(c *Comm) error {
+		sub, err := c.Sub([]int{0, 1, 2})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			return nil
+		}
+		nested, err := sub.Sub([]int{0, 1})
+		if err != nil {
+			return err
+		}
+		if nested.Rank() == 0 {
+			if err := nested.Send(1, 0x98, make([]byte, 32)); err != nil {
+				return err
+			}
+		} else {
+			data, err := nested.Recv(0, 0x98)
+			if err != nil {
+				return err
+			}
+			nested.Release(data)
+		}
+		rootStats, rootOK := c.TransportStats()
+		nestedStats, nestedOK := nested.TransportStats()
+		if !rootOK || !nestedOK {
+			return fmt.Errorf("world %d: stats ok = %v/%v, want both", c.Rank(), rootOK, nestedOK)
+		}
+		if rootStats != nestedStats {
+			return fmt.Errorf("world %d: nested stats %+v != root stats %+v", c.Rank(), nestedStats, rootStats)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,22 @@ type TransportOptions struct {
 	// which a virtual clock cannot see.
 	Clock vtime.Clock
 
+	// Topology assigns ranks to node groups, turning the flat world
+	// into a two-level one (nil means flat). Its size must equal the
+	// world size. With a topology set, every endpoint counts its
+	// inter-group messages and bytes (Comm.InterStats,
+	// World.InterGroupStats), the in-process and TCP transports price a
+	// message by whether its endpoints share a group (see InterModel),
+	// and the "hybrid" transport — which requires a topology — routes
+	// intra-group traffic through shared memory and inter-group traffic
+	// over sockets.
+	Topology *Topology
+	// InterModel prices messages whose endpoints lie in different
+	// groups; Model keeps pricing intra-group (and flat-world) traffic.
+	// nil means inter-group traffic costs the same as intra-group.
+	// Requires Topology.
+	InterModel *Model
+
 	// FlushPeriod is how long a connection's writer waits after the
 	// first queued message to coalesce more into the same framed write
 	// (gofast-style tx batching). Zero keeps batching opportunistic:
@@ -111,7 +127,20 @@ func (o TransportOptions) Validate() error {
 	if o.DialTimeout < 0 || o.AcceptTimeout < 0 {
 		return fmt.Errorf("comm: negative mesh deadline (dial %v, accept %v)", o.DialTimeout, o.AcceptTimeout)
 	}
+	if o.InterModel != nil && o.Topology == nil {
+		return fmt.Errorf("comm: InterModel requires a Topology (there is no inter-group traffic to price on a flat world)")
+	}
 	return nil
+}
+
+// pairModel returns the model pricing a message between two ranks
+// under the options' topology: InterModel when one is set and the
+// ranks lie in different groups, Model otherwise.
+func (o TransportOptions) pairModel(src, dst int) *Model {
+	if o.InterModel != nil && !o.Topology.SameGroup(src, dst) {
+		return o.InterModel
+	}
+	return o.Model
 }
 
 // withDefaults resolves zero tuning fields to the library defaults.

@@ -238,6 +238,27 @@ func NewTCPWorld(p int) ([]*Comm, func() error, error) {
 // declare a deadlock while bytes are on the wire) and determinism is
 // lost. Virtual time is an inproc-only feature.
 func newTCPWorld(p int, opts TransportOptions) ([]*Comm, func() error, error) {
+	transports, closer, err := newTCPTransports(p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	comms := make([]*Comm, p)
+	for i := range comms {
+		c, err := NewComm(i, p, transports[i])
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		comms[i] = c
+	}
+	return comms, closer, nil
+}
+
+// newTCPTransports builds the endpoints and the socket mesh of a TCP
+// world without wrapping them in Comms — the shared machinery of the
+// "tcp" transport and the "hybrid" transport, which embeds these
+// endpoints and reroutes intra-group traffic off their sockets.
+func newTCPTransports(p int, opts TransportOptions) ([]*tcpTransport, func() error, error) {
 	if p <= 0 {
 		return nil, nil, fmt.Errorf("comm: world size must be positive, got %d", p)
 	}
@@ -270,7 +291,9 @@ func newTCPWorld(p int, opts TransportOptions) ([]*Comm, func() error, error) {
 			outs:  make([]*outbox, p),
 			conns: make([]net.Conn, p),
 		}
-		if model != nil && model.Delay > 0 {
+		delayed := (model != nil && model.Delay > 0) ||
+			(opts.InterModel != nil && opts.InterModel.Delay > 0)
+		if delayed {
 			t.couriers = make([]chan delayedMsg, p)
 			t.courierStop = make(chan struct{})
 			for s := range t.couriers {
@@ -355,14 +378,6 @@ func newTCPWorld(p int, opts TransportOptions) ([]*Comm, func() error, error) {
 			go t.heartbeater()
 		}
 	}
-	comms := make([]*Comm, p)
-	for i := range comms {
-		c, err := NewComm(i, p, transports[i])
-		if err != nil {
-			return nil, nil, err
-		}
-		comms[i] = c
-	}
 	closer := func() error {
 		var first error
 		for _, t := range transports {
@@ -372,7 +387,7 @@ func newTCPWorld(p int, opts TransportOptions) ([]*Comm, func() error, error) {
 		}
 		return first
 	}
-	return comms, closer, nil
+	return transports, closer, nil
 }
 
 func closeListeners(ls []net.Listener) {
@@ -516,14 +531,23 @@ func (t *tcpTransport) reader(peer int, conn net.Conn) {
 	}
 }
 
+// modelFor returns the model pricing a message between this rank and
+// peer under the world's topology: the inter-group model when one is
+// set and peer lies in another group, the base model otherwise.
+func (t *tcpTransport) modelFor(peer int) *Model {
+	return t.opts.pairModel(t.rank, peer)
+}
+
 // dispatch hands a mailbox-owned payload to this rank: directly, or
-// through the source's courier when the model carries a delivery
-// delay.
+// through the source's courier when the model pricing that source
+// carries a delivery delay.
 func (t *tcpTransport) dispatch(src, tag int, buf []byte) error {
 	if t.couriers != nil {
-		t.couriers[src] <- delayedMsg{src: src, tag: tag, buf: buf,
-			readyAt: time.Now().Add(t.model.Delay)}
-		return nil
+		if m := t.modelFor(src); m != nil && m.Delay > 0 {
+			t.couriers[src] <- delayedMsg{src: src, tag: tag, buf: buf,
+				readyAt: time.Now().Add(m.Delay)}
+			return nil
+		}
 	}
 	return t.box.deliver(src, tag, buf)
 }
@@ -658,11 +682,12 @@ func (t *tcpTransport) Send(dst, tag int, data []byte) error {
 	}
 	// Sender-side model charge, mirroring the inproc transport's cost
 	// accounting so a latency-priced experiment reads the same on both
-	// transports. Real sockets are point-to-point, so there is no
+	// transports; a cross-group destination pays the inter-group model
+	// instead. Real sockets are point-to-point, so there is no
 	// shared-wire serialization here — each sender charges its own
 	// clock.
-	if t.model != nil {
-		t.model.charge(t.clock, len(data))
+	if m := t.modelFor(dst); m != nil {
+		m.charge(t.clock, len(data))
 	}
 	if dst == t.rank {
 		buf := t.box.getBuf(len(data))

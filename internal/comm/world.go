@@ -80,7 +80,7 @@ func Transports() []string {
 
 func init() {
 	RegisterTransport("inproc", func(p int, opts TransportOptions) ([]*Comm, func() error, error) {
-		comms, err := newInprocWorld(p, opts.Model, opts.Clock)
+		comms, err := newInprocWorld(p, opts)
 		return comms, nil, err
 	})
 	RegisterTransport("tcp", func(p int, opts TransportOptions) ([]*Comm, func() error, error) {
@@ -113,6 +113,9 @@ func Open(transport string, p int, opts TransportOptions) (*World, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Topology != nil && opts.Topology.P() != p {
+		return nil, fmt.Errorf("comm: topology covers %d ranks, world has %d", opts.Topology.P(), p)
+	}
 	transportMu.RLock()
 	factory, ok := transports[transport]
 	transportMu.RUnlock()
@@ -129,6 +132,14 @@ func Open(transport string, p int, opts TransportOptions) (*World, error) {
 			closer()
 		}
 		return nil, fmt.Errorf("comm: transport %q built %d endpoints for %d ranks", transport, len(comms), p)
+	}
+	if opts.Topology != nil {
+		// World endpoints learn the group structure here, once, for
+		// every transport: the inter-group traffic counters live on the
+		// endpoint, not in the transports.
+		for _, c := range comms {
+			c.topo = opts.Topology
+		}
 	}
 	return &World{comms: comms, closer: closer, transport: transport}, nil
 }
@@ -213,6 +224,19 @@ func (w *World) SPMD(ctx context.Context, f func(c *Comm) error) error {
 func (w *World) Stats() (msgs, bytes int64) {
 	for _, c := range w.comms {
 		m, b := c.Stats()
+		msgs += m
+		bytes += b
+	}
+	return msgs, bytes
+}
+
+// InterGroupStats returns the total messages and payload bytes sent
+// across group boundaries by all ranks since the world was opened —
+// the traffic on the slow inter-group link of a two-level world.
+// Always zero on a world opened without a Topology.
+func (w *World) InterGroupStats() (msgs, bytes int64) {
+	for _, c := range w.comms {
+		m, b := c.InterStats()
 		msgs += m
 		bytes += b
 	}

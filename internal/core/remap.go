@@ -80,8 +80,18 @@ func (rt *Runtime) Remap(newWeights []float64) (RemapStats, error) {
 }
 
 // chooseLayout picks the new layout under the configured remap policy,
-// cutting by vertex weights when the runtime carries them.
+// cutting by vertex weights when the runtime carries them. A
+// hierarchical configuration recuts hierarchically regardless of the
+// remap policy: the group-contiguous arrangement is what keeps the
+// inter-group boundaries few and refined, and an arrangement search
+// that scattered groups along the list would undo exactly that.
 func (rt *Runtime) chooseLayout(newWeights []float64) (*partition.Layout, error) {
+	if spec, ok := rt.hierSpec(len(newWeights)); ok {
+		if rt.itemWeights != nil {
+			return partition.NewHierarchicalWeighted(rt.itemWeights, newWeights, spec)
+		}
+		return partition.NewHierarchical(rt.n, newWeights, spec)
+	}
 	if rt.itemWeights != nil {
 		switch rt.cfg.RemapPolicy {
 		case RemapKeepArrangement:

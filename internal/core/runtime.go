@@ -87,6 +87,19 @@ type Config struct {
 	// RootComputesOrder makes rank 0 compute the transformation and
 	// broadcast it, instead of every rank computing it independently.
 	RootComputesOrder bool
+	// Groups assigns each rank of the full world to a node group
+	// (comm.Topology.GroupOfSlice; nil means a flat environment). With
+	// groups set, CutLayout cuts hierarchically: across groups first —
+	// sliding each group boundary to where the transformed graph is
+	// thinnest, since those boundaries become ghost traffic on the slow
+	// inter-group link — then within groups by member capability. The
+	// hierarchical cut applies only when the weights cover the full
+	// world: an elastic subset has no stable rank -> group mapping, so
+	// it falls back to the flat cut.
+	Groups []int
+	// GroupWindow bounds how far a group boundary may slide from its
+	// balanced position, in list elements (0 means n/(8·G)).
+	GroupWindow int64
 }
 
 // Runtime is one rank's view of a distributed computational graph.
@@ -292,10 +305,31 @@ func NewParked(c *comm.Comm, g *graph.Graph, cfg Config) (*Runtime, error) {
 // coordinator cuts the list for the incoming active set before the
 // sub-world exists.
 func (rt *Runtime) CutLayout(weights []float64) (*partition.Layout, error) {
+	if spec, ok := rt.hierSpec(len(weights)); ok {
+		if rt.itemWeights != nil {
+			return partition.NewHierarchicalWeighted(rt.itemWeights, weights, spec)
+		}
+		return partition.NewHierarchical(rt.n, weights, spec)
+	}
 	if rt.itemWeights != nil {
 		return partition.NewWeighted(rt.itemWeights, weights, identityArrangement(len(weights)))
 	}
 	return partition.NewBlock(rt.n, weights)
+}
+
+// hierSpec returns the hierarchical partitioning spec when the
+// configuration carries groups covering exactly p processors — the
+// full world. Elastic subsets cut flat (see Config.Groups).
+func (rt *Runtime) hierSpec(p int) (partition.HierSpec, bool) {
+	if rt.cfg.Groups == nil || len(rt.cfg.Groups) != p {
+		return partition.HierSpec{}, false
+	}
+	return partition.HierSpec{
+		GroupOf: rt.cfg.Groups,
+		Xadj:    rt.tg.Xadj,
+		Adj:     rt.tg.Adj,
+		Window:  rt.cfg.GroupWindow,
+	}, true
 }
 
 // Bind attaches a prepared (parked) runtime to a communicator and

@@ -1,0 +1,174 @@
+package loadbal
+
+import (
+	"fmt"
+	"sort"
+
+	"stance/internal/comm"
+)
+
+// Leader-aggregated report exchange for two-level worlds (paper
+// Section 4's nonuniform environment). The flat decentralized check
+// all-gathers every rank's report — on a cluster of node groups that
+// puts O(P) messages on the slow inter-group link every check. Here
+// the exchange follows the topology: members hand their report to
+// their group leader over the fast intra-group links, ONLY the leaders
+// exchange (aggregated, packed) group vectors across the slow link —
+// G·(G−1) messages — and each leader multicasts the assembled world
+// vector back down. Every rank ends with the identical [][]byte the
+// flat all-gather would have produced, so the pure-float decision
+// downstream is bit-exact either way.
+
+// Tags for the leader protocol (the 0x40x block belongs to loadbal).
+const (
+	tagLeaderGather = 0x403
+	tagLeaderX      = 0x404
+	tagLeaderBcast  = 0x405
+)
+
+// hierGroups projects the world topology onto the communicator: comm
+// rank -> compact group index, members per compact group in ascending
+// comm rank. A sub-world sees only the groups it intersects; compact
+// ids follow ascending world group id, so every rank derives the same
+// structure without communicating.
+func hierGroups(c *comm.Comm, topo *comm.Topology) (groupOf []int, members [][]int, err error) {
+	if topo.P() != c.WorldSize() {
+		return nil, nil, fmt.Errorf("loadbal: topology covers %d ranks, world has %d", topo.P(), c.WorldSize())
+	}
+	size := c.Size()
+	worldGroup := make([]int, size)
+	present := map[int]bool{}
+	for r := 0; r < size; r++ {
+		worldGroup[r] = topo.GroupOf(c.WorldRankOf(r))
+		present[worldGroup[r]] = true
+	}
+	ids := make([]int, 0, len(present))
+	for g := range present {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	compact := make(map[int]int, len(ids))
+	for i, g := range ids {
+		compact[g] = i
+	}
+	groupOf = make([]int, size)
+	members = make([][]int, len(ids))
+	for r := 0; r < size; r++ {
+		g := compact[worldGroup[r]]
+		groupOf[r] = g
+		members[g] = append(members[g], r)
+	}
+	return groupOf, members, nil
+}
+
+// leaderAllGather is AllGather with the hierarchical exchange pattern:
+// the returned slices are indexed by comm rank and identical on every
+// rank, exactly like c.AllGather's.
+func leaderAllGather(c *comm.Comm, topo *comm.Topology, payload []byte) ([][]byte, error) {
+	groupOf, members, err := hierGroups(c, topo)
+	if err != nil {
+		return nil, err
+	}
+	me := c.Rank()
+	g := groupOf[me]
+	mine := members[g]
+	leader := mine[0]
+
+	if me != leader {
+		// Member: report up the fast link, wait for the assembled world
+		// vector to come back down.
+		if err := c.Send(leader, tagLeaderGather, payload); err != nil {
+			return nil, err
+		}
+		packed, err := c.Recv(leader, tagLeaderBcast)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Release(packed)
+		return decodeWorldVector(packed, c.Size())
+	}
+
+	// Leader: gather the group's reports over the fast links...
+	groupVec := make([][]byte, len(mine))
+	groupVec[0] = payload
+	for i, r := range mine[1:] {
+		data, err := c.Recv(r, tagLeaderGather)
+		if err != nil {
+			return nil, err
+		}
+		groupVec[i+1] = data
+		defer c.Release(data)
+	}
+	packedMine := comm.EncodeSections(groupVec)
+
+	// ...exchange packed group vectors with the other leaders — the
+	// only traffic on the slow link. Sends go out first and do not
+	// block on the receives, so the exchange cannot deadlock.
+	for h, m := range members {
+		if h != g {
+			if err := c.Send(m[0], tagLeaderX, packedMine); err != nil {
+				return nil, err
+			}
+		}
+	}
+	all := make([][]byte, c.Size())
+	place := func(h int, packed []byte) error {
+		vec, err := comm.DecodeSections(packed)
+		if err != nil {
+			return err
+		}
+		if len(vec) != len(members[h]) {
+			return fmt.Errorf("loadbal: group %d vector carries %d reports for %d members", h, len(vec), len(members[h]))
+		}
+		for i, r := range members[h] {
+			// DecodeSections aliases the packed buffer, which goes back
+			// to the transport pool — copy the reports out.
+			all[r] = append([]byte(nil), vec[i]...)
+		}
+		return nil
+	}
+	if err := place(g, packedMine); err != nil {
+		return nil, err
+	}
+	for h, m := range members {
+		if h == g {
+			continue
+		}
+		packed, err := c.Recv(m[0], tagLeaderX)
+		if err != nil {
+			return nil, err
+		}
+		err = place(h, packed)
+		c.Release(packed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ...and multicast the world vector back down the fast links.
+	if len(mine) > 1 {
+		packedAll := comm.EncodeSections(all)
+		if err := c.Multicast(mine[1:], tagLeaderBcast, packedAll); err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}
+
+// decodeWorldVector unpacks a leader's assembled world vector.
+func decodeWorldVector(packed []byte, size int) ([][]byte, error) {
+	vec, err := comm.DecodeSections(packed)
+	if err != nil {
+		return nil, err
+	}
+	if len(vec) != size {
+		return nil, fmt.Errorf("loadbal: world vector carries %d reports for %d ranks", len(vec), size)
+	}
+	// The packed buffer is released by the caller; the decision layer
+	// keeps the slices only within the check, so copy them out.
+	out := make([][]byte, size)
+	for i, v := range vec {
+		out[i] = append([]byte(nil), v...)
+	}
+	return out, nil
+}

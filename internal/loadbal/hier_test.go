@@ -1,0 +1,171 @@
+package loadbal
+
+import (
+	"fmt"
+	"testing"
+
+	"stance/internal/comm"
+	"stance/internal/core"
+	"stance/internal/order"
+	"stance/internal/vtime"
+)
+
+// checkOnce builds a deterministic world on the simulated clock, runs
+// exactly one balance check with synthetic heterogeneous rates, and
+// returns each rank's decision plus the per-rank layout sizes after
+// the check and the slow-link message count the check generated.
+func checkOnce(t *testing.T, cfg Config, topo *comm.Topology) ([]Decision, []int64, int64) {
+	t.Helper()
+	g := testMesh(t)
+	const p = 4
+	clk := vtime.NewSim()
+	w, err := comm.Open("inproc", p, comm.TransportOptions{Clock: clk, Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	decisions := make([]Decision, p)
+	sizes := make([]int64, p)
+	var before int64
+	err = w.SPMD(nil, func(c *comm.Comm) error {
+		rt, err := core.New(c, g, core.Config{Order: order.RCB})
+		if err != nil {
+			return err
+		}
+		b, err := New(rt, cfg)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(0x70); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			before, _ = w.InterGroupStats()
+		}
+		if err := c.Barrier(0x71); err != nil {
+			return err
+		}
+		// Rank r runs (r+1)× slower than rank 0 — the heterogeneous
+		// speeds of the paper's Table 4 environments.
+		d, err := b.Check(Report{
+			RatePerItem: float64(c.Rank()+1) * 1e-6,
+			Items:       rt.Layout().Size(c.Rank()),
+		})
+		if err != nil {
+			return err
+		}
+		decisions[c.Rank()] = d
+		sizes[c.Rank()] = rt.Layout().Size(c.Rank())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := w.InterGroupStats()
+	return decisions, sizes, after - before
+}
+
+func decisionsEqual(a, b Decision) error {
+	if a.Remapped != b.Remapped {
+		return fmt.Errorf("Remapped %v vs %v", a.Remapped, b.Remapped)
+	}
+	if a.PredictedCurrent != b.PredictedCurrent || a.PredictedNew != b.PredictedNew ||
+		a.EstimatedRemapCost != b.EstimatedRemapCost {
+		return fmt.Errorf("predictions (%g,%g,%g) vs (%g,%g,%g)",
+			a.PredictedCurrent, a.PredictedNew, a.EstimatedRemapCost,
+			b.PredictedCurrent, b.PredictedNew, b.EstimatedRemapCost)
+	}
+	if len(a.NewWeights) != len(b.NewWeights) {
+		return fmt.Errorf("weights length %d vs %d", len(a.NewWeights), len(b.NewWeights))
+	}
+	for i := range a.NewWeights {
+		if a.NewWeights[i] != b.NewWeights[i] {
+			return fmt.Errorf("weight[%d] %v vs %v", i, a.NewWeights[i], b.NewWeights[i])
+		}
+	}
+	return nil
+}
+
+// TestExchangeModesBitExact pins the divergence class PR 1 fixed in
+// the decentralized path, now across ALL THREE exchange modes: the
+// centralized Gather(0)+Bcast controller, the flat decentralized
+// all-gather, and the leader-aggregated hierarchical exchange must
+// produce bit-identical decisions on every rank under heterogeneous
+// speeds — same remap verdict, same weights, same predictions, same
+// resulting layout.
+func TestExchangeModesBitExact(t *testing.T) {
+	topo, err := comm.ContiguousGroups(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, centralSizes, _ := checkOnce(t, Config{}, topo)
+	flat, flatSizes, _ := checkOnce(t, Config{Decentralized: true}, topo)
+	leader, leaderSizes, _ := checkOnce(t, Config{Decentralized: true, Topology: topo}, topo)
+
+	// Within each mode every rank must hold the identical decision.
+	for name, ds := range map[string][]Decision{"centralized": central, "flat": flat, "leader": leader} {
+		for r := 1; r < len(ds); r++ {
+			if err := decisionsEqual(ds[0], ds[r]); err != nil {
+				t.Errorf("%s: rank %d decision diverges from rank 0: %v", name, r, err)
+			}
+		}
+	}
+	// And the modes must agree with each other, bit for bit.
+	if err := decisionsEqual(central[0], flat[0]); err != nil {
+		t.Errorf("centralized vs flat decentralized: %v", err)
+	}
+	if err := decisionsEqual(flat[0], leader[0]); err != nil {
+		t.Errorf("flat vs leader-aggregated: %v", err)
+	}
+	if !central[0].Remapped {
+		t.Error("heterogeneous speeds should have triggered a remap in this scenario")
+	}
+	for r := range centralSizes {
+		if centralSizes[r] != flatSizes[r] || flatSizes[r] != leaderSizes[r] {
+			t.Errorf("rank %d sizes diverge: centralized %d, flat %d, leader %d",
+				r, centralSizes[r], flatSizes[r], leaderSizes[r])
+		}
+	}
+}
+
+// TestLeaderExchangeSubWorld: the leader exchange must follow a
+// sub-world's rank translation — a balancer on an elastic active set
+// sees only the groups the survivors span.
+func TestLeaderExchangeSubWorld(t *testing.T) {
+	topo, err := comm.ContiguousGroups(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := comm.Open("inproc", 4, comm.TransportOptions{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	members := []int{0, 2, 3} // world rank 1 parked; groups {0} and {2,3}
+	err = w.SPMD(nil, func(c *comm.Comm) error {
+		if c.Rank() == 1 {
+			return nil
+		}
+		sub, err := c.Sub(members)
+		if err != nil {
+			return err
+		}
+		payload := []byte{byte('a' + c.Rank())}
+		all, err := leaderAllGather(sub, topo, payload)
+		if err != nil {
+			return err
+		}
+		if len(all) != 3 {
+			return fmt.Errorf("world %d: %d reports, want 3", c.Rank(), len(all))
+		}
+		for i, m := range members {
+			if len(all[i]) != 1 || all[i][0] != byte('a'+m) {
+				return fmt.Errorf("world %d: report[%d] = %q, want %q", c.Rank(), i, all[i], byte('a'+m))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,6 +47,15 @@ type Config struct {
 	// itself, removing the controller bottleneck at the price of p
 	// concurrent reductions.
 	Decentralized bool
+	// Topology routes the decentralized report exchange through group
+	// leaders on a two-level world: members report to their group
+	// leader over the fast links, only leaders exchange across the slow
+	// inter-group link — G·(G−1) slow-link messages per check instead
+	// of O(P) — and leaders multicast the assembled vector back down.
+	// Every rank still sees the identical report vector, so decisions
+	// are bit-exact against the flat exchange. nil keeps the flat
+	// all-gather; ignored in centralized mode.
+	Topology *comm.Topology
 }
 
 // Report is one rank's load report: measured compute seconds per data
@@ -131,7 +140,13 @@ func (b *Balancer) Check(rep Report) (Decision, error) {
 	})
 	var verdict []float64 // [remap 0/1, predCur, predNew, estCost, weights...]
 	if b.cfg.Decentralized {
-		all, err := c.AllGather(tagLoadReport, payload)
+		var all [][]byte
+		var err error
+		if b.cfg.Topology != nil {
+			all, err = leaderAllGather(c, b.cfg.Topology, payload)
+		} else {
+			all, err = c.AllGather(tagLoadReport, payload)
+		}
 		if err != nil {
 			return Decision{}, err
 		}

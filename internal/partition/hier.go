@@ -1,0 +1,224 @@
+package partition
+
+import "fmt"
+
+// Hierarchical partitioning for the paper's nonuniform environment: a
+// cluster of node groups with fast links inside each group and a slow
+// shared link between groups. A flat weighted cut balances load but is
+// blind to WHERE its block boundaries fall — on a nonuniform network a
+// boundary between two groups is priced on the slow link, so the cut
+// across groups should fall where the (transformed) graph is thinnest,
+// and only the cuts inside a group may land anywhere the load balance
+// wants them. NewHierarchical cuts in two phases: first across groups —
+// apportioning the list by total group capability, then sliding each
+// group boundary inside a window to minimize the edges crossing it —
+// and then within each group, by member capability, exactly like the
+// flat partitioner.
+
+// HierSpec describes the two-level environment to a hierarchical cut.
+type HierSpec struct {
+	// GroupOf assigns each processor to a node group
+	// (comm.Topology.GroupOfSlice). Group ids must form a contiguous
+	// range 0..G-1 with no group empty.
+	GroupOf []int
+	// Xadj/Adj is the optional CSR adjacency of the data graph in
+	// transformed (list) order. When present, each inter-group boundary
+	// slides inside the refinement window to the cut crossed by the
+	// fewest edges — the edges that would become ghost traffic on the
+	// slow link. When nil, boundaries stay where the capability
+	// apportionment puts them.
+	Xadj, Adj []int32
+	// Window bounds how far a group boundary may slide from its
+	// balanced position, in list elements (load given up for locality).
+	// Zero means n/(8·G), at least 1.
+	Window int64
+}
+
+// groups validates the spec against p processors and returns the
+// member lists, group id -> member processors ascending.
+func (s HierSpec) groups(p int) ([][]int, error) {
+	if len(s.GroupOf) != p {
+		return nil, fmt.Errorf("partition: %d group assignments for %d processors", len(s.GroupOf), p)
+	}
+	ng := 0
+	for proc, g := range s.GroupOf {
+		if g < 0 || g >= p {
+			return nil, fmt.Errorf("partition: processor %d assigned to group %d of at most %d", proc, g, p)
+		}
+		if g+1 > ng {
+			ng = g + 1
+		}
+	}
+	members := make([][]int, ng)
+	for proc, g := range s.GroupOf {
+		members[g] = append(members[g], proc)
+	}
+	for g, m := range members {
+		if len(m) == 0 {
+			return nil, fmt.Errorf("partition: group %d is empty (group ids must form a contiguous range)", g)
+		}
+	}
+	return members, nil
+}
+
+// NewHierarchical builds the two-level layout for n unweighted
+// elements: groups in id order along the list, each group's span
+// proportional to its total capability (boundary-refined against the
+// graph when the spec carries one), members in rank order within their
+// group's span, proportional to their own capability.
+func NewHierarchical(n int64, procWeights []float64, spec HierSpec) (*Layout, error) {
+	return newHierarchical(n, nil, procWeights, spec)
+}
+
+// NewHierarchicalWeighted is NewHierarchical for weighted items: every
+// apportionment balances total item weight instead of counts.
+func NewHierarchicalWeighted(itemWeights, procWeights []float64, spec HierSpec) (*Layout, error) {
+	return newHierarchical(int64(len(itemWeights)), itemWeights, procWeights, spec)
+}
+
+func newHierarchical(n int64, itemWeights, procWeights []float64, spec HierSpec) (*Layout, error) {
+	members, err := spec.groups(len(procWeights))
+	if err != nil {
+		return nil, err
+	}
+	ng := len(members)
+	// Phase 1: apportion the list across groups by total capability.
+	groupWeights := make([]float64, ng)
+	for g, m := range members {
+		for _, proc := range m {
+			groupWeights[g] += procWeights[proc]
+		}
+	}
+	var groupSizes []int64
+	if itemWeights != nil {
+		groupSizes, err = WeightedSizes(itemWeights, groupWeights)
+	} else {
+		groupSizes, err = SizesFromWeights(n, groupWeights)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The group boundaries as cumulative cut points, refined against the
+	// graph where one is given: the elements a boundary separates are
+	// the ghost traffic of the slow inter-group link, so the boundary
+	// belongs where the list is thinnest, not exactly where the balance
+	// puts it.
+	cuts := make([]int64, ng+1)
+	for g := 0; g < ng; g++ {
+		cuts[g+1] = cuts[g] + groupSizes[g]
+	}
+	if spec.Xadj != nil && ng > 1 && n > 0 {
+		if int64(len(spec.Xadj)) != n+1 {
+			return nil, fmt.Errorf("partition: adjacency covers %d vertices, list has %d", len(spec.Xadj)-1, n)
+		}
+		window := spec.Window
+		if window <= 0 {
+			window = n / int64(8*ng)
+		}
+		if window < 1 {
+			window = 1
+		}
+		orig := append([]int64(nil), cuts...)
+		for b := 1; b < ng; b++ {
+			lo := orig[b] - window
+			if lo < cuts[b-1] { // stay monotone against the refined left neighbor
+				lo = cuts[b-1]
+			}
+			hi := orig[b] + window
+			if hi > orig[b+1] { // and inside the next balanced span
+				hi = orig[b+1]
+			}
+			cuts[b] = bestCut(spec.Xadj, spec.Adj, lo, hi, orig[b])
+		}
+	}
+	// Phase 2: cut each group's span across its members by capability —
+	// the flat partitioner, once per group. Positions along the list are
+	// groups in id order, members in rank order; sizes index processors.
+	arrangement := make([]int, 0, len(procWeights))
+	sizes := make([]int64, len(procWeights))
+	for g, m := range members {
+		arrangement = append(arrangement, m...)
+		span := cuts[g+1] - cuts[g]
+		memberWeights := make([]float64, len(m))
+		for i, proc := range m {
+			memberWeights[i] = procWeights[proc]
+		}
+		var memberSizes []int64
+		if itemWeights != nil {
+			memberSizes, err = WeightedSizes(itemWeights[cuts[g]:cuts[g+1]], memberWeights)
+			if err != nil {
+				// A span of all-zero item weights still needs owners:
+				// split it by count instead (negative weights keep
+				// failing here too).
+				memberSizes, err = SizesFromWeights(span, memberWeights)
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			memberSizes, err = SizesFromWeights(span, memberWeights)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, proc := range m {
+			sizes[proc] = memberSizes[i]
+		}
+	}
+	return fromSizes(n, sizes, arrangement)
+}
+
+// bestCut slides a boundary over [lo, hi] and returns the cut crossed
+// by the fewest edges, breaking ties toward the balanced position c0
+// and then toward the smaller cut, so the choice is deterministic.
+// Crossings update incrementally: moving the cut from c to c+1 shifts
+// vertex c from the right side to the left, so edges from c to lower
+// indices stop crossing and edges to higher indices start.
+func bestCut(xadj, adj []int32, lo, hi, c0 int64) int64 {
+	cross := crossingsAt(xadj, adj, lo)
+	best, bestCross := lo, cross
+	for c := lo; c < hi; c++ {
+		for _, v := range adj[xadj[c]:xadj[c+1]] {
+			if int64(v) < c {
+				cross--
+			} else if int64(v) > c {
+				cross++
+			}
+		}
+		if better(c+1, cross, best, bestCross, c0) {
+			best, bestCross = c+1, cross
+		}
+	}
+	return best
+}
+
+func better(c, cross, best, bestCross, c0 int64) bool {
+	if cross != bestCross {
+		return cross < bestCross
+	}
+	dc, db := c-c0, best-c0
+	if dc < 0 {
+		dc = -dc
+	}
+	if db < 0 {
+		db = -db
+	}
+	if dc != db {
+		return dc < db
+	}
+	return c < best
+}
+
+// crossingsAt counts the edges (u, v) with u < cut <= v — the edges a
+// boundary at cut turns into inter-group ghost traffic.
+func crossingsAt(xadj, adj []int32, cut int64) int64 {
+	var cross int64
+	for u := int64(0); u < cut; u++ {
+		for _, v := range adj[xadj[u]:xadj[u+1]] {
+			if int64(v) >= cut {
+				cross++
+			}
+		}
+	}
+	return cross
+}

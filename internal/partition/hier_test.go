@@ -1,0 +1,176 @@
+package partition
+
+import "testing"
+
+// dumbbell builds the CSR adjacency of two cliques of sizes a and b
+// joined by a single bridge edge between vertex a-1 and vertex a — a
+// list whose thinnest point is unmistakable.
+func dumbbell(a, b int) (xadj, adj []int32) {
+	n := a + b
+	neighbors := func(v int) []int32 {
+		var ns []int32
+		lo, hi := 0, a
+		if v >= a {
+			lo, hi = a, n
+		}
+		for u := lo; u < hi; u++ {
+			if u != v {
+				ns = append(ns, int32(u))
+			}
+		}
+		if v == a-1 {
+			ns = append(ns, int32(a))
+		}
+		if v == a {
+			ns = append(ns, int32(a-1))
+		}
+		return ns
+	}
+	xadj = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		ns := neighbors(v)
+		xadj[v+1] = xadj[v] + int32(len(ns))
+		adj = append(adj, ns...)
+	}
+	return xadj, adj
+}
+
+func TestHierSpecValidation(t *testing.T) {
+	w := []float64{1, 1, 1, 1}
+	if _, err := NewHierarchical(8, w, HierSpec{GroupOf: []int{0, 0, 1}}); err == nil {
+		t.Error("group count mismatch should fail")
+	}
+	if _, err := NewHierarchical(8, w, HierSpec{GroupOf: []int{0, 0, 2, 2}}); err == nil {
+		t.Error("gap in group ids should fail")
+	}
+	if _, err := NewHierarchical(8, w, HierSpec{GroupOf: []int{0, 0, 1, 1}, Xadj: make([]int32, 5)}); err == nil {
+		t.Error("adjacency size mismatch should fail")
+	}
+}
+
+// TestHierarchicalMatchesFlatOnOneGroup: with a single group the
+// hierarchical cut IS the flat cut — identical layout, bit for bit.
+func TestHierarchicalMatchesFlatOnOneGroup(t *testing.T) {
+	weights := []float64{1, 2, 3, 2}
+	flat, err := NewBlock(100, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewHierarchical(100, weights, HierSpec{GroupOf: []int{0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Equal(hier) {
+		t.Errorf("one-group hierarchical layout differs from flat:\nflat %v %v\nhier %v %v",
+			flat.Starts(), flat.Arrangement(), hier.Starts(), hier.Arrangement())
+	}
+}
+
+// TestHierarchicalGroupContiguous: each group's members own one
+// contiguous super-interval, groups in id order — the property that
+// puts all intra-group boundaries on fast links.
+func TestHierarchicalGroupContiguous(t *testing.T) {
+	groupOf := []int{0, 1, 0, 2, 1, 2}
+	weights := []float64{1, 1, 2, 1, 3, 1}
+	l, err := NewHierarchical(97, weights, HierSpec{GroupOf: groupOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := l.Arrangement()
+	want := []int{0, 2, 1, 4, 3, 5} // groups in id order, members ascending
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Fatalf("arrangement = %v, want %v", arr, want)
+		}
+	}
+	var total int64
+	for proc := range weights {
+		total += l.Size(proc)
+	}
+	if total != 97 {
+		t.Errorf("sizes sum to %d, want 97", total)
+	}
+}
+
+// TestHierarchicalBoundaryRefinement: on a dumbbell list the group
+// boundary must slide off the balanced midpoint to the bridge, cutting
+// one edge instead of many clique edges.
+func TestHierarchicalBoundaryRefinement(t *testing.T) {
+	const a, b = 55, 45 // balanced cut at 50 severs the size-55 clique
+	xadj, adj := dumbbell(a, b)
+	weights := []float64{1, 1, 1, 1}
+	spec := HierSpec{GroupOf: []int{0, 0, 1, 1}, Xadj: xadj, Adj: adj, Window: 10}
+	l, err := NewHierarchical(int64(a+b), weights, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The group boundary is the end of processor 1's interval (last
+	// member of group 0).
+	if cut := l.Interval(1).Hi; cut != a {
+		t.Errorf("refined group boundary at %d, want %d (the bridge)", cut, a)
+	}
+	// Unrefined for contrast: without the graph the boundary stays at
+	// the balanced midpoint.
+	flat, err := NewHierarchical(int64(a+b), weights, HierSpec{GroupOf: []int{0, 0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := flat.Interval(1).Hi; cut != 50 {
+		t.Errorf("unrefined group boundary at %d, want 50", cut)
+	}
+	if got := crossingsAt(xadj, adj, a); got != 1 {
+		t.Errorf("crossings at bridge = %d, want 1", got)
+	}
+	if got := crossingsAt(xadj, adj, 50); got <= 1 {
+		t.Errorf("crossings at midpoint = %d, want many", got)
+	}
+}
+
+// TestHierarchicalRefinementWindow: the boundary may not slide past
+// the window — load balance bounds the locality gain.
+func TestHierarchicalRefinementWindow(t *testing.T) {
+	const a, b = 55, 45
+	xadj, adj := dumbbell(a, b)
+	weights := []float64{1, 1, 1, 1}
+	spec := HierSpec{GroupOf: []int{0, 0, 1, 1}, Xadj: xadj, Adj: adj, Window: 2}
+	l, err := NewHierarchical(int64(a+b), weights, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := l.Interval(1).Hi
+	if cut < 48 || cut > 52 {
+		t.Errorf("boundary %d escaped the ±2 window around 50", cut)
+	}
+}
+
+// TestHierarchicalWeighted: item weights steer both phases — the
+// group spans and the member cuts balance weight, not counts.
+func TestHierarchicalWeighted(t *testing.T) {
+	items := make([]float64, 100)
+	for i := range items {
+		if i < 25 {
+			items[i] = 3 // heavy head
+		} else {
+			items[i] = 1
+		}
+	}
+	weights := []float64{1, 1, 1, 1}
+	l, err := NewHierarchicalWeighted(items, weights, HierSpec{GroupOf: []int{0, 0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total weight 150, half per group: the heavy head [0, 25) alone
+	// weighs 75, so the group boundary lands at 25 — a count-balanced
+	// cut would put it at 50.
+	boundary := l.Interval(1).Hi
+	if boundary != 25 {
+		t.Errorf("weighted group boundary at %d, want 25 (equal halves of weight)", boundary)
+	}
+	var w0 float64
+	for g := int64(0); g < boundary; g++ {
+		w0 += items[g]
+	}
+	if w0 != 75 {
+		t.Errorf("group 0 weight = %g, want 75", w0)
+	}
+}

@@ -75,6 +75,33 @@ type Config struct {
 	// charges Latency/Bandwidth sender-side and applies Delay on the
 	// receive side, additive to the real wire time.
 	Model *comm.Model
+	// Topology declares a two-level world: ranks grouped into node
+	// clusters joined by a slower inter-group link (the paper's
+	// nonuniform network). It flows into every hierarchy-aware layer:
+	// the transport prices (and counts) inter-group traffic separately,
+	// the partitioner cuts across groups first, and the decentralized
+	// balancer exchanges reports through group leaders. Must cover
+	// exactly Procs ranks; conflicts with an adopted World (whose
+	// transport is already built).
+	Topology *comm.Topology
+	// Groups is the convenience form of Topology: split the Procs ranks
+	// into this many contiguous, near-equal node groups. 0 means flat;
+	// mutually exclusive with an explicit Topology.
+	Groups int
+	// InterModel is the cost model for messages crossing group
+	// boundaries (requires Topology; nil prices inter-group traffic on
+	// Model like everything else). This is the knob that makes the
+	// network nonuniform: intra-group messages cost Model, inter-group
+	// messages cost InterModel.
+	InterModel *comm.Model
+	// FlatCut keeps hierarchical pricing and leader-aggregated checks
+	// but cuts the partition flat, ignoring group boundaries — the
+	// control arm for measuring what the hierarchy-aware cut is worth.
+	FlatCut bool
+	// FlatReports keeps the hierarchy-aware cut but exchanges balance
+	// reports by flat all-gather instead of through group leaders — the
+	// control arm for measuring the leader aggregation.
+	FlatReports bool
 	// Clock is the session's time source (nil means the real clock):
 	// network charges, delivery delays, every measured duration in the
 	// RunReport and the balancer's decisions all come off it. A
@@ -261,6 +288,25 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		if cfg.Tuning != nil {
 			return nil, fmt.Errorf("session: Tuning conflicts with an adopted World (the world's transport is already built)")
 		}
+		if cfg.Topology != nil {
+			return nil, fmt.Errorf("session: Topology conflicts with an adopted World (the world's transport is already built)")
+		}
+	}
+	if cfg.Groups != 0 {
+		if cfg.Topology != nil {
+			return nil, fmt.Errorf("session: Groups conflicts with an explicit Topology — set one or the other")
+		}
+		if cfg.World != nil {
+			return nil, fmt.Errorf("session: Groups conflicts with an adopted World (the world's transport is already built)")
+		}
+		topo, err := comm.ContiguousGroups(cfg.Procs, cfg.Groups)
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		cfg.Topology = topo
+	}
+	if cfg.InterModel != nil && cfg.Topology == nil {
+		return nil, fmt.Errorf("session: InterModel requires a Topology (there is no inter-group link without groups)")
 	}
 	if cfg.Tuning != nil {
 		if cfg.Tuning.Model != nil {
@@ -268,6 +314,12 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 		}
 		if cfg.Tuning.Clock != nil {
 			return nil, fmt.Errorf("session: set the clock through Config.Clock, not Tuning.Clock")
+		}
+		if cfg.Tuning.Topology != nil {
+			return nil, fmt.Errorf("session: set the topology through Config.Topology, not Tuning.Topology")
+		}
+		if cfg.Tuning.InterModel != nil {
+			return nil, fmt.Errorf("session: set the inter-group model through Config.InterModel, not Tuning.InterModel")
 		}
 		if err := cfg.Tuning.Validate(); err != nil {
 			return nil, fmt.Errorf("session: %w", err)
@@ -353,6 +405,7 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 			opts = *cfg.Tuning
 		}
 		opts.Model, opts.Clock = cfg.Model, cfg.Clock
+		opts.Topology, opts.InterModel = cfg.Topology, cfg.InterModel
 		var err error
 		world, err = comm.Open(cfg.Transport, cfg.Procs, opts)
 		if err != nil {
@@ -399,7 +452,7 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 // coreConfig assembles the runtime configuration shared by both build
 // paths.
 func (s *Session) coreConfig() core.Config {
-	return core.Config{
+	cc := core.Config{
 		Order:             s.cfg.Order,
 		Weights:           s.cfg.Weights,
 		VertexWeights:     s.cfg.VertexWeights,
@@ -407,6 +460,10 @@ func (s *Session) coreConfig() core.Config {
 		RemapPolicy:       s.cfg.RemapPolicy,
 		RootComputesOrder: s.cfg.RootComputesOrder,
 	}
+	if s.cfg.Topology != nil && !s.cfg.FlatCut {
+		cc.Groups = s.cfg.Topology.GroupOfSlice()
+	}
+	return cc
 }
 
 // buildFixedRank constructs one rank's stack for a fixed-membership
@@ -549,6 +606,11 @@ func (s *Session) newBalancer(rt *core.Runtime) (*loadbal.Balancer, error) {
 	if bc.Horizon <= 0 {
 		bc.Horizon = s.cfg.CheckEvery
 	}
+	if bc.Decentralized && bc.Topology == nil && !s.cfg.FlatReports {
+		// On a two-level world the decentralized check routes through
+		// group leaders by default; FlatReports is the explicit opt-out.
+		bc.Topology = s.cfg.Topology
+	}
 	bc.Estimator = bc.Estimator.Clone()
 	return loadbal.New(rt, bc)
 }
@@ -606,6 +668,12 @@ type RunReport struct {
 	// ranks during the run.
 	Msgs  int64 `json:"msgs"`
 	Bytes int64 `json:"bytes"`
+	// InterMsgs and InterBytes are the subset of Msgs/Bytes that
+	// crossed a group boundary on a two-level world (Config.Topology) —
+	// the traffic the slow inter-group link carried. Zero on flat
+	// worlds and adopted worlds.
+	InterMsgs  int64 `json:"inter_msgs,omitempty"`
+	InterBytes int64 `json:"inter_bytes,omitempty"`
 	// Exec is the traffic the executor data path itself generated
 	// during the run (Exchange/ScatterAdd operations, messages and
 	// bytes summed over ranks), counted per operation by the runtimes.
@@ -676,6 +744,10 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 		return rep, nil
 	}
 	msgs0, bytes0 := s.world.Stats()
+	var interMsgs0, interBytes0 int64
+	if s.ownWorld {
+		interMsgs0, interBytes0 = s.world.InterGroupStats()
+	}
 	var trBefore comm.TransportStats
 	trOK := false
 	if s.ownWorld {
@@ -720,6 +792,10 @@ func (s *Session) Run(iters int) (*RunReport, error) {
 	rep.Wall = wall
 	msgs1, bytes1 := s.world.Stats()
 	rep.Msgs, rep.Bytes = msgs1-msgs0, bytes1-bytes0
+	if s.ownWorld {
+		interMsgs1, interBytes1 := s.world.InterGroupStats()
+		rep.InterMsgs, rep.InterBytes = interMsgs1-interMsgs0, interBytes1-interBytes0
+	}
 	if trOK {
 		trAfter, _ := s.world.TransportStats()
 		d := trAfter.Sub(trBefore)

@@ -77,6 +77,13 @@ type Scenario struct {
 	Kernel     string
 	Checkpoint bool
 	Kills      []ckpt.Kill
+	// Hierarchical reports a two-level world: Groups is the per-rank
+	// group id slice, and the session prices inter-group traffic on a
+	// slower model. FlatCut keeps that pricing but disables the
+	// hierarchy-aware cut (the control arm the Table 4/5 twins measure).
+	Hierarchical bool
+	Groups       []int
+	FlatCut      bool
 }
 
 // Result carries a completed scenario run.
@@ -291,15 +298,40 @@ func Generate(seed int64) (*Scenario, error) {
 		cfg.Checkpoint = ckCfg
 	}
 
+	// Two-level worlds (the paper's nonuniform network): about a third
+	// of the multi-rank seeds group the ranks over a slower inter-group
+	// link. The hierarchy composes with everything above — elastic
+	// churn falls back to flat cuts on partial active sets, the
+	// decentralized balancer routes reports through group leaders, and
+	// the bit-equality invariant must hold regardless. These draws come
+	// last so older seeds keep their pre-hierarchy scenarios.
+	if procs > 1 && rng.Intn(3) == 0 {
+		topo, err := comm.ContiguousGroups(procs, 2)
+		if err != nil {
+			return nil, fmt.Errorf("sim: seed %d: %w", seed, err)
+		}
+		cfg.Topology = topo
+		cfg.InterModel = &comm.Model{
+			Latency:   time.Duration(500+rng.Intn(2000)) * time.Microsecond,
+			Bandwidth: 1e5 * (1 + 9*rng.Float64()),
+			Multicast: rng.Intn(2) == 0,
+		}
+		cfg.FlatCut = rng.Intn(4) == 0
+		cfg.FlatReports = rng.Intn(4) == 0
+		sc.Hierarchical = true
+		sc.Groups = topo.GroupOfSlice()
+		sc.FlatCut = cfg.FlatCut
+	}
+
 	sc.Elastic = cfg.Elastic || env.Elastic()
 	sc.Cfg = cfg
 
 	sc.Desc = fmt.Sprintf(
-		"seed=%d n=%d procs=%d iters=%v order=%s check=%d cost=%v model=%+v overlap=%v pipeline=%d fields=%d kernel=%q balancer=%v elastic=%v ckpt=%v kills=%v loads=%d traces=%d outages=%d resizes=%v",
+		"seed=%d n=%d procs=%d iters=%v order=%s check=%d cost=%v model=%+v overlap=%v pipeline=%d fields=%d kernel=%q balancer=%v elastic=%v ckpt=%v kills=%v loads=%d traces=%d outages=%d resizes=%v groups=%v flatcut=%v",
 		seed, g.N, procs, sc.Segments, cfg.OrderName, checkEvery, cfg.ComputeCost,
 		cfg.Model, cfg.Overlap, cfg.Pipeline, sc.Fields, sc.Kernel, sc.HasBalancer, sc.Elastic,
 		sc.Checkpoint, sc.Kills,
-		len(env.Loads), len(env.Traces), len(env.Outages), sc.Resizes)
+		len(env.Loads), len(env.Traces), len(env.Outages), sc.Resizes, sc.Groups, sc.FlatCut)
 	return sc, nil
 }
 
@@ -466,6 +498,19 @@ func checkInvariants(sc *Scenario, res *Result, ref []float64) error {
 		}
 		if rep.Exec.Bytes > rep.Bytes {
 			return fmt.Errorf("segment %d: executor bytes %d exceed world bytes %d", si, rep.Exec.Bytes, rep.Bytes)
+		}
+		// Inter-group traffic is a subset of world traffic, and flat
+		// worlds must not attribute anything to a link they don't have.
+		if rep.InterMsgs < 0 || rep.InterBytes < 0 {
+			return fmt.Errorf("segment %d: negative inter-group counters %d msgs / %d bytes", si, rep.InterMsgs, rep.InterBytes)
+		}
+		if rep.InterMsgs > rep.Msgs || rep.InterBytes > rep.Bytes {
+			return fmt.Errorf("segment %d: inter-group traffic %d/%d exceeds world traffic %d/%d",
+				si, rep.InterMsgs, rep.InterBytes, rep.Msgs, rep.Bytes)
+		}
+		if !sc.Hierarchical && (rep.InterMsgs != 0 || rep.InterBytes != 0) {
+			return fmt.Errorf("segment %d: flat world attributed %d msgs / %d bytes to an inter-group link",
+				si, rep.InterMsgs, rep.InterBytes)
 		}
 		if rep.Exec.Overlapped > rep.Exec.Ops {
 			return fmt.Errorf("segment %d: %d overlapped ops of %d total", si, rep.Exec.Overlapped, rep.Exec.Ops)

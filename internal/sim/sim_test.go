@@ -46,10 +46,17 @@ func TestSimScenarioDiversity(t *testing.T) {
 	var delay, balancer, elastic, overlap, traces, multiSeg, resize int
 	var pipeline, pipelineMulti, syncMode int
 	var cg, ckptOverhead, kills int
+	var hier, hierBalanced int
 	for seed := int64(0); seed < simSeeds; seed++ {
 		sc, err := Generate(seed)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if sc.Hierarchical {
+			hier++
+			if sc.HasBalancer {
+				hierBalanced++
+			}
 		}
 		if sc.Kernel == "cg" {
 			cg++
@@ -104,6 +111,8 @@ func TestSimScenarioDiversity(t *testing.T) {
 		"cg kernels":                  cg,
 		"kill-free checkpointing":     ckptOverhead,
 		"injected kills":              kills,
+		"multi-group worlds":          hier,
+		"balanced multi-group worlds": hierBalanced,
 	} {
 		if n == 0 {
 			t.Errorf("no scenario in the %d-seed CI list exercises %s", simSeeds, name)

@@ -60,6 +60,10 @@ type (
 	// World is a first-class SPMD world: endpoints plus shared
 	// lifecycle, built from a registered transport.
 	World = comm.World
+	// Topology assigns every rank to a node group — the two-level
+	// structure of a nonuniform network. See WithGroups and
+	// WithTopology.
+	Topology = comm.Topology
 	// TransportConfig is the legacy flat transport configuration.
 	//
 	// Deprecated: use TransportOptions (see WithTransportTuning and
@@ -121,6 +125,55 @@ func WithNetworkModel(m *NetworkModel) Option {
 //	    }))
 func WithTransportTuning(o TransportOptions) Option {
 	return func(c *session.Config) { c.Tuning = &o }
+}
+
+// WithGroups declares a two-level cluster: the session's ranks split
+// into n contiguous, near-equal node groups joined by a slower shared
+// link (the paper's Section 4 nonuniform network). Every
+// hierarchy-aware layer engages: the transport prices and counts
+// inter-group traffic separately (RunReport.InterMsgs/InterBytes), the
+// partitioner cuts across group boundaries first and refines them to
+// minimize slow-link traffic, and a decentralized balancer exchanges
+// reports through group leaders — O(groups) slow-link messages per
+// check instead of O(P). Combine with WithInterModel to make the
+// inter-group link actually slower:
+//
+//	s, err := stance.NewSession(ctx, g, 8,
+//	    stance.WithGroups(2),
+//	    stance.WithNetworkModel(stance.Ethernet(1)),
+//	    stance.WithInterModel(stance.Ethernet(10)))
+func WithGroups(n int) Option {
+	return func(c *session.Config) { c.Groups = n }
+}
+
+// WithTopology sets the rank → node-group assignment directly, for
+// clusters whose groups are not equal contiguous blocks. Build one
+// with NewTopology or ContiguousGroups. Mutually exclusive with
+// WithGroups.
+func WithTopology(t *Topology) Option {
+	return func(c *session.Config) { c.Topology = t }
+}
+
+// WithInterModel sets the cost model for messages crossing group
+// boundaries — the knob that makes the network nonuniform. Requires
+// WithGroups or WithTopology; without it inter-group traffic is priced
+// on the ordinary network model like everything else.
+func WithInterModel(m *NetworkModel) Option {
+	return func(c *session.Config) { c.InterModel = m }
+}
+
+// WithFlatCut keeps the two-level pricing and leader-aggregated checks
+// but cuts the partition flat, ignoring group boundaries — the control
+// arm for measuring what the hierarchy-aware cut is worth.
+func WithFlatCut() Option {
+	return func(c *session.Config) { c.FlatCut = true }
+}
+
+// WithFlatReports keeps the hierarchy-aware cut but exchanges balance
+// reports by flat all-gather instead of through group leaders — the
+// control arm for measuring the leader aggregation.
+func WithFlatReports() Option {
+	return func(c *session.Config) { c.FlatReports = true }
 }
 
 // WithClock sets the session's time source. Everything temporal —

@@ -178,6 +178,20 @@ func Ethernet(scale float64) *NetworkModel {
 	return comm.Ethernet(scale)
 }
 
+// NewTopology builds a rank → node-group assignment for WithTopology.
+// Group ids must be a contiguous range 0..G-1 with every group
+// non-empty.
+func NewTopology(groupOf []int) (*Topology, error) {
+	return comm.NewTopology(groupOf)
+}
+
+// ContiguousGroups builds the even block topology: p ranks split into
+// the given number of contiguous, near-equal node groups — what
+// WithGroups constructs internally.
+func ContiguousGroups(p, groups int) (*Topology, error) {
+	return comm.ContiguousGroups(p, groups)
+}
+
 // SPMD runs f once per rank, each in its own goroutine, and joins all
 // errors. Legacy entry point: World.SPMD additionally threads a
 // context through every rank's blocking operations.
